@@ -1,0 +1,51 @@
+"""Bench target for Fig. 7: 5,000 inferences vs replica count.
+
+Asserts the paper's shape: throughput scales with replicas then
+saturates; Inception (heaviest) keeps scaling to ~15 replicas while
+lighter servables saturate earlier because serial task dispatch comes to
+dominate. Includes the dispatch-cost ablation from DESIGN.md.
+"""
+
+from conftest import run_once
+
+from repro.bench.fig7_scalability import (
+    ablation_dispatch_costs,
+    format_report,
+    run_experiment,
+)
+
+
+def test_fig7_replica_scaling(benchmark):
+    results = run_once(benchmark, run_experiment)
+    print("\n" + format_report(results))
+
+    for name, data in results.items():
+        throughput = data["throughput_rps"]
+        replicas = sorted(throughput)
+        # Scaling regime: more replicas help substantially at the start.
+        assert throughput[replicas[1]] > 1.8 * throughput[replicas[0]], name
+        # Saturation regime: the last step adds < 5% throughput.
+        assert throughput[replicas[-1]] <= 1.05 * throughput[replicas[-2]], name
+
+    # Inception saturates latest (~15 replicas in the paper).
+    sat = {name: data["saturation_replicas"] for name, data in results.items()}
+    assert sat["inception"] >= 10, sat
+    assert sat["inception"] > sat["cifar10"], sat
+    assert sat["inception"] > sat["matminer_featurize"], sat
+
+    # Lighter servables saturate at roughly the same dispatch-bound peak.
+    peaks = {n: d["peak_throughput_rps"] for n, d in results.items()}
+    assert abs(peaks["cifar10"] - peaks["matminer_featurize"]) / peaks["cifar10"] < 0.2
+
+
+def test_fig7_dispatch_ablation(benchmark):
+    """Halving dispatch cost moves the saturation point to more replicas —
+    evidence that dispatch, not compute, caps executor throughput."""
+    results = run_once(benchmark, ablation_dispatch_costs, (0.001, 0.004))
+    sat_fast = results[0.001]["saturation_replicas"]
+    sat_slow = results[0.004]["saturation_replicas"]
+    print(f"\nablation: dispatch 1ms -> saturates at {sat_fast}, 4ms -> {sat_slow}")
+    assert sat_fast > sat_slow
+    peak_fast = max(results[0.001]["throughput_rps"].values())
+    peak_slow = max(results[0.004]["throughput_rps"].values())
+    assert peak_fast > 2.0 * peak_slow

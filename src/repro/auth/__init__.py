@@ -1,0 +1,26 @@
+"""Globus-Auth-like identity and access management substrate.
+
+Reproduces the security model of SS IV-D: identity providers, linked
+identities, OAuth2-style access tokens with scopes and expiry, resource
+server registration, and group-based access control (needed by the CANDLE
+use case in SS VI-A, where models are restricted to selected users before
+general release).
+"""
+
+from repro.auth.identity import Identity, IdentityProvider, IdentityStore, Group
+from repro.auth.tokens import AccessToken, TokenStore, TokenError, Scope
+from repro.auth.service import AuthService, ResourceServer, AuthorizationError
+
+__all__ = [
+    "Identity",
+    "IdentityProvider",
+    "IdentityStore",
+    "Group",
+    "AccessToken",
+    "TokenStore",
+    "TokenError",
+    "Scope",
+    "AuthService",
+    "ResourceServer",
+    "AuthorizationError",
+]

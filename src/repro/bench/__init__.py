@@ -1,0 +1,21 @@
+"""Benchmark harness: one experiment module per paper table/figure.
+
+Each module exposes ``run_experiment(...) -> dict`` returning the rows /
+series the paper reports, plus a ``format_report`` helper. The thin
+pytest-benchmark wrappers in ``benchmarks/`` call these, so the same code
+regenerates EXPERIMENTS.md and the bench output.
+
+Experiments (see DESIGN.md SS4 for the index):
+
+* :mod:`repro.bench.fig3_servables` — request/invocation/inference times,
+* :mod:`repro.bench.fig4_memoization` — memoization impact,
+* :mod:`repro.bench.fig5_batching` — batching, 1-100 requests,
+* :mod:`repro.bench.fig6_batch_scaling` — batching to 10,000 requests,
+* :mod:`repro.bench.fig7_scalability` — throughput vs replica count,
+* :mod:`repro.bench.fig8_comparison` — serving-system comparison,
+* :mod:`repro.bench.tables` — Tables I and II regeneration.
+"""
+
+from repro.bench.workloads import ExperimentContext, build_context
+
+__all__ = ["ExperimentContext", "build_context"]

@@ -1,0 +1,63 @@
+"""Fig. 3 — request, invocation, and inference times for six servables.
+
+Protocol (SS V-B1): submit 100 requests with fixed input data to each of
+the six servables via the Management Service, memoization disabled, batch
+size 1, sequentially. Report median and 5th/95th percentiles of the three
+timing metrics per servable.
+
+Expected shape: inference < invocation < request for every servable;
+per-tier gaps around 10-20 ms (plus the 20.7 ms MS-TM RTT inside request
+time); Inception/CIFAR-10 pay extra input-transfer overhead; noop
+invocation < 20 ms, model invocations < 40 ms.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import ExperimentContext, build_context, percentile_row
+from repro.core.zoo import ZOO_NAMES
+
+N_REQUESTS = 100
+
+
+def run_experiment(
+    n_requests: int = N_REQUESTS,
+    servables: tuple[str, ...] = ZOO_NAMES,
+    seed: int = 0,
+    context: ExperimentContext | None = None,
+) -> dict:
+    """Returns ``{servable: {metric: {median_ms, p5_ms, p95_ms, ...}}}``."""
+    ctx = context or build_context(servables=servables, seed=seed, memoize=False)
+    results: dict = {}
+    for name in servables:
+        records = ctx.run_sequential(name, n_requests)
+        assert all(r.ok for r in records), f"failures serving {name}"
+        results[name] = {
+            "inference_time": percentile_row([r.inference_time * 1e3 for r in records]),
+            "invocation_time": percentile_row([r.invocation_time * 1e3 for r in records]),
+            "request_time": percentile_row([r.request_time * 1e3 for r in records]),
+        }
+    return results
+
+
+def format_report(results: dict) -> str:
+    lines = [
+        "Fig. 3 reproduction: per-servable timing (median [p5, p95], ms)",
+        f"{'servable':<20} {'inference':>22} {'invocation':>22} {'request':>22}",
+    ]
+    for name, metrics in results.items():
+        cells = []
+        for metric in ("inference_time", "invocation_time", "request_time"):
+            row = metrics[metric]
+            cells.append(
+                f"{row['median_ms']:6.2f} [{row['p5_ms']:6.2f},{row['p95_ms']:6.2f}]"
+            )
+        lines.append(f"{name:<20} {cells[0]:>22} {cells[1]:>22} {cells[2]:>22}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(format_report(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,110 @@
+"""The cluster facade and the PetrelKube factory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.deployment import Deployment
+from repro.cluster.node import Node, ResourceSpec
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.service import Service
+from repro.containers.image import Image
+from repro.containers.registry import ContainerRegistry
+from repro.sim.clock import VirtualClock
+
+
+@dataclass
+class KubernetesCluster:
+    """A named cluster: nodes, scheduler, deployments, services."""
+
+    name: str
+    clock: VirtualClock
+    registry: ContainerRegistry
+    nodes: list[Node] = field(default_factory=list)
+    scheduler: Scheduler = field(init=False)
+    deployments: dict[str, Deployment] = field(default_factory=dict)
+    services: dict[str, Service] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.scheduler = Scheduler(self.clock)
+
+    def add_node(self, name: str, cpu_millicores: int, memory_bytes: int) -> Node:
+        node = Node(
+            name=name,
+            capacity=ResourceSpec(cpu_millicores, memory_bytes),
+            clock=self.clock,
+            registry=self.registry,
+        )
+        self.nodes.append(node)
+        return node
+
+    def create_deployment(
+        self,
+        name: str,
+        image: Image,
+        replicas: int = 1,
+        request: ResourceSpec | None = None,
+    ) -> Deployment:
+        if name in self.deployments:
+            raise ValueError(f"deployment {name!r} already exists")
+        kwargs = {} if request is None else {"request": request}
+        deployment = Deployment(
+            name=name,
+            image=image,
+            scheduler=self.scheduler,
+            nodes=self.nodes,
+            replicas=replicas,
+            **kwargs,
+        ).create()
+        self.deployments[name] = deployment
+        return deployment
+
+    def expose(self, deployment: Deployment, service_name: str | None = None) -> Service:
+        name = service_name or deployment.name
+        if name in self.services:
+            raise ValueError(f"service {name!r} already exists")
+        service = Service(name=name, deployment=deployment)
+        self.services[name] = service
+        return service
+
+    def delete_deployment(self, name: str) -> None:
+        deployment = self.deployments.pop(name, None)
+        if deployment is None:
+            raise KeyError(name)
+        deployment.delete()
+        for sname in [s for s, svc in self.services.items() if svc.deployment is deployment]:
+            del self.services[sname]
+
+    # -- capacity introspection -------------------------------------------------------
+    @property
+    def total_capacity(self) -> ResourceSpec:
+        total = ResourceSpec.zero()
+        for node in self.nodes:
+            total = total + node.capacity
+        return total
+
+    @property
+    def total_allocated(self) -> ResourceSpec:
+        total = ResourceSpec.zero()
+        for node in self.nodes:
+            total = total + node.allocated
+        return total
+
+    def pod_count(self) -> int:
+        return sum(len(d.pods) for d in self.deployments.values())
+
+
+def petrelkube(clock: VirtualClock, registry: ContainerRegistry) -> KubernetesCluster:
+    """Build the paper's testbed: 14 nodes, 2x E5-2670 (16 cores), 128 GB RAM.
+
+    CPU capacity is expressed in millicores (16 cores = 16000m); we reserve
+    ~1 core per node for system pods, as a real kubelet does.
+    """
+    cluster = KubernetesCluster(name="petrelkube", clock=clock, registry=registry)
+    for i in range(14):
+        cluster.add_node(
+            name=f"petrelkube-{i:02d}",
+            cpu_millicores=15_000,
+            memory_bytes=125 * 1024**3,
+        )
+    return cluster

@@ -1,0 +1,80 @@
+"""Pods: one servable container per pod, with lifecycle phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.cluster.node import Node, ResourceSpec
+from repro.containers.image import Image
+from repro.containers.runtime import Container, ContainerError
+
+
+class PodPhase(Enum):
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+
+@dataclass
+class Pod:
+    """A scheduled pod bound to a node, running one container."""
+
+    name: str
+    image: Image
+    request: ResourceSpec
+    labels: dict[str, str] = field(default_factory=dict)
+    node: Node | None = None
+    container: Container | None = None
+    phase: PodPhase = PodPhase.PENDING
+    #: Requests served (for load-balancing diagnostics).
+    served: int = 0
+    #: Virtual time at which this pod becomes free (busy-until semantics,
+    #: used by the executor to model queueing at each replica).
+    busy_until: float = 0.0
+
+    @property
+    def ready(self) -> bool:
+        return (
+            self.phase is PodPhase.RUNNING
+            and self.container is not None
+            and self.container.alive
+        )
+
+    def start(self) -> None:
+        """Create + start the container on the bound node."""
+        if self.node is None:
+            raise RuntimeError(f"pod {self.name} is not bound to a node")
+        self.container = self.node.runtime.create(self.image)
+        self.node.runtime.start(self.container)
+        self.phase = PodPhase.RUNNING
+
+    def exec(self, *args: Any, **kwargs: Any) -> Any:
+        """Invoke the servable handler in this pod's container."""
+        if self.node is None or self.container is None:
+            raise RuntimeError(f"pod {self.name} has no running container")
+        try:
+            result = self.node.runtime.exec(self.container, *args, **kwargs)
+        except ContainerError:
+            self.phase = PodPhase.FAILED
+            raise
+        self.served += 1
+        return result
+
+    def fail(self) -> None:
+        """Failure injection: kill the container and mark the pod failed."""
+        if self.node is not None and self.container is not None:
+            self.node.runtime.kill(self.container)
+        self.phase = PodPhase.FAILED
+
+    def terminate(self) -> None:
+        """Graceful stop; releases node resources."""
+        if self.node is not None:
+            if self.container is not None:
+                self.node.runtime.stop(self.container)
+            self.node.release(self.request)
+            self.node = None
+        if self.phase is PodPhase.RUNNING:
+            self.phase = PodPhase.SUCCEEDED

@@ -1,0 +1,146 @@
+"""Container runtime: pull, start, exec, stop — with virtual-time costs.
+
+A :class:`ContainerRuntime` lives on each cluster node. Pulling charges
+per-byte transfer for layers the node hasn't cached; starting charges the
+cold-start constant; ``exec`` invokes the image's packaged handler (the
+servable entrypoint) inside the container.
+
+Failure injection: containers can be killed, after which exec raises, so
+tests can exercise the queue's redelivery path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.containers.image import Image
+from repro.containers.registry import ContainerRegistry
+from repro.sim import calibration as cal
+from repro.sim.clock import VirtualClock
+
+
+class ContainerError(RuntimeError):
+    """Raised on invalid container operations (exec on dead container, ...)."""
+
+
+class ContainerState(Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+@dataclass
+class Container:
+    """A running (or stopped) container instance."""
+
+    container_id: str
+    image: Image
+    state: ContainerState = ContainerState.CREATED
+    env: dict[str, str] = field(default_factory=dict)
+    started_at: float | None = None
+    exec_count: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.state is ContainerState.RUNNING
+
+
+class ContainerRuntime:
+    """Per-node container engine (Docker stand-in)."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        registry: ContainerRegistry,
+        node_name: str = "node",
+        privileged: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.registry = registry
+        self.node_name = node_name
+        #: Clipper requires privileged access; HPC nodes refuse it (SS III-B4).
+        self.privileged = privileged
+        self._cached_layers: set[str] = set()
+        self._containers: dict[str, Container] = {}
+        self._ids = itertools.count(1)
+        self.bytes_pulled = 0
+
+    # -- images ----------------------------------------------------------------
+    def pull(self, reference: str) -> Image:
+        """Pull an image, charging transfer time only for uncached layers."""
+        image = self.registry.pull(reference)
+        missing = self.registry.missing_layer_bytes(image, self._cached_layers)
+        if missing:
+            self.clock.advance(missing * cal.IMAGE_PULL_PER_BYTE_S)
+            self.bytes_pulled += missing
+        for layer in image.layers:
+            self._cached_layers.add(layer.digest)
+        return image
+
+    def has_image(self, image: Image) -> bool:
+        return all(layer.digest in self._cached_layers for layer in image.layers)
+
+    # -- lifecycle --------------------------------------------------------------
+    def create(self, image: Image, env: dict[str, str] | None = None) -> Container:
+        if not self.has_image(image):
+            self.pull(image.reference)
+        container = Container(
+            container_id=f"{self.node_name}-c{next(self._ids)}",
+            image=image,
+            env={**image.env, **(env or {})},
+        )
+        self._containers[container.container_id] = container
+        return container
+
+    def start(self, container: Container) -> Container:
+        if container.state is ContainerState.RUNNING:
+            return container
+        if container.state is ContainerState.FAILED:
+            raise ContainerError(f"{container.container_id} has failed; recreate it")
+        self.clock.advance(cal.CONTAINER_START_S)
+        container.state = ContainerState.RUNNING
+        container.started_at = self.clock.now()
+        return container
+
+    def run(self, reference: str, env: dict[str, str] | None = None) -> Container:
+        """pull + create + start in one call."""
+        image = self.pull(reference)
+        return self.start(self.create(image, env))
+
+    def stop(self, container: Container) -> None:
+        if container.state is ContainerState.RUNNING:
+            container.state = ContainerState.STOPPED
+
+    def kill(self, container: Container) -> None:
+        """Failure injection: abruptly fail a container."""
+        container.state = ContainerState.FAILED
+
+    def remove(self, container: Container) -> None:
+        if container.alive:
+            raise ContainerError(f"cannot remove running container {container.container_id}")
+        self._containers.pop(container.container_id, None)
+
+    # -- execution ----------------------------------------------------------------
+    def exec(self, container: Container, *args: Any, **kwargs: Any) -> Any:
+        """Invoke the image's packaged handler inside ``container``."""
+        if not container.alive:
+            raise ContainerError(
+                f"container {container.container_id} is {container.state.value}"
+            )
+        handler = container.image.handler
+        if handler is None:
+            raise ContainerError(
+                f"image {container.image.reference} has no packaged handler"
+            )
+        container.exec_count += 1
+        return handler(*args, **kwargs)
+
+    # -- introspection ---------------------------------------------------------------
+    def containers(self, state: ContainerState | None = None) -> list[Container]:
+        if state is None:
+            return list(self._containers.values())
+        return [c for c in self._containers.values() if c.state is state]

@@ -1,0 +1,231 @@
+"""Extensions from the paper's future work (SS V-B3, SS VII).
+
+* "we intend to use such servable profiles to design adaptive batching
+  algorithms that intelligently distribute serving requests to reduce
+  latency" -> :class:`ServableProfile` + :class:`AdaptiveBatcher`.
+* "optimization techniques for automated tuning of servable execution"
+  -> :class:`Autoscaler`, which inverts the Fig. 7 saturation model to
+  pick replica counts for a target arrival rate.
+
+Both work from *measured* profiles: the batcher fits the Fig. 6 linear
+model (invocation = intercept + slope * n) from observed batch timings,
+and the autoscaler uses the dispatch/execution costs that govern Fig. 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.executors import ParslServableExecutor
+from repro.sim import calibration as cal
+
+
+class ProfileError(RuntimeError):
+    """Raised when a profile has too little data to act on."""
+
+
+@dataclass
+class ServableProfile:
+    """A measured latency profile for one servable.
+
+    Fits ``invocation_time(n) = intercept + slope * n`` over observed
+    (batch size, invocation time) samples — exactly the Fig. 6 line.
+    """
+
+    servable_name: str
+    samples: list[tuple[int, float]] = field(default_factory=list)
+
+    def observe(self, batch_size: int, invocation_time_s: float) -> None:
+        if batch_size < 1 or invocation_time_s < 0:
+            raise ValueError("invalid observation")
+        self.samples.append((batch_size, invocation_time_s))
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    def fit(self) -> tuple[float, float]:
+        """Returns ``(intercept_s, slope_s_per_item)``.
+
+        Needs samples at >= 2 distinct batch sizes.
+        """
+        if len({n for n, _ in self.samples}) < 2:
+            raise ProfileError(
+                f"profile for {self.servable_name!r} needs >= 2 distinct batch sizes"
+            )
+        xs = np.array([n for n, _ in self.samples], dtype=np.float64)
+        ys = np.array([t for _, t in self.samples], dtype=np.float64)
+        slope, intercept = np.polyfit(xs, ys, 1)
+        return float(intercept), float(max(slope, 1e-9))
+
+    def predict(self, batch_size: int) -> float:
+        intercept, slope = self.fit()
+        return intercept + slope * batch_size
+
+    def max_batch_for_latency(self, latency_budget_s: float) -> int:
+        """Largest batch whose predicted invocation fits the budget."""
+        intercept, slope = self.fit()
+        if latency_budget_s <= intercept:
+            return 1
+        # Epsilon guards against float error shaving an exact fit by one.
+        return max(1, int((latency_budget_s - intercept) / slope + 1e-9))
+
+
+@dataclass
+class BatchDecision:
+    """What the batcher did with one flush."""
+
+    batch_size: int
+    predicted_time_s: float
+    actual_time_s: float
+    outputs: list[Any]
+
+
+class AdaptiveBatcher:
+    """Latency-budgeted batching over the Parsl executor.
+
+    Requests accumulate in a pending list; :meth:`flush` dispatches them
+    in profile-sized chunks so each chunk's predicted invocation time
+    stays within ``latency_budget_s``. Every flush feeds the profile, so
+    sizing adapts as the servable's behaviour drifts.
+
+    Until the profile has enough data (a cold start), flushes use
+    ``bootstrap_batch`` and simply record what they see.
+    """
+
+    def __init__(
+        self,
+        executor: ParslServableExecutor,
+        servable_name: str,
+        latency_budget_s: float = 0.100,
+        bootstrap_batch: int = 8,
+    ) -> None:
+        if latency_budget_s <= 0:
+            raise ValueError("latency_budget_s must be > 0")
+        self.executor = executor
+        self.servable_name = servable_name
+        self.latency_budget_s = latency_budget_s
+        self.bootstrap_batch = bootstrap_batch
+        self.profile = ServableProfile(servable_name)
+        self._pending: list[Any] = []
+        self.decisions: list[BatchDecision] = []
+        self._bootstrap_flushes = 0
+
+    def submit(self, item: Any) -> None:
+        """Queue one input (an args tuple or a single argument)."""
+        self._pending.append(item if isinstance(item, tuple) else (item,))
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _chunk_size(self) -> int:
+        try:
+            return self.profile.max_batch_for_latency(self.latency_budget_s)
+        except ProfileError:
+            # Cold start: vary the batch size across bootstrap flushes so
+            # the profile sees >= 2 distinct sizes and can fit its line.
+            self._bootstrap_flushes += 1
+            return max(1, self.bootstrap_batch * self._bootstrap_flushes)
+
+    def flush(self) -> list[BatchDecision]:
+        """Dispatch all pending inputs in adaptively-sized chunks."""
+        decisions = []
+        while self._pending:
+            size = min(self._chunk_size(), len(self._pending))
+            chunk, self._pending = self._pending[:size], self._pending[size:]
+            try:
+                predicted = self.profile.predict(len(chunk))
+            except ProfileError:
+                predicted = float("nan")
+            outcome = self.executor.invoke_batch(self.servable_name, chunk)
+            self.profile.observe(len(chunk), outcome.invocation_time)
+            decision = BatchDecision(
+                batch_size=len(chunk),
+                predicted_time_s=predicted,
+                actual_time_s=outcome.invocation_time,
+                outputs=outcome.value,
+            )
+            decisions.append(decision)
+            self.decisions.append(decision)
+        return decisions
+
+    def run(self, items: list[Any]) -> list[Any]:
+        """Submit + flush; returns outputs in submission order."""
+        for item in items:
+            self.submit(item)
+        outputs: list[Any] = []
+        for decision in self.flush():
+            outputs.extend(decision.outputs)
+        return outputs
+
+
+@dataclass
+class ScalingDecision:
+    servable_name: str
+    arrival_rate_rps: float
+    recommended_replicas: int
+    dispatch_bound_rps: float
+    applied: bool
+
+
+class Autoscaler:
+    """Replica-count tuning from the Fig. 7 cost model.
+
+    Per task the Task Manager pays a serial dispatch cost ``d``; each
+    replica is busy ``c`` seconds per task (shim + inference). Serving an
+    arrival rate ``lambda`` needs ``ceil(lambda * c)`` replicas — but
+    never more than ``ceil(c / d)``, beyond which the dispatch bound
+    ``1/d`` caps throughput regardless of replicas (the Fig. 7 plateau).
+    """
+
+    def __init__(
+        self,
+        executor: ParslServableExecutor,
+        dispatch_cost_s: float = cal.PARSL_DISPATCH_S,
+        min_replicas: int = 1,
+        max_replicas: int = 64,
+    ) -> None:
+        self.executor = executor
+        self.dispatch_cost_s = dispatch_cost_s
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.decisions: list[ScalingDecision] = []
+
+    def _task_cost(self, servable_name: str) -> float:
+        servable = self.executor._servables.get(servable_name)
+        if servable is None:
+            raise ProfileError(f"servable {servable_name!r} is not deployed")
+        return cal.SERVABLE_SHIM_S + servable.inference_cost_s
+
+    def saturation_replicas(self, servable_name: str) -> int:
+        """Replicas beyond which added capacity is wasted (Fig. 7 knee)."""
+        return max(1, math.ceil(self._task_cost(servable_name) / self.dispatch_cost_s))
+
+    def recommend(self, servable_name: str, arrival_rate_rps: float) -> int:
+        if arrival_rate_rps < 0:
+            raise ValueError("arrival rate must be >= 0")
+        demand = math.ceil(arrival_rate_rps * self._task_cost(servable_name))
+        bounded = min(max(demand, self.min_replicas), self.max_replicas)
+        return min(bounded, self.saturation_replicas(servable_name))
+
+    def autoscale(
+        self, servable_name: str, arrival_rate_rps: float, apply: bool = True
+    ) -> ScalingDecision:
+        """Recommend (and optionally apply) a replica count."""
+        replicas = self.recommend(servable_name, arrival_rate_rps)
+        if apply:
+            self.executor.scale(servable_name, replicas)
+        decision = ScalingDecision(
+            servable_name=servable_name,
+            arrival_rate_rps=arrival_rate_rps,
+            recommended_replicas=replicas,
+            dispatch_bound_rps=1.0 / self.dispatch_cost_s,
+            applied=apply,
+        )
+        self.decisions.append(decision)
+        return decision

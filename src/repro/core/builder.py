@@ -1,0 +1,90 @@
+"""The servable builder: components -> Dockerfile -> container image.
+
+"Once a model is published, the Management Service downloads the
+components and builds the servable in a DLHub-compatible format. It
+combines DLHub-specific dependencies with user-supplied model
+dependencies into a Dockerfile ... creates a Docker container with the
+uploaded model components and all required dependencies ... uploads the
+container to the DLHub model repository" (SS IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containers.dockerfile import Dockerfile
+from repro.containers.image import Image, ImageBuilder
+from repro.containers.registry import ContainerRegistry
+from repro.core.servable import Servable
+from repro.sim.clock import VirtualClock
+
+#: Dependencies every DLHub servable container carries (the shim runtime).
+DLHUB_BASE_DEPENDENCIES = ["dlhub-shim", "parsl", "requests"]
+
+#: Per-byte cost of assembling model components into image layers.
+BUILD_PER_BYTE_S = 1.5e-10
+#: Fixed build cost (dockerfile eval, layer bookkeeping).
+BUILD_FIXED_S = 2.5
+
+
+@dataclass
+class BuildResult:
+    """Outcome of one servable build."""
+
+    image: Image
+    reference: str
+    digest: str
+    build_time_s: float
+
+
+class ServableBuilder:
+    """Builds and registers servable images."""
+
+    def __init__(self, clock: VirtualClock, registry: ContainerRegistry) -> None:
+        self.clock = clock
+        self.registry = registry
+        self._image_builder = ImageBuilder()
+        self.builds_completed = 0
+
+    def dockerfile_for(self, servable: Servable) -> Dockerfile:
+        """Synthesize the Dockerfile for a servable."""
+        df = (
+            Dockerfile()
+            .from_("dlhub/base:latest")
+            .label("dlhub.servable", servable.name)
+            .label("dlhub.model_type", servable.metadata.model_type)
+            .workdir("/opt/servable")
+            .pip_install(sorted(set(DLHUB_BASE_DEPENDENCIES + servable.dependencies)))
+            .env("DLHUB_SERVABLE", servable.name)
+        )
+        if servable.components:
+            df.copy("components/", "/opt/servable/components/")
+        df.entrypoint("python -m dlhub_shim --servable " + servable.name)
+        return df
+
+    def build(self, servable: Servable, tag: str = "latest") -> BuildResult:
+        """Build the image, push it to the registry, return the result."""
+        started = self.clock.now()
+        dockerfile = self.dockerfile_for(servable)
+        context = {
+            f"components/{name}": blob for name, blob in servable.components.items()
+        }
+        # Components are optional; ImageBuilder requires COPY sources to exist.
+        if not context and any(op == "COPY" for op, _ in dockerfile.instructions):
+            context = {"components/.keep": b""}
+        self.clock.advance(BUILD_FIXED_S + servable.component_bytes() * BUILD_PER_BYTE_S)
+        image = self._image_builder.build(
+            dockerfile,
+            context,
+            repository=f"dlhub/{servable.name}",
+            tag=tag,
+            handler=servable.handler,
+        )
+        digest = self.registry.push(image)
+        self.builds_completed += 1
+        return BuildResult(
+            image=image,
+            reference=image.reference,
+            digest=digest,
+            build_time_s=self.clock.now() - started,
+        )

@@ -1,0 +1,205 @@
+"""The DLHub CLI (SS IV-E): a Git-like interface over local servables.
+
+Commands (matching the paper's list):
+
+* ``init``   — initialize a servable in the current directory (creates a
+  ``.dlhub/`` directory with a metadata file),
+* ``update`` — modify the tracked metadata,
+* ``publish``— push the local servable to a DLHub deployment,
+* ``run``    — invoke a published servable with JSON input,
+* ``ls``     — list servables tracked on this computer.
+
+The CLI operates on real files; ``publish``/``run`` need a live
+:class:`ManagementService`, which the installed entry point builds from
+an in-process testbed (useful as a demo; tests drive :func:`dispatch`
+directly with their own testbed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.schema import SchemaError, validate_metadata
+
+DLHUB_DIR = ".dlhub"
+METADATA_FILE = "metadata.json"
+TRACK_FILE = Path.home() / ".dlhub_tracked.json"
+
+
+class CLIError(RuntimeError):
+    """Raised for user-facing CLI failures (bad args, missing files)."""
+
+
+# ---------------------------------------------------------------------------
+# Command implementations (filesystem-facing; service injected for run/publish)
+# ---------------------------------------------------------------------------
+
+
+def cmd_init(directory: Path, name: str, title: str, force: bool = False) -> Path:
+    """Create ``<directory>/.dlhub/metadata.json`` and track the servable."""
+    dlhub_dir = directory / DLHUB_DIR
+    metadata_path = dlhub_dir / METADATA_FILE
+    if metadata_path.exists() and not force:
+        raise CLIError(f"{metadata_path} already exists (use --force to overwrite)")
+    dlhub_dir.mkdir(parents=True, exist_ok=True)
+    document = {
+        "datacite": {"title": title, "creators": ["unknown"]},
+        "dlhub": {
+            "name": name,
+            "model_type": "python_function",
+            "input_type": "dict",
+            "output_type": "dict",
+        },
+    }
+    validate_metadata(document)
+    metadata_path.write_text(json.dumps(document, indent=2))
+    _track(name, directory)
+    return metadata_path
+
+
+def cmd_update(directory: Path, updates: dict[str, Any]) -> dict:
+    """Apply dotted-path updates (e.g. ``dlhub.model_type=keras``)."""
+    metadata_path = directory / DLHUB_DIR / METADATA_FILE
+    if not metadata_path.exists():
+        raise CLIError(f"no servable initialized in {directory} (run 'dlhub init')")
+    document = json.loads(metadata_path.read_text())
+    for dotted, value in updates.items():
+        parts = dotted.split(".")
+        cursor = document
+        for part in parts[:-1]:
+            cursor = cursor.setdefault(part, {})
+        cursor[parts[-1]] = value
+    validate_metadata(document)
+    metadata_path.write_text(json.dumps(document, indent=2))
+    return document
+
+
+def cmd_ls() -> list[dict]:
+    """List tracked servables on this computer."""
+    if not TRACK_FILE.exists():
+        return []
+    return json.loads(TRACK_FILE.read_text())
+
+
+def cmd_publish(directory: Path, management, token: str):
+    """Publish the locally-initialized servable to a deployment.
+
+    The local metadata travels; the handler defaults to an echo function
+    (a real model would be loaded from the tracked directory).
+    """
+    from repro.core.schema import ModelMetadata
+    from repro.core.servable import PythonFunctionServable
+
+    metadata_path = directory / DLHUB_DIR / METADATA_FILE
+    if not metadata_path.exists():
+        raise CLIError(f"no servable initialized in {directory}")
+    document = json.loads(metadata_path.read_text())
+    metadata = ModelMetadata.from_document(document)
+    servable = PythonFunctionServable(metadata, lambda payload: payload)
+    return management.publish(token, servable)
+
+
+def cmd_run(management, token: str, servable_name: str, json_input: str) -> Any:
+    """Invoke a published servable with a JSON-encoded argument."""
+    try:
+        payload = json.loads(json_input)
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"input is not valid JSON: {exc}") from exc
+    result = management.run(token, servable_name, payload)
+    if not result.ok:
+        raise CLIError(f"task failed: {result.error}")
+    return result.value
+
+
+def _track(name: str, directory: Path) -> None:
+    entries = cmd_ls()
+    entries = [e for e in entries if e["name"] != name]
+    entries.append({"name": name, "path": str(directory.resolve())})
+    TRACK_FILE.write_text(json.dumps(entries, indent=2))
+
+
+# ---------------------------------------------------------------------------
+# argparse front end
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dlhub", description="DLHub command-line interface (reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser("init", help="initialize a servable here")
+    p_init.add_argument("--name", required=True)
+    p_init.add_argument("--title", default="Untitled model")
+    p_init.add_argument("--force", action="store_true")
+
+    p_update = sub.add_parser("update", help="update tracked metadata")
+    p_update.add_argument(
+        "assignments", nargs="+", help="dotted.path=value pairs, e.g. dlhub.domain=materials"
+    )
+
+    sub.add_parser("ls", help="list tracked servables")
+
+    p_run = sub.add_parser("run", help="invoke a published servable")
+    p_run.add_argument("servable")
+    p_run.add_argument("json_input")
+
+    p_publish = sub.add_parser("publish", help="publish the local servable")
+    p_publish.add_argument("--directory", default=".")
+
+    return parser
+
+
+def dispatch(args: argparse.Namespace, management=None, token: str = "") -> Any:
+    """Execute a parsed command; returns the command's result object."""
+    if args.command == "init":
+        return cmd_init(Path.cwd(), args.name, args.title, args.force)
+    if args.command == "update":
+        updates = {}
+        for assignment in args.assignments:
+            if "=" not in assignment:
+                raise CLIError(f"bad assignment {assignment!r} (want key=value)")
+            key, _, value = assignment.partition("=")
+            updates[key] = value
+        return cmd_update(Path.cwd(), updates)
+    if args.command == "ls":
+        return cmd_ls()
+    if args.command == "publish":
+        if management is None:
+            management, token = _demo_service()
+        return cmd_publish(Path(args.directory), management, token)
+    if args.command == "run":
+        if management is None:
+            management, token = _demo_service()
+        return cmd_run(management, token, args.servable, args.json_input)
+    raise CLIError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def _demo_service():
+    """An in-process deployment for standalone CLI demo usage."""
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed()
+    return testbed.management, testbed.token
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        result = dispatch(args)
+    except (CLIError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if result is not None:
+        print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

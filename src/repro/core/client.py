@@ -1,0 +1,138 @@
+"""The DLHub Python SDK (SS IV-E).
+
+``DLHubClient`` wraps the Management Service's REST API, adding the
+client<->MS network hop to every call — this is the tier a real user's
+requests cross, and what separates end-to-end latency from the paper's
+request time (which is measured *at* the MS).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.management import AsyncHandle, ManagementService
+from repro.core.pipeline import Pipeline
+from repro.core.repository import PublishedModel
+from repro.core.servable import Servable
+from repro.core.tasks import TaskResult, TaskStatus
+from repro.messaging.serializer import estimate_nbytes
+from repro.search.index import Visibility
+from repro.search.query import SearchResult
+from repro.sim.clock import VirtualClock
+
+
+class DLHubClient:
+    """Programmatic access to all repository and serving functionality."""
+
+    def __init__(
+        self,
+        management: ManagementService,
+        token: str,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.management = management
+        self.token = token
+        self.clock = clock or management.clock
+        self._link = management.latency.client_to_management
+
+    def _hop(self, request_obj: Any = None, response_obj: Any = None) -> None:
+        """Charge the client<->MS round trip for one REST call."""
+        self._link.charge_round_trip(
+            self.clock,
+            estimate_nbytes(request_obj) if request_obj is not None else 128,
+            estimate_nbytes(response_obj) if response_obj is not None else 128,
+        )
+
+    # -- repository -------------------------------------------------------------
+    def publish_servable(
+        self,
+        servable: Servable,
+        visibility: Visibility | None = None,
+        **kwargs: Any,
+    ) -> PublishedModel:
+        published = self.management.publish(
+            self.token, servable, visibility=visibility, **kwargs
+        )
+        self._hop(servable.metadata.to_document(), published.doi)
+        return published
+
+    def search(self, query: str, limit: int = 50) -> SearchResult:
+        result = self.management.search(self.token, query, limit)
+        self._hop(query, [h.doc_id for h in result.hits])
+        return result
+
+    def describe(self, name: str) -> dict:
+        doc = self.management.describe(self.token, name)
+        self._hop(name, doc)
+        return doc
+
+    def cite(self, full_name: str) -> str:
+        citation = self.management.repository.cite(full_name)
+        self._hop(full_name, citation)
+        return citation
+
+    # -- serving -----------------------------------------------------------------
+    def run(self, servable_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Synchronous inference; returns the servable's output value.
+
+        Raises :class:`RuntimeError` if the task failed.
+        """
+        result = self.management.run(self.token, servable_name, *args, **kwargs)
+        self._hop(args, result.value)
+        if not result.ok:
+            raise RuntimeError(f"task failed: {result.error}")
+        return result.value
+
+    def run_detailed(self, servable_name: str, *args: Any, **kwargs: Any) -> TaskResult:
+        """Like :meth:`run` but returns the full TaskResult with timings."""
+        result = self.management.run(self.token, servable_name, *args, **kwargs)
+        self._hop(args, result.value)
+        return result
+
+    def run_async(self, servable_name: str, *args: Any, **kwargs: Any) -> AsyncHandle:
+        handle = self.management.run_async(self.token, servable_name, *args, **kwargs)
+        self._hop(args, handle.task_uuid)
+        return handle
+
+    def status(self, handle: AsyncHandle | str) -> TaskStatus:
+        uuid = handle.task_uuid if isinstance(handle, AsyncHandle) else handle
+        status = self.management.status(self.token, uuid)
+        self._hop(uuid, status.value)
+        return status
+
+    def result(self, handle: AsyncHandle | str) -> TaskResult:
+        uuid = handle.task_uuid if isinstance(handle, AsyncHandle) else handle
+        result = self.management.result(self.token, uuid)
+        self._hop(uuid, result.value)
+        return result
+
+    def run_file(self, servable_name: str, endpoint, path: str) -> Any:
+        """Inference on a file staged from a (Globus-like) endpoint.
+
+        The client never downloads the file — only the reference crosses
+        the client<->MS link; the service fetches the bytes itself.
+        """
+        result = self.management.run_file(self.token, servable_name, endpoint, path)
+        self._hop(path, result.value)
+        if not result.ok:
+            raise RuntimeError(f"task failed: {result.error}")
+        return result.value
+
+    def run_batch(self, servable_name: str, inputs: list[Any]) -> list[Any]:
+        result = self.management.run_batch(self.token, servable_name, inputs)
+        self._hop(inputs, result.value)
+        if not result.ok:
+            raise RuntimeError(f"batch task failed: {result.error}")
+        return result.value
+
+    # -- pipelines ------------------------------------------------------------------
+    def register_pipeline(self, pipeline: Pipeline) -> None:
+        self.management.register_pipeline(self.token, pipeline)
+        self._hop(pipeline.step_names)
+
+    def run_pipeline(self, pipeline_name: str, *args: Any) -> Any:
+        result = self.management.run_pipeline(self.token, pipeline_name, *args)
+        self._hop(args, result.value)
+        if not result.ok:
+            raise RuntimeError(f"pipeline failed: {result.error}")
+        return result.value

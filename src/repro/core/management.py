@@ -1,0 +1,408 @@
+"""The Management Service (SS IV-A): DLHub's user-facing interface.
+
+Responsibilities reproduced here:
+
+* **publish** — validate metadata, stage components from endpoints,
+  build the servable image, register it in the repository + search index;
+* **discovery** — access-controlled search over model metadata;
+* **serving** — package task requests, enqueue them over the
+  ZeroMQ-style queue to Task Managers, and return results with
+  request-time accounting; synchronous and asynchronous modes;
+* **batching** — batch task submission amortizing per-request overheads;
+* **pipelines** — register multi-step pipelines and execute them
+  server-side (intermediates never return to the client);
+* **security** — every API call is authorized through the Auth service
+  (bearer token with the ``dlhub`` scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.auth.identity import Identity
+from repro.auth.service import AuthService, AuthorizationError
+from repro.core.memo import MemoCache
+from repro.core.pipeline import Pipeline, PipelineError
+from repro.core.repository import ModelRepository, PublishedModel
+from repro.core.metrics import MetricsCollector, TimingRecord
+from repro.core.servable import Servable
+from repro.core.task_manager import TaskManager
+from repro.core.tasks import TaskRequest, TaskResult, TaskStatus, TaskStore
+from repro.data.endpoint import Endpoint
+from repro.data.transfer import TransferManager
+from repro.messaging.queue import TaskQueue
+from repro.messaging.serializer import PickleSerializer, estimate_nbytes
+from repro.search.index import ViewerContext, Visibility
+from repro.search.query import FacetRequest, SearchResult
+from repro.sim import calibration as cal
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import LatencyModel
+
+
+class ManagementError(RuntimeError):
+    """Raised on invalid Management Service operations."""
+
+
+#: The Globus Auth scope the Management Service registers (SS IV-D).
+DLHUB_SCOPE = "dlhub:all"
+
+
+@dataclass
+class AsyncHandle:
+    """Returned by ``run_async``: the UUID used to poll for results."""
+
+    task_uuid: str
+
+
+class ManagementService:
+    """The hosted DLHub service."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        repository: ModelRepository,
+        auth: AuthService,
+        latency: LatencyModel,
+        staging_endpoint: Endpoint | None = None,
+        memoize: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.repository = repository
+        self.auth = auth
+        self.latency = latency
+        self.queue = TaskQueue(clock)
+        self.serializer = PickleSerializer(clock)
+        self.task_store = TaskStore()
+        self.metrics = MetricsCollector()
+        self.staging_endpoint = staging_endpoint
+        self.transfer = TransferManager(clock)
+        #: Optional MS-side result cache (the TM cache is the measured one).
+        self.ms_cache = MemoCache(clock) if memoize else None
+        self._task_managers: list[TaskManager] = []
+        self._pipelines: dict[str, Pipeline] = {}
+        self._rr = 0
+        self.requests_handled = 0
+
+        if "dlhub" not in auth.resource_servers:
+            auth.register_resource_server("dlhub", ["all"])
+
+    # -- task-manager registration (TMs register on deployment, SS IV-B) -----
+    def register_task_manager(self, task_manager: TaskManager) -> None:
+        if task_manager in self._task_managers:
+            raise ManagementError("task manager already registered")
+        self._task_managers.append(task_manager)
+
+    def _pick_task_manager(self) -> TaskManager:
+        if not self._task_managers:
+            raise ManagementError("no Task Managers registered")
+        tm = self._task_managers[self._rr % len(self._task_managers)]
+        self._rr += 1
+        return tm
+
+    # -- auth helper -------------------------------------------------------------
+    def _authorize(self, token: str) -> Identity:
+        return self.auth.authorize(token, DLHUB_SCOPE)
+
+    def _viewer(self, identity: Identity) -> ViewerContext:
+        groups = frozenset(
+            name
+            for name in self.auth.identities.groups
+            if self.auth.identities.in_group(identity, name)
+        )
+        return ViewerContext(principal_id=identity.identity_id, groups=groups)
+
+    # -- publication ---------------------------------------------------------------
+    def publish(
+        self,
+        token: str,
+        servable: Servable,
+        visibility: Visibility | None = None,
+        component_paths: list[str] | None = None,
+        source_endpoint: Endpoint | None = None,
+        doi: str | None = None,
+    ) -> PublishedModel:
+        """Publish a servable.
+
+        If ``component_paths``/``source_endpoint`` are given, components
+        are staged from the user's endpoint into DLHub's staging bucket
+        first (the S3/Globus upload path of SS IV-A), with transfer costs
+        charged to the clock.
+        """
+        identity = self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        if component_paths and source_endpoint is not None:
+            if self.staging_endpoint is None:
+                raise ManagementError("no staging endpoint configured")
+            # Any authenticated publisher may stage into DLHub's bucket.
+            self.staging_endpoint.acl.writers.add(identity.identity_id)
+            for path in component_paths:
+                record = self.transfer.transfer(
+                    source_endpoint, self.staging_endpoint, path, identity
+                )
+                blob = self.staging_endpoint.get(record.path, identity).data
+                servable.components.setdefault(path, blob)
+        return self.repository.publish(servable, identity, visibility, doi)
+
+    def update_visibility(self, token: str, full_name: str, visibility: Visibility) -> None:
+        identity = self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        self.repository.set_visibility(full_name, visibility, identity)
+
+    # -- discovery --------------------------------------------------------------------
+    def search(
+        self,
+        token: str,
+        query: str,
+        limit: int = 50,
+        facets: list[FacetRequest] | None = None,
+    ) -> SearchResult:
+        identity = self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        return self.repository.search(query, self._viewer(identity), limit, facets)
+
+    def describe(self, token: str, name: str) -> dict[str, Any]:
+        identity = self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        published = self.repository.resolve(name)
+        if not published.visibility.allows(self._viewer(identity)):
+            raise AuthorizationError(f"{name!r} is not visible to you")
+        doc = published.servable.metadata.to_document()
+        doc["dlhub"]["doi"] = published.doi
+        doc["dlhub"]["version"] = published.version
+        return doc
+
+    # -- serving -----------------------------------------------------------------------
+    def _check_invokable(self, identity: Identity, servable_name: str) -> None:
+        """Access control on invocation, not just discovery (SS VI-A)."""
+        published = self.repository.resolve(servable_name)
+        if not published.visibility.allows(self._viewer(identity)):
+            raise AuthorizationError(
+                f"{identity.qualified_name} may not invoke {servable_name!r}"
+            )
+
+    def _dispatch(self, request: TaskRequest) -> TaskResult:
+        """Queue the request to a Task Manager and collect the result."""
+        payload = self.serializer.dumps(request)  # charges serialization
+        self.clock.advance(cal.MANAGEMENT_ENQUEUE_S)
+        self.queue.put(request)
+        # Task travels MS -> TM over the WAN link.
+        self.latency.management_to_task_manager.charge_send(self.clock, len(payload))
+        tm = self._pick_task_manager()
+        result = tm.poll_once()
+        if result is None:  # pragma: no cover - queue was just filled
+            raise ManagementError("task manager found empty queue")
+        # Result travels TM -> MS.
+        self.latency.management_to_task_manager.charge_send(
+            self.clock, estimate_nbytes(result.value)
+        )
+        self.clock.advance(cal.MANAGEMENT_STATUS_UPDATE_S)
+        return result
+
+    def run(
+        self,
+        token: str,
+        servable_name: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> TaskResult:
+        """Synchronous inference: returns the completed TaskResult.
+
+        ``request_time`` covers receipt at the MS to receipt of the TM's
+        result (the paper's request-time definition).
+        """
+        identity = self._authorize(token)
+        start = self.clock.now()
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        if servable_name in self._pipelines:
+            return self._run_pipeline(identity, servable_name, args, kwargs, start)
+        self._check_invokable(identity, servable_name)
+        name = self.repository.resolve(servable_name).servable.name
+
+        request = TaskRequest(
+            servable_name=name, args=args, kwargs=kwargs, identity_id=identity.identity_id
+        )
+        if self.ms_cache is not None:
+            cached = self.ms_cache.lookup(request.input_signature())
+            if cached is not self.ms_cache.MISSING:
+                self.requests_handled += 1
+                result = TaskResult(
+                    task_uuid=request.task_uuid,
+                    status=TaskStatus.SUCCEEDED,
+                    value=cached,
+                    cache_hit=True,
+                    request_time=self.clock.now() - start,
+                )
+                self._record(name, result)
+                return result
+        result = self._dispatch(request)
+        result.request_time = self.clock.now() - start
+        if self.ms_cache is not None and result.ok:
+            self.ms_cache.store(request.input_signature(), result.value)
+        self.requests_handled += 1
+        self._record(name, result)
+        return result
+
+    def run_async(self, token: str, servable_name: str, *args: Any, **kwargs: Any) -> AsyncHandle:
+        """Asynchronous mode: returns a UUID immediately (SS IV-A).
+
+        The in-process reproduction completes the task eagerly but the
+        client-visible contract is identical: poll :meth:`status`, then
+        fetch :meth:`result`.
+        """
+        identity = self._authorize(token)
+        start = self.clock.now()
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        self._check_invokable(identity, servable_name)
+        name = self.repository.resolve(servable_name).servable.name
+        request = TaskRequest(
+            servable_name=name, args=args, kwargs=kwargs, identity_id=identity.identity_id
+        )
+        self.task_store.create(request.task_uuid)
+        self.task_store.mark_running(request.task_uuid)
+        result = self._dispatch(request)
+        result.request_time = self.clock.now() - start
+        self.task_store.complete(result)
+        self.requests_handled += 1
+        self._record(name, result)
+        return AsyncHandle(task_uuid=request.task_uuid)
+
+    def status(self, token: str, task_uuid: str) -> TaskStatus:
+        self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        return self.task_store.status(task_uuid)
+
+    def result(self, token: str, task_uuid: str) -> TaskResult:
+        self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        return self.task_store.result(task_uuid)
+
+    def run_file(
+        self,
+        token: str,
+        servable_name: str,
+        source_endpoint: Endpoint,
+        path: str,
+        **kwargs: Any,
+    ) -> TaskResult:
+        """File-input inference (Table II: "Input types: Structured, Files").
+
+        DLHub "integrates with Globus to provide seamless authentication
+        and high performance data access for ... inference" (SS I): the
+        input is fetched from the user's endpoint *by the service, on the
+        user's behalf* — the endpoint ACL is enforced with the caller's
+        identity, and the transfer cost is charged before serving.
+        """
+        identity = self._authorize(token)
+        obj = source_endpoint.get(path, identity)  # EndpointError on denial
+        bandwidth = (
+            cal.BANDWIDTH_WAN_BPS
+            if source_endpoint.latency_class == "wan"
+            else cal.BANDWIDTH_LAN_BPS
+        )
+        self.clock.advance(obj.size / bandwidth)
+        return self.run(token, servable_name, obj.data, **kwargs)
+
+    def run_batch(self, token: str, servable_name: str, inputs: list[Any]) -> TaskResult:
+        """Batched inference: one task carrying many inputs (SS V-B3)."""
+        identity = self._authorize(token)
+        if not inputs:
+            raise ManagementError("run_batch requires at least one input")
+        start = self.clock.now()
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        self._check_invokable(identity, servable_name)
+        name = self.repository.resolve(servable_name).servable.name
+        request = TaskRequest(
+            servable_name=name, batch=list(inputs), identity_id=identity.identity_id
+        )
+        result = self._dispatch(request)
+        result.request_time = self.clock.now() - start
+        self.requests_handled += 1
+        self._record(name, result)
+        return result
+
+    # -- pipelines ------------------------------------------------------------------------
+    def register_pipeline(self, token: str, pipeline: Pipeline) -> None:
+        """Register a pipeline; its steps must be resolvable servables."""
+        self._authorize(token)
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        pipeline.validate()
+        for step in pipeline.steps:
+            self.repository.resolve(step.servable_name)  # raises if unknown
+        if pipeline.name in self._pipelines:
+            raise PipelineError(f"pipeline {pipeline.name!r} already registered")
+        self._pipelines[pipeline.name] = pipeline
+
+    def run_pipeline(self, token: str, pipeline_name: str, *args: Any) -> TaskResult:
+        identity = self._authorize(token)
+        start = self.clock.now()
+        self.clock.advance(cal.MANAGEMENT_HANDLING_S)
+        return self._run_pipeline(identity, pipeline_name, args, {}, start)
+
+    def _run_pipeline(
+        self, identity: Identity, pipeline_name: str, args: tuple, kwargs: dict, start: float
+    ) -> TaskResult:
+        pipeline = self._pipelines.get(pipeline_name)
+        if pipeline is None:
+            raise PipelineError(f"unknown pipeline {pipeline_name!r}")
+        # The whole chain ships to the TM as one task; intermediates flow
+        # pod-to-pod over the intra-cluster link (server-side execution).
+        tm = self._pick_task_manager()
+        payload = self.serializer.dumps((pipeline.step_names, args))
+        self.clock.advance(cal.MANAGEMENT_ENQUEUE_S)
+        self.latency.management_to_task_manager.charge_send(self.clock, len(payload))
+        invoke_start = self.clock.now()
+        value: Any = args
+        inference_total = 0.0
+        for i, step in enumerate(pipeline.steps):
+            step_name = self.repository.resolve(step.servable_name).servable.name
+            step_args = value if isinstance(value, tuple) else (value,)
+            request = TaskRequest(
+                servable_name=step_name,
+                args=step_args,
+                identity_id=identity.identity_id,
+            )
+            result = tm.process(request)
+            if not result.ok:
+                result.request_time = self.clock.now() - start
+                self._record(pipeline_name, result)
+                return result
+            value = result.value
+            if step.adapter is not None:
+                value = step.adapter(value)
+            inference_total += result.inference_time
+            if i < len(pipeline.steps) - 1:
+                # Intermediate hop between servable pods.
+                self.latency.intra_cluster.charge_send(
+                    self.clock, estimate_nbytes(value)
+                )
+        invocation_time = self.clock.now() - invoke_start
+        self.latency.management_to_task_manager.charge_send(
+            self.clock, estimate_nbytes(value)
+        )
+        final = TaskResult(
+            task_uuid=TaskRequest(servable_name=pipeline_name).task_uuid,
+            status=TaskStatus.SUCCEEDED,
+            value=value,
+            inference_time=inference_total,
+            invocation_time=invocation_time,
+            request_time=self.clock.now() - start,
+        )
+        self.requests_handled += 1
+        self._record(pipeline_name, final)
+        return final
+
+    def pipelines(self) -> list[str]:
+        return sorted(self._pipelines)
+
+    # -- metrics -----------------------------------------------------------------------------
+    def _record(self, servable_name: str, result: TaskResult) -> None:
+        self.metrics.record(
+            TimingRecord(
+                servable=servable_name,
+                inference_time=result.inference_time,
+                invocation_time=result.invocation_time,
+                request_time=result.request_time,
+                cache_hit=result.cache_hit,
+            )
+        )

@@ -1,0 +1,108 @@
+"""Timing instrumentation matching the paper's metric definitions (SS V-A).
+
+* **inference time** — captured at the servable,
+* **invocation time** — captured at the Task Manager (executor round trip),
+* **request time** — captured at the Management Service,
+* **makespan** — completion time of a whole batch of requests.
+
+:class:`MetricsCollector` aggregates per-servable records and reports the
+median and 5th/95th percentiles the figures plot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """One request's timing decomposition (virtual seconds)."""
+
+    servable: str
+    inference_time: float
+    invocation_time: float
+    request_time: float
+    cache_hit: bool = False
+
+    def __post_init__(self) -> None:
+        for label in ("inference_time", "invocation_time", "request_time"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} must be >= 0")
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Median and tail percentiles of one metric for one servable."""
+
+    servable: str
+    metric: str
+    count: int
+    median: float
+    p5: float
+    p95: float
+    mean: float
+
+    def as_ms(self) -> dict:
+        return {
+            "servable": self.servable,
+            "metric": self.metric,
+            "count": self.count,
+            "median_ms": self.median * 1e3,
+            "p5_ms": self.p5 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "mean_ms": self.mean * 1e3,
+        }
+
+
+class MetricsCollector:
+    """Accumulates :class:`TimingRecord` objects and summarizes them."""
+
+    METRICS = ("inference_time", "invocation_time", "request_time")
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[TimingRecord]] = defaultdict(list)
+
+    def record(self, record: TimingRecord) -> None:
+        self._records[record.servable].append(record)
+
+    def records(self, servable: str) -> list[TimingRecord]:
+        return list(self._records.get(servable, ()))
+
+    def servables(self) -> list[str]:
+        return sorted(self._records)
+
+    def count(self, servable: str | None = None) -> int:
+        if servable is not None:
+            return len(self._records.get(servable, ()))
+        return sum(len(v) for v in self._records.values())
+
+    def summarize(self, servable: str, metric: str) -> TimingSummary:
+        if metric not in self.METRICS:
+            raise ValueError(f"unknown metric {metric!r}; choose from {self.METRICS}")
+        records = self._records.get(servable)
+        if not records:
+            raise KeyError(f"no records for servable {servable!r}")
+        values = np.array([getattr(r, metric) for r in records])
+        return TimingSummary(
+            servable=servable,
+            metric=metric,
+            count=len(values),
+            median=float(np.median(values)),
+            p5=float(np.percentile(values, 5)),
+            p95=float(np.percentile(values, 95)),
+            mean=float(values.mean()),
+        )
+
+    def summary_table(self) -> list[TimingSummary]:
+        """All (servable, metric) summaries — what Fig. 3-style plots need."""
+        return [
+            self.summarize(servable, metric)
+            for servable in self.servables()
+            for metric in self.METRICS
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,92 @@
+"""Multi-servable containers (SS VII: "integrating multiple servables
+into single containers").
+
+A :class:`MultiServable` packs several servables into one package: one
+metadata document, one merged component set, one container image whose
+handler dispatches on the inner servable's name. Deploying it creates a
+single deployment whose pods can answer for every member — the
+consolidation the paper's conclusion proposes to cut image count and
+cold-start cost for families of small models (e.g. the three matminer
+stages).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.schema import ModelMetadata
+from repro.core.servable import Servable, ServableError
+
+
+class MultiServableError(ServableError):
+    """Raised on invalid multi-servable construction or dispatch."""
+
+
+def combine_servables(name: str, servables: list[Servable]) -> Servable:
+    """Combine ``servables`` into one dispatching servable.
+
+    The combined handler's first argument selects the member::
+
+        combined.run("matminer_util", "NaCl")
+
+    Components are merged under ``<member>/`` prefixes; dependencies are
+    the union. The calibration key falls back to the most expensive
+    member so latency accounting stays conservative.
+    """
+    if not servables:
+        raise MultiServableError("combine_servables needs at least one servable")
+    names = [s.name for s in servables]
+    if len(set(names)) != len(names):
+        raise MultiServableError(f"duplicate member names: {names}")
+
+    members = {s.name: s for s in servables}
+
+    def dispatch(member_name: str, *args: Any, **kwargs: Any) -> Any:
+        member = members.get(member_name)
+        if member is None:
+            raise MultiServableError(
+                f"multi-servable {name!r} has no member {member_name!r}; "
+                f"members: {sorted(members)}"
+            )
+        return member.handler(*args, **kwargs)
+
+    metadata = ModelMetadata(
+        title=f"Multi-servable container: {', '.join(names)}",
+        creators=sorted({c for s in servables for c in s.metadata.creators}),
+        name=name,
+        model_type="pipeline",
+        input_type="dict",
+        output_type="dict",
+        description=(
+            "Single-container package of "
+            + ", ".join(f"{s.name} ({s.metadata.model_type})" for s in servables)
+        ),
+        dependencies=sorted({d for s in servables for d in s.dependencies}),
+        extra={"members": names},
+    )
+
+    components = {
+        f"{s.name}/{comp_name}": blob
+        for s in servables
+        for comp_name, blob in s.components.items()
+    }
+
+    costliest = max(servables, key=lambda s: s.inference_cost_s)
+    combined = Servable(
+        metadata=metadata,
+        handler=dispatch,
+        key=costliest.key,
+        components=components,
+        dependencies=list(metadata.dependencies),
+    )
+    return combined
+
+
+def member_names(combined: Servable) -> list[str]:
+    """The member servables packed into a combined servable."""
+    members = combined.metadata.extra.get("members")
+    if not members:
+        raise MultiServableError(
+            f"{combined.name!r} is not a multi-servable package"
+        )
+    return list(members)

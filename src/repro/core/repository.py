@@ -1,0 +1,184 @@
+"""The model repository: publication, versioning, DOIs, discovery.
+
+Implements Table I's DLHub column: BYO publication, general domain,
+datasets includable as components, structured metadata, Elasticsearch-
+class search (via :mod:`repro.search`), BYO identifiers plus minted
+DOIs, versioning, and Docker export.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.auth.identity import Identity
+from repro.core.builder import BuildResult, ServableBuilder
+from repro.core.servable import Servable
+from repro.search.index import SearchIndex, ViewerContext, Visibility
+from repro.search.query import FacetRequest, Query, SearchResult, execute, parse_query
+from repro.sim.clock import VirtualClock
+
+
+class RepositoryError(RuntimeError):
+    """Raised on invalid repository operations."""
+
+
+@dataclass
+class PublishedModel:
+    """One published version of a servable."""
+
+    servable: Servable
+    owner: Identity
+    version: int
+    doi: str
+    build: BuildResult
+    visibility: Visibility
+    published_at: float
+    citations: list[str] = field(default_factory=list)
+
+    @property
+    def full_name(self) -> str:
+        """Namespaced name, DLHub-style: ``owner_username/model_name``."""
+        return f"{self.owner.username}/{self.servable.name}"
+
+    @property
+    def doc_id(self) -> str:
+        return f"{self.full_name}@v{self.version}"
+
+
+class ModelRepository:
+    """Stores published models and indexes their metadata for discovery."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        builder: ServableBuilder,
+        index: SearchIndex | None = None,
+    ) -> None:
+        self.clock = clock
+        self.builder = builder
+        self.index = index or SearchIndex("dlhub-models")
+        #: full_name -> list of versions (1-based; latest is last).
+        self._models: dict[str, list[PublishedModel]] = {}
+        self._doi_counter = itertools.count(1)
+
+    # -- publication -------------------------------------------------------------
+    def publish(
+        self,
+        servable: Servable,
+        owner: Identity,
+        visibility: Visibility | None = None,
+        doi: str | None = None,
+    ) -> PublishedModel:
+        """Publish (or version-bump) a servable.
+
+        Builds the container image, mints a DOI if none supplied (BYO
+        identifiers are honoured), and indexes the metadata with the
+        requested visibility.
+        """
+        visibility = visibility or Visibility()
+        full_name = f"{owner.username}/{servable.name}"
+        versions = self._models.setdefault(full_name, [])
+        version = len(versions) + 1
+        build = self.builder.build(servable, tag=f"v{version}")
+        minted = doi or f"10.26311/dlhub.{next(self._doi_counter):06d}"
+        published = PublishedModel(
+            servable=servable,
+            owner=owner,
+            version=version,
+            doi=minted,
+            build=build,
+            visibility=visibility,
+            published_at=self.clock.now(),
+        )
+        versions.append(published)
+        self._index_model(published)
+        return published
+
+    def _index_model(self, published: PublishedModel) -> None:
+        document: dict[str, Any] = published.servable.metadata.to_document()
+        document["dlhub"]["owner"] = published.owner.username
+        document["dlhub"]["full_name"] = published.full_name
+        document["dlhub"]["version"] = published.version
+        document["dlhub"]["doi"] = published.doi
+        document["dlhub"]["image"] = published.build.reference
+        document["dlhub"]["published_at"] = published.published_at
+        self.index.ingest(published.doc_id, document, published.visibility)
+
+    # -- retrieval ----------------------------------------------------------------
+    def get(self, full_name: str, version: int | None = None) -> PublishedModel:
+        versions = self._models.get(full_name)
+        if not versions:
+            raise RepositoryError(f"unknown model {full_name!r}")
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise RepositoryError(
+                f"model {full_name!r} has versions 1..{len(versions)}, not {version}"
+            )
+        return versions[version - 1]
+
+    def resolve(self, name: str) -> PublishedModel:
+        """Resolve ``owner/name``, ``owner/name@vN``, or a bare unique name."""
+        version = None
+        if "@v" in name:
+            name, _, vstr = name.rpartition("@v")
+            try:
+                version = int(vstr)
+            except ValueError:
+                raise RepositoryError(f"bad version suffix in {name!r}") from None
+        if "/" in name:
+            return self.get(name, version)
+        matches = [fn for fn in self._models if fn.split("/", 1)[1] == name]
+        if not matches:
+            raise RepositoryError(f"unknown model {name!r}")
+        if len(matches) > 1:
+            raise RepositoryError(
+                f"ambiguous model name {name!r}; matches {sorted(matches)}"
+            )
+        return self.get(matches[0], version)
+
+    def versions(self, full_name: str) -> list[PublishedModel]:
+        return list(self._models.get(full_name, ()))
+
+    def all_models(self) -> list[PublishedModel]:
+        return [vs[-1] for vs in self._models.values()]
+
+    # -- visibility management (the CANDLE release path, SS VI-A) ----------------
+    def set_visibility(
+        self, full_name: str, visibility: Visibility, actor: Identity
+    ) -> None:
+        published = self.get(full_name)
+        if actor.identity_id != published.owner.identity_id:
+            raise RepositoryError(
+                f"{actor.qualified_name} does not own {full_name!r}"
+            )
+        for version_model in self._models[full_name]:
+            version_model.visibility = visibility
+            self._index_model(version_model)
+
+    # -- discovery -------------------------------------------------------------------
+    def search(
+        self,
+        query: str | Query,
+        viewer: ViewerContext | None = None,
+        limit: int = 50,
+        facets: list[FacetRequest] | None = None,
+    ) -> SearchResult:
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return execute(self.index, parsed, viewer, limit, facets)
+
+    # -- citation ----------------------------------------------------------------------
+    def cite(self, full_name: str) -> str:
+        """A citation string built from the publication metadata + DOI."""
+        published = self.get(full_name)
+        md = published.servable.metadata
+        authors = ", ".join(md.creators)
+        return (
+            f"{authors}. \"{md.title}\" (v{published.version}). "
+            f"DLHub. doi:{published.doi}"
+        )
+
+    def record_citation(self, full_name: str, citing_work: str) -> None:
+        self.get(full_name).citations.append(citing_work)

@@ -1,0 +1,165 @@
+"""The DLHub model-publication metadata schema.
+
+"DLHub defines a model publication schema that is used to describe all
+published models. The schema includes standard publication metadata
+(e.g., creator, date, name, description) as well as ML-specific metadata
+such as model type (e.g., Keras, TensorFlow) and input and output data
+types" (SS IV-A). Metadata documents are plain dicts validated against
+the schema below; :class:`ModelMetadata` is the typed wrapper the rest of
+the system uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class SchemaError(ValueError):
+    """Raised when a metadata document violates the schema."""
+
+
+#: Model types DLHub accepts (SS I: "any Python 3-compatible model").
+KNOWN_MODEL_TYPES = (
+    "keras",
+    "tensorflow",
+    "sklearn",
+    "python_function",
+    "pipeline",
+    "pytorch",
+    "other",
+)
+
+#: Data types accepted for servable inputs/outputs.
+KNOWN_DATA_TYPES = (
+    "ndarray",
+    "image",
+    "string",
+    "number",
+    "boolean",
+    "dict",
+    "list",
+    "file",
+    "composition",
+    "features",
+)
+
+_REQUIRED_DATACITE = ("title", "creators")
+_REQUIRED_DLHUB = ("name", "model_type", "input_type", "output_type")
+
+
+def validate_metadata(document: dict[str, Any]) -> None:
+    """Validate a raw metadata document; raises :class:`SchemaError`.
+
+    The document has two blocks, mirroring DLHub's schema layout:
+    ``datacite`` (publication metadata) and ``dlhub`` (ML metadata).
+    """
+    if not isinstance(document, dict):
+        raise SchemaError(f"metadata must be a dict, got {type(document).__name__}")
+    datacite = document.get("datacite")
+    dlhub = document.get("dlhub")
+    if not isinstance(datacite, dict):
+        raise SchemaError("metadata missing 'datacite' block")
+    if not isinstance(dlhub, dict):
+        raise SchemaError("metadata missing 'dlhub' block")
+
+    for key in _REQUIRED_DATACITE:
+        if not datacite.get(key):
+            raise SchemaError(f"datacite.{key} is required")
+    creators = datacite["creators"]
+    if not isinstance(creators, list) or not all(isinstance(c, str) for c in creators):
+        raise SchemaError("datacite.creators must be a list of strings")
+
+    for key in _REQUIRED_DLHUB:
+        if not dlhub.get(key):
+            raise SchemaError(f"dlhub.{key} is required")
+    name = dlhub["name"]
+    if not isinstance(name, str) or not name.replace("_", "").replace("-", "").isalnum():
+        raise SchemaError(
+            f"dlhub.name must be alphanumeric (plus -/_), got {name!r}"
+        )
+    if dlhub["model_type"] not in KNOWN_MODEL_TYPES:
+        raise SchemaError(
+            f"dlhub.model_type {dlhub['model_type']!r} not in {KNOWN_MODEL_TYPES}"
+        )
+    for direction in ("input_type", "output_type"):
+        if dlhub[direction] not in KNOWN_DATA_TYPES:
+            raise SchemaError(
+                f"dlhub.{direction} {dlhub[direction]!r} not in {KNOWN_DATA_TYPES}"
+            )
+    deps = dlhub.get("dependencies", [])
+    if not isinstance(deps, list) or not all(isinstance(d, str) for d in deps):
+        raise SchemaError("dlhub.dependencies must be a list of strings")
+
+
+@dataclass
+class ModelMetadata:
+    """Typed view over a validated metadata document."""
+
+    title: str
+    creators: list[str]
+    name: str
+    model_type: str
+    input_type: str
+    output_type: str
+    description: str = ""
+    domain: str = "general"
+    dependencies: list[str] = field(default_factory=list)
+    training_data: str | None = None
+    hyperparameters: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_document(cls, document: dict[str, Any]) -> "ModelMetadata":
+        validate_metadata(document)
+        datacite = document["datacite"]
+        dlhub = document["dlhub"]
+        return cls(
+            title=datacite["title"],
+            creators=list(datacite["creators"]),
+            name=dlhub["name"],
+            model_type=dlhub["model_type"],
+            input_type=dlhub["input_type"],
+            output_type=dlhub["output_type"],
+            description=datacite.get("description", ""),
+            domain=dlhub.get("domain", "general"),
+            dependencies=list(dlhub.get("dependencies", [])),
+            training_data=dlhub.get("training_data"),
+            hyperparameters=dict(dlhub.get("hyperparameters", {})),
+            extra={
+                k: v
+                for k, v in dlhub.items()
+                if k
+                not in (
+                    "name",
+                    "model_type",
+                    "input_type",
+                    "output_type",
+                    "domain",
+                    "dependencies",
+                    "training_data",
+                    "hyperparameters",
+                )
+            },
+        )
+
+    def to_document(self) -> dict[str, Any]:
+        """Back to the raw two-block document form (search-indexable)."""
+        return {
+            "datacite": {
+                "title": self.title,
+                "creators": list(self.creators),
+                "description": self.description,
+            },
+            "dlhub": {
+                "name": self.name,
+                "model_type": self.model_type,
+                "input_type": self.input_type,
+                "output_type": self.output_type,
+                "domain": self.domain,
+                "dependencies": list(self.dependencies),
+                "training_data": self.training_data,
+                "hyperparameters": dict(self.hyperparameters),
+                **self.extra,
+            },
+        }

@@ -1,0 +1,217 @@
+"""The survey capability matrices (Tables I and II).
+
+The paper's tables are qualitative comparisons. We encode each system's
+capabilities as structured registries and *generate* the tables from
+them, so the bench targets (``bench_table1_repositories``,
+``bench_table2_serving``) regenerate the exact rows the paper prints, and
+tests assert the DLHub column matches what this codebase actually
+implements (cross-checked against live features where possible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepositoryProfile:
+    """One row-set of Table I."""
+
+    name: str
+    publication_method: str  # "BYO" or "Curated"
+    domains: str
+    datasets_included: bool
+    metadata_type: str  # "Ad hoc" or "Structured"
+    search: str
+    identifiers: str  # "No", "BYO"
+    versioning: bool
+    export_method: str
+
+
+#: Table I, column by column (left to right in the paper).
+TABLE1_REPOSITORIES: tuple[RepositoryProfile, ...] = (
+    RepositoryProfile(
+        name="ModelHub",
+        publication_method="BYO",
+        domains="General",
+        datasets_included=True,
+        metadata_type="Ad hoc",
+        search="SQL",
+        identifiers="No",
+        versioning=True,
+        export_method="Git",
+    ),
+    RepositoryProfile(
+        name="Caffe Zoo",
+        publication_method="BYO",
+        domains="General",
+        datasets_included=True,
+        metadata_type="Ad hoc",
+        search="None",
+        identifiers="BYO",
+        versioning=False,
+        export_method="Git",
+    ),
+    RepositoryProfile(
+        name="ModelHub.ai",
+        publication_method="Curated",
+        domains="Medical",
+        datasets_included=False,
+        metadata_type="Ad hoc",
+        search="Web GUI",
+        identifiers="No",
+        versioning=False,
+        export_method="Git/Docker",
+    ),
+    RepositoryProfile(
+        name="Kipoi",
+        publication_method="Curated",
+        domains="Genomics",
+        datasets_included=False,
+        metadata_type="Structured",
+        search="Web GUI",
+        identifiers="BYO",
+        versioning=True,
+        export_method="Git/Docker",
+    ),
+    RepositoryProfile(
+        name="DLHub",
+        publication_method="BYO",
+        domains="General",
+        datasets_included=True,
+        metadata_type="Structured",
+        search="Elasticsearch",
+        identifiers="BYO",
+        versioning=True,
+        export_method="Docker",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ServingProfile:
+    """One row-set of Table II."""
+
+    name: str
+    service_model: str  # "Hosted" / "Self-service"
+    model_types: str
+    input_types: str
+    training_supported: bool
+    transformations: bool
+    workflows: bool
+    invocation_interface: tuple[str, ...]
+    execution_environment: tuple[str, ...]
+
+
+#: Table II, column by column.
+TABLE2_SERVING: tuple[ServingProfile, ...] = (
+    ServingProfile(
+        name="PennAI",
+        service_model="Hosted",
+        model_types="Limited",
+        input_types="Unknown",
+        training_supported=True,
+        transformations=False,
+        workflows=False,
+        invocation_interface=("Web GUI",),
+        execution_environment=("Cloud",),
+    ),
+    ServingProfile(
+        name="TF Serving",
+        service_model="Self-service",
+        model_types="TF Servables",
+        input_types="Primitives, Files",
+        training_supported=False,
+        transformations=True,
+        workflows=False,
+        invocation_interface=("gRPC", "REST"),
+        execution_environment=("Docker", "K8s", "Cloud"),
+    ),
+    ServingProfile(
+        name="Clipper",
+        service_model="Self-service",
+        model_types="General",
+        input_types="Primitives",
+        training_supported=False,
+        transformations=False,
+        workflows=False,
+        invocation_interface=("gRPC", "REST"),
+        execution_environment=("Docker", "K8s"),
+    ),
+    ServingProfile(
+        name="SageMaker",
+        service_model="Hosted",
+        model_types="General",
+        input_types="Structured, Files",
+        training_supported=True,
+        transformations=False,
+        workflows=False,
+        invocation_interface=("gRPC", "REST"),
+        execution_environment=("Cloud", "Docker"),
+    ),
+    ServingProfile(
+        name="DLHub",
+        service_model="Hosted",
+        model_types="General",
+        input_types="Structured, Files",
+        training_supported=False,
+        transformations=True,
+        workflows=True,
+        invocation_interface=("API", "REST"),
+        execution_environment=("K8s", "Docker", "Singularity", "Cloud"),
+    ),
+)
+
+
+def render_table1() -> str:
+    """Render Table I as aligned text (what the bench target prints)."""
+    rows = [
+        ("Publication method", lambda p: p.publication_method),
+        ("Domain(s) supported", lambda p: p.domains),
+        ("Datasets included", lambda p: "Yes" if p.datasets_included else "No"),
+        ("Metadata type", lambda p: p.metadata_type),
+        ("Search capabilities", lambda p: p.search),
+        ("Identifiers supported", lambda p: p.identifiers),
+        ("Versioning supported", lambda p: "Yes" if p.versioning else "No"),
+        ("Export method", lambda p: p.export_method),
+    ]
+    return _render(TABLE1_REPOSITORIES, rows, "Table I: Model repositories")
+
+
+def render_table2() -> str:
+    """Render Table II as aligned text."""
+    rows = [
+        ("Service model", lambda p: p.service_model),
+        ("Model types", lambda p: p.model_types),
+        ("Input types supported", lambda p: p.input_types),
+        ("Training supported", lambda p: "Yes" if p.training_supported else "No"),
+        ("Transformations", lambda p: "Yes" if p.transformations else "No"),
+        ("Workflows", lambda p: "Yes" if p.workflows else "No"),
+        ("Invocation interface", lambda p: ", ".join(p.invocation_interface)),
+        ("Execution environment", lambda p: ", ".join(p.execution_environment)),
+    ]
+    return _render(TABLE2_SERVING, rows, "Table II: Serving systems")
+
+
+def _render(profiles, rows, title: str) -> str:
+    names = [p.name for p in profiles]
+    header = [""] + names
+    lines = [title]
+    body = [[label] + [fn(p) for p in profiles] for label, fn in rows]
+    widths = [
+        max(len(str(r[i])) for r in [header] + body) for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*header))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)
+
+
+def dlhub_repository_profile() -> RepositoryProfile:
+    return TABLE1_REPOSITORIES[-1]
+
+
+def dlhub_serving_profile() -> ServingProfile:
+    return TABLE2_SERVING[-1]

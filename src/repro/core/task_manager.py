@@ -1,0 +1,189 @@
+"""The Task Manager (SS IV-B).
+
+Deployed near compute, the Task Manager monitors the DLHub task queue,
+claims waiting tasks, routes each to the right executor (inference tasks
+to serving executors, everything else to the general Parsl executor),
+and returns results. It also hosts the Parsl memoization cache whose
+placement gives DLHub its ~1 ms memoized invocation time (SS V-B5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.executors import DLHubExecutor, ExecutorError, InvocationOutcome, ParslServableExecutor
+from repro.core.memo import MemoCache
+from repro.core.servable import Servable
+from repro.core.tasks import TaskRequest, TaskResult, TaskStatus
+from repro.messaging.queue import QueueEmpty, TaskQueue
+from repro.sim import calibration as cal
+from repro.sim.clock import VirtualClock
+
+
+class TaskManagerError(RuntimeError):
+    """Raised on routing/registration failures."""
+
+
+@dataclass
+class ServableRegistration:
+    """Where a servable is deployed and how to route to it."""
+
+    servable: Servable
+    executor_name: str
+
+
+class TaskManager:
+    """Claims tasks from the queue and executes them via executors."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        queue: TaskQueue,
+        name: str = "task-manager",
+        memoize: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.queue = queue
+        self.name = name
+        self.memoize = memoize
+        self.cache = MemoCache(clock)
+        self.executors: dict[str, DLHubExecutor] = {}
+        self._registrations: dict[str, ServableRegistration] = {}
+        self.tasks_processed = 0
+
+    # -- registration -----------------------------------------------------------------
+    def add_executor(self, name: str, executor: DLHubExecutor) -> None:
+        if name in self.executors:
+            raise TaskManagerError(f"executor {name!r} already registered")
+        self.executors[name] = executor
+
+    def register_servable(
+        self,
+        servable: Servable,
+        image,
+        executor_name: str = "parsl",
+        replicas: int = 1,
+    ) -> None:
+        """Deploy a servable on the named executor and route to it."""
+        executor = self.executors.get(executor_name)
+        if executor is None:
+            raise TaskManagerError(f"unknown executor {executor_name!r}")
+        if not executor.supports(servable):
+            raise TaskManagerError(
+                f"executor {executor_name!r} cannot serve {servable.name!r} "
+                f"(model_type={servable.metadata.model_type})"
+            )
+        executor.deploy(servable, image, replicas)
+        self._registrations[servable.name] = ServableRegistration(servable, executor_name)
+
+    def route(self, servable_name: str) -> tuple[Servable, DLHubExecutor]:
+        reg = self._registrations.get(servable_name)
+        if reg is None:
+            raise TaskManagerError(f"servable {servable_name!r} is not registered")
+        return reg.servable, self.executors[reg.executor_name]
+
+    def registered_servables(self) -> list[str]:
+        return sorted(self._registrations)
+
+    # -- task processing ------------------------------------------------------------------
+    def process(self, request: TaskRequest) -> TaskResult:
+        """Execute one request: unpackage, memo-check, route, invoke."""
+        self.clock.advance(cal.TASK_MANAGER_HANDLING_S)
+        # Invocation time starts when the TM makes a request to the
+        # executor (SS V-A) — i.e. after unpackaging. A memo hit's
+        # "invocation" is just the cache lookup (the Fig. 8 ~1 ms).
+        start = self.clock.now()
+        signature = request.input_signature() if not request.is_batch else None
+
+        if self.memoize and signature is not None:
+            cached = self.cache.lookup(signature)
+            if cached is not self.cache.MISSING:
+                self.tasks_processed += 1
+                return TaskResult(
+                    task_uuid=request.task_uuid,
+                    status=TaskStatus.SUCCEEDED,
+                    value=cached,
+                    inference_time=0.0,
+                    invocation_time=self.clock.now() - start,
+                    cache_hit=True,
+                )
+
+        self.clock.advance(cal.TASK_MANAGER_ROUTING_S)
+        try:
+            servable, executor = self.route(request.servable_name)
+        except TaskManagerError as exc:
+            self.tasks_processed += 1
+            return TaskResult(
+                task_uuid=request.task_uuid,
+                status=TaskStatus.FAILED,
+                error=str(exc),
+                invocation_time=self.clock.now() - start,
+            )
+        invoke_start = self.clock.now()
+        try:
+            outcome = self._invoke(executor, request)
+        except Exception as exc:
+            self.tasks_processed += 1
+            return TaskResult(
+                task_uuid=request.task_uuid,
+                status=TaskStatus.FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                invocation_time=self.clock.now() - start,
+            )
+        if self.memoize and signature is not None:
+            self.cache.store(signature, outcome.value)
+        self.tasks_processed += 1
+        return TaskResult(
+            task_uuid=request.task_uuid,
+            status=TaskStatus.SUCCEEDED,
+            value=outcome.value,
+            inference_time=outcome.inference_time,
+            # Invocation time is "from when a request is made to the
+            # executor to when the result is received" (SS V-A).
+            invocation_time=self.clock.now() - invoke_start,
+        )
+
+    def _invoke(self, executor: DLHubExecutor, request: TaskRequest) -> InvocationOutcome:
+        if request.is_batch:
+            if not isinstance(executor, ParslServableExecutor):
+                raise ExecutorError(
+                    f"executor {executor.label!r} does not support batching"
+                )
+            return executor.invoke_batch(request.servable_name, request.batch or [])
+        return executor.invoke(request.servable_name, request.args, request.kwargs)
+
+    # -- queue loop ---------------------------------------------------------------------------
+    def poll_once(self, topic: str = "default") -> TaskResult | None:
+        """Claim and process one task from the queue; None if empty.
+
+        On processing failure the message is still acked — the failure is
+        reported in the TaskResult. Worker-death redelivery is exercised
+        through :meth:`claim_then_die` in failure-injection tests.
+        """
+        try:
+            message = self.queue.claim(topic)
+        except QueueEmpty:
+            return None
+        request: TaskRequest = message.body
+        result = self.process(request)
+        assert message.delivery_tag is not None
+        self.queue.ack(message.delivery_tag)
+        return result
+
+    def drain(self, topic: str = "default") -> list[TaskResult]:
+        """Process queued tasks until the queue is empty."""
+        results = []
+        while True:
+            result = self.poll_once(topic)
+            if result is None:
+                return results
+            results.append(result)
+
+    def claim_then_die(self, topic: str = "default") -> Any:
+        """Failure injection: claim a task and crash before acking.
+
+        Returns the claimed message so tests can assert redelivery after
+        the visibility timeout.
+        """
+        return self.queue.claim(topic)

@@ -1,0 +1,105 @@
+"""Task envelopes, results, and status tracking (sync + async modes)."""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class TaskStatus(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+_task_counter = itertools.count(1)
+
+
+@dataclass
+class TaskRequest:
+    """One serving request as packaged by the Management Service."""
+
+    servable_name: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    #: Owner identity id (authorization was performed at the MS).
+    identity_id: str | None = None
+    #: Batch of inputs (mutually exclusive with args for batched tasks).
+    batch: list | None = None
+    task_uuid: str = field(default_factory=lambda: str(uuid.uuid4()))
+    sequence: int = field(default_factory=lambda: next(_task_counter))
+
+    @property
+    def is_batch(self) -> bool:
+        return self.batch is not None
+
+    def input_signature(self) -> tuple:
+        """Hashable-ish signature of the inputs, used for memoization."""
+        return (self.servable_name, self.args, tuple(sorted(self.kwargs.items())))
+
+
+@dataclass
+class TaskResult:
+    """The outcome of one task, with its timing decomposition."""
+
+    task_uuid: str
+    status: TaskStatus
+    value: Any = None
+    error: str | None = None
+    #: Time inside the servable (captured at the servable).
+    inference_time: float = 0.0
+    #: Executor round-trip as seen by the Task Manager.
+    invocation_time: float = 0.0
+    #: Full round-trip as seen by the Management Service.
+    request_time: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TaskStatus.SUCCEEDED
+
+
+class TaskStore:
+    """Async-task status store at the Management Service.
+
+    ``run_async`` returns a UUID; clients poll :meth:`get` until the task
+    reaches a terminal state (SS IV-A, asynchronous mode).
+    """
+
+    def __init__(self) -> None:
+        self._status: dict[str, TaskStatus] = {}
+        self._results: dict[str, TaskResult] = {}
+
+    def create(self, task_uuid: str) -> None:
+        self._status[task_uuid] = TaskStatus.PENDING
+
+    def mark_running(self, task_uuid: str) -> None:
+        self._require(task_uuid)
+        self._status[task_uuid] = TaskStatus.RUNNING
+
+    def complete(self, result: TaskResult) -> None:
+        self._require(result.task_uuid)
+        self._status[result.task_uuid] = result.status
+        self._results[result.task_uuid] = result
+
+    def status(self, task_uuid: str) -> TaskStatus:
+        self._require(task_uuid)
+        return self._status[task_uuid]
+
+    def result(self, task_uuid: str) -> TaskResult:
+        self._require(task_uuid)
+        result = self._results.get(task_uuid)
+        if result is None:
+            raise KeyError(f"task {task_uuid} has not completed")
+        return result
+
+    def _require(self, task_uuid: str) -> None:
+        if task_uuid not in self._status:
+            raise KeyError(f"unknown task {task_uuid}")
+
+    def __len__(self) -> int:
+        return len(self._status)

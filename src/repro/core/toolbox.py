@@ -1,0 +1,93 @@
+"""The DLHub toolbox (SS IV-E): metadata construction + local execution.
+
+``MetadataBuilder`` programmatically constructs schema-compliant JSON
+documents; ``run_local`` executes a servable without any serving stack —
+"useful for model development and testing".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.schema import ModelMetadata, validate_metadata
+from repro.core.servable import Servable
+
+
+class MetadataBuilder:
+    """Fluent builder for publication metadata documents."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self._doc: dict[str, Any] = {
+            "datacite": {"title": title, "creators": []},
+            "dlhub": {
+                "name": name,
+                "model_type": "python_function",
+                "input_type": "dict",
+                "output_type": "dict",
+            },
+        }
+
+    # -- datacite block -----------------------------------------------------------
+    def creator(self, *names: str) -> "MetadataBuilder":
+        self._doc["datacite"]["creators"].extend(names)
+        return self
+
+    def description(self, text: str) -> "MetadataBuilder":
+        self._doc["datacite"]["description"] = text
+        return self
+
+    # -- dlhub block ---------------------------------------------------------------
+    def model_type(self, model_type: str) -> "MetadataBuilder":
+        self._doc["dlhub"]["model_type"] = model_type
+        return self
+
+    def input_type(self, input_type: str) -> "MetadataBuilder":
+        self._doc["dlhub"]["input_type"] = input_type
+        return self
+
+    def output_type(self, output_type: str) -> "MetadataBuilder":
+        self._doc["dlhub"]["output_type"] = output_type
+        return self
+
+    def domain(self, domain: str) -> "MetadataBuilder":
+        self._doc["dlhub"]["domain"] = domain
+        return self
+
+    def dependency(self, *packages: str) -> "MetadataBuilder":
+        self._doc["dlhub"].setdefault("dependencies", []).extend(packages)
+        return self
+
+    def training_data(self, reference: str) -> "MetadataBuilder":
+        self._doc["dlhub"]["training_data"] = reference
+        return self
+
+    def hyperparameter(self, key: str, value: Any) -> "MetadataBuilder":
+        self._doc["dlhub"].setdefault("hyperparameters", {})[key] = value
+        return self
+
+    def extra(self, key: str, value: Any) -> "MetadataBuilder":
+        self._doc["dlhub"][key] = value
+        return self
+
+    # -- output -----------------------------------------------------------------------
+    def document(self) -> dict[str, Any]:
+        """The raw document (validated)."""
+        validate_metadata(self._doc)
+        return json.loads(json.dumps(self._doc))  # deep copy via JSON round-trip
+
+    def build(self) -> ModelMetadata:
+        """The typed metadata object (validated)."""
+        return ModelMetadata.from_document(self.document())
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.document(), indent=indent)
+
+
+def run_local(servable: Servable, *args: Any, **kwargs: Any) -> Any:
+    """Execute a servable in-process, bypassing the serving stack.
+
+    The toolbox's development mode: identical handler, no containers, no
+    queues, no virtual-time charges beyond what the handler itself does.
+    """
+    return servable.run(*args, **kwargs)

@@ -1,0 +1,29 @@
+"""Data staging substrate (S3- and Globus-endpoint-like).
+
+Model components "can be uploaded to an AWS S3 bucket or a Globus endpoint"
+(SS IV-A, "Servables"); the Management Service then downloads them to build
+the servable. This package provides:
+
+* :mod:`repro.data.store` — an in-memory object store with buckets, keys,
+  content digests and metadata (the S3 stand-in),
+* :mod:`repro.data.endpoint` — named endpoints with access control (the
+  Globus-endpoint stand-in), and
+* :mod:`repro.data.transfer` — a transfer manager that moves objects
+  between endpoints, charging bandwidth-model costs to the virtual clock.
+"""
+
+from repro.data.store import ObjectStore, StoredObject, ObjectNotFound, BucketExists
+from repro.data.endpoint import Endpoint, EndpointACL
+from repro.data.transfer import TransferManager, TransferRecord, TransferError
+
+__all__ = [
+    "ObjectStore",
+    "StoredObject",
+    "ObjectNotFound",
+    "BucketExists",
+    "Endpoint",
+    "EndpointACL",
+    "TransferManager",
+    "TransferRecord",
+    "TransferError",
+]

@@ -1,0 +1,87 @@
+"""Named data endpoints with access control (Globus-endpoint stand-in)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.auth.identity import Identity
+from repro.data.store import ObjectStore, StoredObject
+
+
+class EndpointError(PermissionError):
+    """Raised on unauthorized endpoint access."""
+
+
+@dataclass
+class EndpointACL:
+    """Read/write permissions per identity id; owner always has both."""
+
+    owner_id: str
+    readers: set[str] = field(default_factory=set)
+    writers: set[str] = field(default_factory=set)
+    public_read: bool = False
+
+    def can_read(self, identity: Identity | None) -> bool:
+        if self.public_read:
+            return True
+        if identity is None:
+            return False
+        return identity.identity_id == self.owner_id or identity.identity_id in self.readers
+
+    def can_write(self, identity: Identity | None) -> bool:
+        if identity is None:
+            return False
+        return identity.identity_id == self.owner_id or identity.identity_id in self.writers
+
+
+class Endpoint:
+    """A named storage endpoint wrapping one bucket of an object store.
+
+    Endpoints model Globus endpoints: named locations users reference in
+    publication requests ("fetch my model weights from endpoint X, path Y").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: ObjectStore,
+        acl: EndpointACL,
+        latency_class: str = "lan",
+    ) -> None:
+        self.name = name
+        self.store = store
+        self.acl = acl
+        #: "lan" or "wan" — which link class transfers to/from it should use.
+        self.latency_class = latency_class
+        store.ensure_bucket(self._bucket)
+
+    @property
+    def _bucket(self) -> str:
+        return f"endpoint:{self.name}"
+
+    def put(
+        self,
+        path: str,
+        data: bytes,
+        identity: Identity | None = None,
+        content_type: str = "application/octet-stream",
+    ) -> StoredObject:
+        if not self.acl.can_write(identity):
+            who = identity.qualified_name if identity else "<anonymous>"
+            raise EndpointError(f"{who} cannot write to endpoint {self.name!r}")
+        return self.store.put(self._bucket, path, data, content_type)
+
+    def get(self, path: str, identity: Identity | None = None) -> StoredObject:
+        if not self.acl.can_read(identity):
+            who = identity.qualified_name if identity else "<anonymous>"
+            raise EndpointError(f"{who} cannot read from endpoint {self.name!r}")
+        return self.store.get(self._bucket, path)
+
+    def exists(self, path: str) -> bool:
+        return self.store.exists(self._bucket, path)
+
+    def listdir(self, prefix: str = "", identity: Identity | None = None) -> list[str]:
+        if not self.acl.can_read(identity):
+            who = identity.qualified_name if identity else "<anonymous>"
+            raise EndpointError(f"{who} cannot list endpoint {self.name!r}")
+        return self.store.list_keys(self._bucket, prefix)

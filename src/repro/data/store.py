@@ -1,0 +1,116 @@
+"""In-memory object store with buckets, digests, and metadata."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class ObjectNotFound(KeyError):
+    """Raised when a bucket/key does not exist."""
+
+
+class BucketExists(ValueError):
+    """Raised when creating a bucket that already exists."""
+
+
+@dataclass
+class StoredObject:
+    """A stored blob plus its metadata."""
+
+    bucket: str
+    key: str
+    data: bytes
+    content_type: str = "application/octet-stream"
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def digest(self) -> str:
+        return "sha256:" + hashlib.sha256(self.data).hexdigest()
+
+
+class ObjectStore:
+    """A bucketed key/blob store (the S3 stand-in)."""
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self._buckets: dict[str, dict[str, StoredObject]] = {}
+
+    # -- buckets -----------------------------------------------------------------
+    def create_bucket(self, bucket: str) -> None:
+        if bucket in self._buckets:
+            raise BucketExists(bucket)
+        self._buckets[bucket] = {}
+
+    def ensure_bucket(self, bucket: str) -> None:
+        self._buckets.setdefault(bucket, {})
+
+    def buckets(self) -> list[str]:
+        return sorted(self._buckets)
+
+    def delete_bucket(self, bucket: str, force: bool = False) -> None:
+        objs = self._buckets.get(bucket)
+        if objs is None:
+            raise ObjectNotFound(bucket)
+        if objs and not force:
+            raise ValueError(f"bucket {bucket!r} is not empty")
+        del self._buckets[bucket]
+
+    # -- objects -----------------------------------------------------------------
+    def put(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        content_type: str = "application/octet-stream",
+        metadata: dict[str, str] | None = None,
+    ) -> StoredObject:
+        self.ensure_bucket(bucket)
+        obj = StoredObject(
+            bucket=bucket,
+            key=key,
+            data=bytes(data),
+            content_type=content_type,
+            metadata=dict(metadata or {}),
+        )
+        self._buckets[bucket][key] = obj
+        return obj
+
+    def get(self, bucket: str, key: str) -> StoredObject:
+        try:
+            return self._buckets[bucket][key]
+        except KeyError:
+            raise ObjectNotFound(f"{bucket}/{key}") from None
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return key in self._buckets.get(bucket, ())
+
+    def delete(self, bucket: str, key: str) -> None:
+        try:
+            del self._buckets[bucket][key]
+        except KeyError:
+            raise ObjectNotFound(f"{bucket}/{key}") from None
+
+    def list_keys(self, bucket: str, prefix: str = "") -> list[str]:
+        objs = self._buckets.get(bucket)
+        if objs is None:
+            raise ObjectNotFound(bucket)
+        return sorted(k for k in objs if k.startswith(prefix))
+
+    def iter_objects(self, bucket: str) -> Iterator[StoredObject]:
+        objs = self._buckets.get(bucket)
+        if objs is None:
+            raise ObjectNotFound(bucket)
+        yield from objs.values()
+
+    def total_bytes(self, bucket: str | None = None) -> int:
+        if bucket is not None:
+            return sum(o.size for o in self.iter_objects(bucket))
+        return sum(
+            o.size for objs in self._buckets.values() for o in objs.values()
+        )

@@ -1,0 +1,30 @@
+"""Materials-science substrate (pymatgen / matminer / OQMD stand-ins).
+
+The paper's matminer workflow (SS V-A, SS VI-D) has three stages, each of
+which is a real implementation here:
+
+* :mod:`repro.matsci.composition` — chemical-formula parsing into element
+  fractions (the pymatgen stand-in; handles nesting like ``Ba(NO3)2``),
+* :mod:`repro.matsci.featurize` — Ward-et-al.-style feature vectors:
+  stoichiometric p-norms plus fraction-weighted statistics of elemental
+  properties (the matminer stand-in),
+* :mod:`repro.matsci.oqmd` — a seeded synthetic formation-energy dataset
+  with OQMD-like structure for training the served random forest.
+"""
+
+from repro.matsci.elements import Element, ELEMENTS, element
+from repro.matsci.composition import Composition, CompositionError
+from repro.matsci.featurize import MagpieFeaturizer, FEATURE_NAMES
+from repro.matsci.oqmd import generate_oqmd_dataset, OQMDEntry
+
+__all__ = [
+    "Element",
+    "ELEMENTS",
+    "element",
+    "Composition",
+    "CompositionError",
+    "MagpieFeaturizer",
+    "FEATURE_NAMES",
+    "generate_oqmd_dataset",
+    "OQMDEntry",
+]

@@ -1,0 +1,163 @@
+"""Periodic-table data for the featurizer.
+
+Covers elements H through Bi (plus common actinides), with the properties
+the Ward-2016 feature set aggregates: atomic number, atomic mass,
+Pauling electronegativity, periodic-table row and group, covalent radius
+(pm), number of valence electrons, and melting point (K). Values are
+standard reference numbers rounded to the precision the featurizer needs;
+a handful of electronegativities that are undefined (noble gases) reuse
+neighbouring values so statistics stay finite, as matminer's Magpie data
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Element:
+    """One element's featurization properties."""
+
+    symbol: str
+    z: int
+    mass: float
+    electronegativity: float
+    row: int
+    group: int
+    covalent_radius: float
+    valence: int
+    melting_point: float
+
+    def property_vector(self) -> tuple[float, ...]:
+        """The numeric properties used by the featurizer, in stable order."""
+        return (
+            float(self.z),
+            self.mass,
+            self.electronegativity,
+            float(self.row),
+            float(self.group),
+            self.covalent_radius,
+            float(self.valence),
+            self.melting_point,
+        )
+
+
+#: Property column names matching :meth:`Element.property_vector`.
+PROPERTY_NAMES = (
+    "Number",
+    "AtomicWeight",
+    "Electronegativity",
+    "Row",
+    "Column",
+    "CovalentRadius",
+    "NValence",
+    "MeltingT",
+)
+
+
+def _e(symbol, z, mass, en, row, group, radius, valence, mp) -> Element:
+    return Element(symbol, z, mass, en, row, group, radius, valence, mp)
+
+
+_ELEMENT_LIST = [
+    _e("H", 1, 1.008, 2.20, 1, 1, 31, 1, 14.0),
+    _e("He", 2, 4.003, 3.00, 1, 18, 28, 2, 0.95),
+    _e("Li", 3, 6.941, 0.98, 2, 1, 128, 1, 453.7),
+    _e("Be", 4, 9.012, 1.57, 2, 2, 96, 2, 1560.0),
+    _e("B", 5, 10.811, 2.04, 2, 13, 84, 3, 2349.0),
+    _e("C", 6, 12.011, 2.55, 2, 14, 76, 4, 3915.0),
+    _e("N", 7, 14.007, 3.04, 2, 15, 71, 5, 63.1),
+    _e("O", 8, 15.999, 3.44, 2, 16, 66, 6, 54.4),
+    _e("F", 9, 18.998, 3.98, 2, 17, 57, 7, 53.5),
+    _e("Ne", 10, 20.180, 3.50, 2, 18, 58, 8, 24.6),
+    _e("Na", 11, 22.990, 0.93, 3, 1, 166, 1, 371.0),
+    _e("Mg", 12, 24.305, 1.31, 3, 2, 141, 2, 923.0),
+    _e("Al", 13, 26.982, 1.61, 3, 13, 121, 3, 933.5),
+    _e("Si", 14, 28.086, 1.90, 3, 14, 111, 4, 1687.0),
+    _e("P", 15, 30.974, 2.19, 3, 15, 107, 5, 317.3),
+    _e("S", 16, 32.065, 2.58, 3, 16, 105, 6, 388.4),
+    _e("Cl", 17, 35.453, 3.16, 3, 17, 102, 7, 171.6),
+    _e("Ar", 18, 39.948, 3.20, 3, 18, 106, 8, 83.8),
+    _e("K", 19, 39.098, 0.82, 4, 1, 203, 1, 336.5),
+    _e("Ca", 20, 40.078, 1.00, 4, 2, 176, 2, 1115.0),
+    _e("Sc", 21, 44.956, 1.36, 4, 3, 170, 3, 1814.0),
+    _e("Ti", 22, 47.867, 1.54, 4, 4, 160, 4, 1941.0),
+    _e("V", 23, 50.942, 1.63, 4, 5, 153, 5, 2183.0),
+    _e("Cr", 24, 51.996, 1.66, 4, 6, 139, 6, 2180.0),
+    _e("Mn", 25, 54.938, 1.55, 4, 7, 139, 7, 1519.0),
+    _e("Fe", 26, 55.845, 1.83, 4, 8, 132, 8, 1811.0),
+    _e("Co", 27, 58.933, 1.88, 4, 9, 126, 9, 1768.0),
+    _e("Ni", 28, 58.693, 1.91, 4, 10, 124, 10, 1728.0),
+    _e("Cu", 29, 63.546, 1.90, 4, 11, 132, 11, 1357.8),
+    _e("Zn", 30, 65.380, 1.65, 4, 12, 122, 12, 692.7),
+    _e("Ga", 31, 69.723, 1.81, 4, 13, 122, 3, 302.9),
+    _e("Ge", 32, 72.640, 2.01, 4, 14, 120, 4, 1211.4),
+    _e("As", 33, 74.922, 2.18, 4, 15, 119, 5, 1090.0),
+    _e("Se", 34, 78.960, 2.55, 4, 16, 120, 6, 494.0),
+    _e("Br", 35, 79.904, 2.96, 4, 17, 120, 7, 265.8),
+    _e("Kr", 36, 83.798, 3.00, 4, 18, 116, 8, 115.8),
+    _e("Rb", 37, 85.468, 0.82, 5, 1, 220, 1, 312.5),
+    _e("Sr", 38, 87.620, 0.95, 5, 2, 195, 2, 1050.0),
+    _e("Y", 39, 88.906, 1.22, 5, 3, 190, 3, 1799.0),
+    _e("Zr", 40, 91.224, 1.33, 5, 4, 175, 4, 2128.0),
+    _e("Nb", 41, 92.906, 1.60, 5, 5, 164, 5, 2750.0),
+    _e("Mo", 42, 95.960, 2.16, 5, 6, 154, 6, 2896.0),
+    _e("Tc", 43, 98.000, 1.90, 5, 7, 147, 7, 2430.0),
+    _e("Ru", 44, 101.070, 2.20, 5, 8, 146, 8, 2607.0),
+    _e("Rh", 45, 102.906, 2.28, 5, 9, 142, 9, 2237.0),
+    _e("Pd", 46, 106.420, 2.20, 5, 10, 139, 10, 1828.1),
+    _e("Ag", 47, 107.868, 1.93, 5, 11, 145, 11, 1234.9),
+    _e("Cd", 48, 112.411, 1.69, 5, 12, 144, 12, 594.2),
+    _e("In", 49, 114.818, 1.78, 5, 13, 142, 3, 429.8),
+    _e("Sn", 50, 118.710, 1.96, 5, 14, 139, 4, 505.1),
+    _e("Sb", 51, 121.760, 2.05, 5, 15, 139, 5, 903.8),
+    _e("Te", 52, 127.600, 2.10, 5, 16, 138, 6, 722.7),
+    _e("I", 53, 126.904, 2.66, 5, 17, 139, 7, 386.9),
+    _e("Xe", 54, 131.293, 2.60, 5, 18, 140, 8, 161.4),
+    _e("Cs", 55, 132.905, 0.79, 6, 1, 244, 1, 301.6),
+    _e("Ba", 56, 137.327, 0.89, 6, 2, 215, 2, 1000.0),
+    _e("La", 57, 138.905, 1.10, 6, 3, 207, 3, 1193.0),
+    _e("Ce", 58, 140.116, 1.12, 6, 3, 204, 4, 1068.0),
+    _e("Pr", 59, 140.908, 1.13, 6, 3, 203, 5, 1208.0),
+    _e("Nd", 60, 144.242, 1.14, 6, 3, 201, 6, 1297.0),
+    _e("Sm", 62, 150.360, 1.17, 6, 3, 198, 8, 1345.0),
+    _e("Eu", 63, 151.964, 1.20, 6, 3, 198, 9, 1099.0),
+    _e("Gd", 64, 157.250, 1.20, 6, 3, 196, 10, 1585.0),
+    _e("Tb", 65, 158.925, 1.22, 6, 3, 194, 11, 1629.0),
+    _e("Dy", 66, 162.500, 1.22, 6, 3, 192, 12, 1680.0),
+    _e("Ho", 67, 164.930, 1.23, 6, 3, 192, 13, 1734.0),
+    _e("Er", 68, 167.259, 1.24, 6, 3, 189, 14, 1802.0),
+    _e("Tm", 69, 168.934, 1.25, 6, 3, 190, 15, 1818.0),
+    _e("Yb", 70, 173.054, 1.26, 6, 3, 187, 16, 1097.0),
+    _e("Lu", 71, 174.967, 1.27, 6, 3, 187, 17, 1925.0),
+    _e("Hf", 72, 178.490, 1.30, 6, 4, 175, 4, 2506.0),
+    _e("Ta", 73, 180.948, 1.50, 6, 5, 170, 5, 3290.0),
+    _e("W", 74, 183.840, 2.36, 6, 6, 162, 6, 3695.0),
+    _e("Re", 75, 186.207, 1.90, 6, 7, 151, 7, 3459.0),
+    _e("Os", 76, 190.230, 2.20, 6, 8, 144, 8, 3306.0),
+    _e("Ir", 77, 192.217, 2.20, 6, 9, 141, 9, 2719.0),
+    _e("Pt", 78, 195.084, 2.28, 6, 10, 136, 10, 2041.4),
+    _e("Au", 79, 196.967, 2.54, 6, 11, 136, 11, 1337.3),
+    _e("Hg", 80, 200.590, 2.00, 6, 12, 132, 12, 234.3),
+    _e("Tl", 81, 204.383, 1.62, 6, 13, 145, 3, 577.0),
+    _e("Pb", 82, 207.200, 2.33, 6, 14, 146, 4, 600.6),
+    _e("Bi", 83, 208.980, 2.02, 6, 15, 148, 5, 544.7),
+    _e("Th", 90, 232.038, 1.30, 7, 3, 206, 4, 2023.0),
+    _e("U", 92, 238.029, 1.38, 7, 3, 196, 6, 1405.3),
+]
+
+#: Symbol -> Element lookup.
+ELEMENTS: dict[str, Element] = {el.symbol: el for el in _ELEMENT_LIST}
+
+
+class UnknownElement(KeyError):
+    """Raised for symbols not in the table."""
+
+
+def element(symbol: str) -> Element:
+    """Look up an element by symbol; raises :class:`UnknownElement`."""
+    try:
+        return ELEMENTS[symbol]
+    except KeyError:
+        raise UnknownElement(symbol) from None

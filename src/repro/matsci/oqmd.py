@@ -1,0 +1,122 @@
+"""Synthetic OQMD-like formation-energy dataset.
+
+The paper's matminer model was trained on "data from the Open Quantum
+Materials Database" (SS V-A). We cannot ship OQMD, so this generator
+produces a seeded synthetic dataset with OQMD-like structure: random
+binary/ternary compositions over common elements, with formation energies
+from a smooth physics-flavoured function of composition features
+(electronegativity difference drives ionic stabilization; size mismatch
+destabilizes) plus noise. Crucially, the target is a *learnable* function
+of the Ward features, so the served forest demonstrably predicts something
+real (R^2 is asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matsci.composition import Composition
+from repro.matsci.elements import element
+
+#: Element pool for synthetic compounds: common cations and anions.
+CATIONS = (
+    "Li", "Na", "K", "Mg", "Ca", "Sr", "Ba", "Al", "Ti", "V", "Cr", "Mn",
+    "Fe", "Co", "Ni", "Cu", "Zn", "Zr", "Nb", "Mo", "Ag", "Sn", "Pb", "La",
+)
+ANIONS = ("O", "S", "Se", "F", "Cl", "Br", "N", "P", "C", "Si")
+
+
+@dataclass(frozen=True)
+class OQMDEntry:
+    """One synthetic database record."""
+
+    formula: str
+    composition: Composition
+    formation_energy: float  # eV/atom
+    stable: bool
+
+
+def _formation_energy(comp: Composition, rng: np.random.Generator) -> float:
+    """Synthetic formation energy (eV/atom) from composition chemistry.
+
+    Stabilizing: electronegativity spread (ionic bonding proxy).
+    Destabilizing: covalent-radius mismatch and high mean melting point
+    (packing/competition proxies). Plus small Gaussian noise.
+    """
+    fracs = comp.fractions()
+    symbols = list(fracs)
+    f = np.array([fracs[s] for s in symbols])
+    en = np.array([element(s).electronegativity for s in symbols])
+    radius = np.array([element(s).covalent_radius for s in symbols])
+    mp = np.array([element(s).melting_point for s in symbols])
+
+    en_mean = float(f @ en)
+    en_dev = float(f @ np.abs(en - en_mean))
+    radius_mean = float(f @ radius)
+    radius_dev = float(f @ np.abs(radius - radius_mean)) / max(radius_mean, 1.0)
+    mp_mean = float(f @ mp)
+
+    energy = (
+        -2.1 * en_dev  # ionic stabilization
+        + 1.4 * radius_dev  # size-mismatch penalty
+        + 0.00008 * mp_mean  # refractory penalty
+        - 0.35  # mixing baseline
+        + float(rng.normal(0.0, 0.04))  # measurement noise
+    )
+    return energy
+
+
+def _random_composition(rng: np.random.Generator) -> Composition:
+    """A random binary or ternary compound with small integer subscripts."""
+    n_cations = int(rng.integers(1, 3))  # 1 or 2 cation species
+    cations = rng.choice(CATIONS, size=n_cations, replace=False)
+    anion = str(rng.choice(ANIONS))
+    amounts: dict[str, float] = {}
+    for cat in cations:
+        amounts[str(cat)] = float(rng.integers(1, 4))
+    amounts[anion] = float(rng.integers(1, 5))
+    return Composition.from_dict(amounts)
+
+
+def generate_oqmd_dataset(
+    n_entries: int = 500, seed: int = 42
+) -> list[OQMDEntry]:
+    """Generate a seeded synthetic dataset of ``n_entries`` records."""
+    if n_entries < 1:
+        raise ValueError("n_entries must be >= 1")
+    rng = np.random.default_rng(seed)
+    entries: list[OQMDEntry] = []
+    seen: set[str] = set()
+    while len(entries) < n_entries:
+        comp = _random_composition(rng)
+        formula = comp.reduced_formula()
+        if formula in seen:
+            continue
+        seen.add(formula)
+        energy = _formation_energy(comp, rng)
+        entries.append(
+            OQMDEntry(
+                formula=formula,
+                composition=comp,
+                formation_energy=round(energy, 4),
+                stable=energy < -0.5,
+            )
+        )
+    return entries
+
+
+def train_test_split(
+    entries: list[OQMDEntry], test_fraction: float = 0.2, seed: int = 0
+) -> tuple[list[OQMDEntry], list[OQMDEntry]]:
+    """Deterministic shuffled split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(entries))
+    n_test = max(1, int(len(entries) * test_fraction))
+    test_idx = set(order[:n_test].tolist())
+    train = [e for i, e in enumerate(entries) if i not in test_idx]
+    test = [e for i, e in enumerate(entries) if i in test_idx]
+    return train, test

@@ -1,0 +1,107 @@
+"""Multipart message frames, ZeroMQ-style.
+
+A :class:`Message` is an ordered list of :class:`Frame` byte parts. ROUTER
+sockets prepend identity frames and an empty delimiter frame, exactly like
+ZeroMQ's envelope convention, so request routing and reply addressing work
+the same way they do in the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A single immutable byte frame."""
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, (bytes, bytearray)):
+            raise TypeError(f"frame data must be bytes, got {type(self.data).__name__}")
+        object.__setattr__(self, "data", bytes(self.data))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def empty(self) -> bool:
+        return len(self.data) == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = self.data[:16]
+        suffix = "..." if len(self.data) > 16 else ""
+        return f"Frame({preview!r}{suffix}, {len(self.data)}B)"
+
+
+DELIMITER = Frame(b"")
+
+
+@dataclass
+class Message:
+    """An ordered multipart message."""
+
+    frames: list[Frame] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, *parts: bytes | Frame) -> "Message":
+        """Build a message from byte parts or frames."""
+        return cls([p if isinstance(p, Frame) else Frame(p) for p in parts])
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __getitem__(self, idx: int) -> Frame:
+        return self.frames[idx]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size across frames (drives latency accounting)."""
+        return sum(len(f) for f in self.frames)
+
+    def push_front(self, frame: Frame | bytes) -> "Message":
+        """Return a new message with ``frame`` prepended (envelope building)."""
+        f = frame if isinstance(frame, Frame) else Frame(frame)
+        return Message([f, *self.frames])
+
+    def pop_front(self) -> tuple[Frame, "Message"]:
+        """Split off the first frame; returns ``(frame, rest)``."""
+        if not self.frames:
+            raise IndexError("pop_front on empty message")
+        return self.frames[0], Message(self.frames[1:])
+
+    def wrap(self, identity: bytes) -> "Message":
+        """Prepend ``identity`` + empty delimiter (ROUTER envelope)."""
+        return Message([Frame(identity), DELIMITER, *self.frames])
+
+    def unwrap(self) -> tuple[bytes, "Message"]:
+        """Strip an identity envelope; returns ``(identity, payload)``.
+
+        Tolerates messages without a delimiter frame (plain identity prefix).
+        """
+        if not self.frames:
+            raise ValueError("cannot unwrap an empty message")
+        identity = self.frames[0].data
+        rest = self.frames[1:]
+        if rest and rest[0].empty:
+            rest = rest[1:]
+        return identity, Message(rest)
+
+    def payload_frames(self) -> list[Frame]:
+        """Frames after the last delimiter (the logical payload)."""
+        for i in range(len(self.frames) - 1, -1, -1):
+            if self.frames[i].empty:
+                return self.frames[i + 1 :]
+        return list(self.frames)
+
+    @classmethod
+    def from_parts(cls, parts: Iterable[bytes]) -> "Message":
+        return cls([Frame(p) for p in parts])
+
+    def to_parts(self) -> list[bytes]:
+        return [f.data for f in self.frames]

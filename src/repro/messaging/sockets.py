@@ -1,0 +1,251 @@
+"""In-process socket patterns with ZeroMQ semantics.
+
+A :class:`Context` owns named endpoints; sockets ``bind`` or ``connect`` to
+endpoint addresses (``"inproc://name"`` style strings). Implemented
+patterns:
+
+``REQ``/``REP``
+    Lock-step request/reply with state checking (send-recv alternation
+    enforced, as in ZeroMQ).
+``PUSH``/``PULL``
+    Pipeline distribution: PUSH round-robins messages across connected
+    PULL peers; PULL fair-queues across connected PUSH peers.
+``ROUTER``/``DEALER``
+    Asynchronous addressed messaging: ROUTER prepends the sender identity
+    on receive and routes on the leading identity frame on send; DEALER
+    round-robins outgoing messages and fair-queues replies.
+
+Messages optionally traverse a :class:`~repro.sim.latency.NetworkLink`,
+charging transfer time to the shared clock. Delivery is synchronous (the
+message lands in the peer's inbox immediately in program order), which is
+sufficient because all components already run under one event-driven
+driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from enum import Enum
+from typing import Deque
+
+from repro.messaging.frames import Frame, Message
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import NetworkLink
+
+
+class SocketError(RuntimeError):
+    """Base class for socket failures."""
+
+
+class AgainError(SocketError):
+    """Raised by non-blocking receive when no message is available (EAGAIN)."""
+
+
+class StateError(SocketError):
+    """Raised when a REQ/REP socket is used out of lock-step order (EFSM)."""
+
+
+class SocketType(Enum):
+    REQ = "REQ"
+    REP = "REP"
+    PUSH = "PUSH"
+    PULL = "PULL"
+    ROUTER = "ROUTER"
+    DEALER = "DEALER"
+
+
+#: Which socket types may talk to each other.
+_COMPATIBLE = {
+    SocketType.REQ: {SocketType.REP, SocketType.ROUTER},
+    SocketType.REP: {SocketType.REQ, SocketType.DEALER},
+    SocketType.PUSH: {SocketType.PULL},
+    SocketType.PULL: {SocketType.PUSH},
+    SocketType.ROUTER: {SocketType.REQ, SocketType.DEALER, SocketType.ROUTER},
+    SocketType.DEALER: {SocketType.REP, SocketType.ROUTER, SocketType.DEALER},
+}
+
+
+class Context:
+    """Socket factory and endpoint namespace (one per simulated deployment)."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock or VirtualClock()
+        self._bound: dict[str, Socket] = {}
+        self._id_counter = itertools.count(1)
+
+    def socket(self, sock_type: SocketType, identity: bytes | None = None) -> "Socket":
+        if identity is None:
+            identity = f"sock-{next(self._id_counter)}".encode()
+        return Socket(self, sock_type, identity)
+
+    def _register_bind(self, address: str, socket: "Socket") -> None:
+        if address in self._bound:
+            raise SocketError(f"address already bound: {address}")
+        self._bound[address] = socket
+
+    def _release_bind(self, address: str) -> None:
+        self._bound.pop(address, None)
+
+    def _lookup(self, address: str) -> "Socket":
+        try:
+            return self._bound[address]
+        except KeyError:
+            raise SocketError(f"no socket bound at {address}") from None
+
+
+class Socket:
+    """A single socket; see module docstring for pattern semantics."""
+
+    def __init__(self, context: Context, sock_type: SocketType, identity: bytes) -> None:
+        self.context = context
+        self.type = sock_type
+        self.identity = identity
+        self.closed = False
+        self._bound_address: str | None = None
+        self._peers: list[Socket] = []
+        self._rr = 0  # round-robin cursor for PUSH / DEALER / REQ fan-out
+        self._inbox: Deque[Message] = deque()
+        # REQ/REP lock-step state: what operation is legal next.
+        self._await_reply = False  # REQ: sent, waiting for reply
+        self._pending_reply_to: bytes | None = None  # REP: identity to answer
+        self.link: NetworkLink | None = None
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- connection management -------------------------------------------------
+    def bind(self, address: str) -> "Socket":
+        if self.closed:
+            raise SocketError("socket is closed")
+        self.context._register_bind(address, self)
+        self._bound_address = address
+        return self
+
+    def connect(self, address: str) -> "Socket":
+        if self.closed:
+            raise SocketError("socket is closed")
+        peer = self.context._lookup(address)
+        if peer.type not in _COMPATIBLE[self.type]:
+            raise SocketError(
+                f"{self.type.value} cannot connect to {peer.type.value}"
+            )
+        self._peers.append(peer)
+        peer._peers.append(self)
+        return self
+
+    def disconnect(self, peer: "Socket") -> None:
+        if peer in self._peers:
+            self._peers.remove(peer)
+        if self in peer._peers:
+            peer._peers.remove(self)
+
+    def close(self) -> None:
+        if self._bound_address is not None:
+            self.context._release_bind(self._bound_address)
+            self._bound_address = None
+        for peer in list(self._peers):
+            self.disconnect(peer)
+        self.closed = True
+
+    # -- helpers ----------------------------------------------------------------
+    def _live_peers(self) -> list["Socket"]:
+        return [p for p in self._peers if not p.closed]
+
+    def _next_peer(self) -> "Socket":
+        peers = self._live_peers()
+        if not peers:
+            raise SocketError(f"{self.type.value} socket has no connected peers")
+        peer = peers[self._rr % len(peers)]
+        self._rr += 1
+        return peer
+
+    def _deliver(self, peer: "Socket", message: Message) -> None:
+        """Transfer a message into ``peer``'s inbox, charging link latency."""
+        if self.link is not None:
+            self.link.charge_send(self.context.clock, message.nbytes)
+        peer._inbox.append(message)
+        self.messages_sent += 1
+
+    # -- send -------------------------------------------------------------------
+    def send(self, message: Message | bytes | list[bytes]) -> None:
+        if self.closed:
+            raise SocketError("socket is closed")
+        msg = _as_message(message)
+        if self.type is SocketType.REQ:
+            if self._await_reply:
+                raise StateError("REQ socket must recv a reply before sending again")
+            peer = self._next_peer()
+            if peer.type is SocketType.REP:
+                out = msg.push_front(Frame(self.identity))
+            else:  # ROUTER: identity + empty delimiter envelope
+                out = msg.wrap(self.identity)
+            self._deliver(peer, out)
+            self._await_reply = True
+        elif self.type is SocketType.REP:
+            if self._pending_reply_to is None:
+                raise StateError("REP socket must recv a request before sending")
+            target_id = self._pending_reply_to
+            peer = self._find_peer_by_identity(target_id)
+            self._deliver(peer, msg)
+            self._pending_reply_to = None
+        elif self.type in (SocketType.PUSH, SocketType.DEALER):
+            peer = self._next_peer()
+            out = msg
+            if peer.type is SocketType.ROUTER:
+                out = msg.push_front(Frame(self.identity))
+            self._deliver(peer, out)
+        elif self.type is SocketType.ROUTER:
+            # First frame addresses the destination peer.
+            if len(msg) < 2:
+                raise SocketError("ROUTER send requires [identity, ...payload]")
+            identity, payload = msg.pop_front()
+            peer = self._find_peer_by_identity(identity.data)
+            self._deliver(peer, payload)
+        else:  # PULL
+            raise SocketError("PULL sockets cannot send")
+
+    def _find_peer_by_identity(self, identity: bytes) -> "Socket":
+        for p in self._live_peers():
+            if p.identity == identity:
+                return p
+        raise SocketError(f"no connected peer with identity {identity!r}")
+
+    # -- receive ----------------------------------------------------------------
+    def recv(self) -> Message:
+        if self.closed:
+            raise SocketError("socket is closed")
+        if self.type is SocketType.REQ and not self._await_reply:
+            raise StateError("REQ socket must send before receiving")
+        if self.type is SocketType.PUSH:
+            raise SocketError("PUSH sockets cannot receive")
+        if not self._inbox:
+            raise AgainError("no message available")
+        msg = self._inbox.popleft()
+        self.messages_received += 1
+        if self.type is SocketType.REQ:
+            self._await_reply = False
+            return msg
+        if self.type is SocketType.REP:
+            identity, payload = msg.pop_front()
+            self._pending_reply_to = identity.data
+            return payload
+        return msg
+
+    def poll(self) -> bool:
+        """True if a message is waiting."""
+        return bool(self._inbox)
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbox)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Socket({self.type.value}, id={self.identity!r}, pending={self.pending})"
+
+
+def _as_message(message: Message | bytes | list[bytes]) -> Message:
+    if isinstance(message, Message):
+        return message
+    if isinstance(message, (bytes, bytearray)):
+        return Message.of(bytes(message))
+    return Message.from_parts(message)

@@ -1,0 +1,54 @@
+"""From-scratch ML substrate (TensorFlow/Keras/scikit-learn stand-ins).
+
+DLHub serves "any Python 3-compatible model", with TensorFlow, Keras and
+Scikit-learn named explicitly. This package implements the model stacks
+the evaluation servables need, on plain NumPy:
+
+* :mod:`repro.ml.layers` / :mod:`repro.ml.network` — a Keras-like
+  ``Sequential`` model with Dense, Conv2D (im2col), pooling, batch-norm,
+  activations and an Inception-style ``Concatenate`` branch layer; forward
+  inference plus SGD training for dense networks,
+* :mod:`repro.ml.sklearn_like` — CART decision trees and random forests
+  (regressor + classifier) with real ``fit``/``predict``,
+* :mod:`repro.ml.models` — factories for the paper's benchmark models
+  (a small Inception-style image classifier and the CIFAR-10 CNN),
+* :mod:`repro.ml.serialization` — weight save/load to byte archives, so
+  model components can be staged through endpoints like real artifacts.
+"""
+
+from repro.ml.network import Sequential
+from repro.ml.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    GlobalAvgPool2D,
+    Flatten,
+    ReLU,
+    Softmax,
+    BatchNorm,
+    Dropout,
+    InceptionBlock,
+)
+from repro.ml.serialization import save_weights, load_weights
+from repro.ml.sklearn_like import DecisionTreeRegressor, RandomForestRegressor, RandomForestClassifier
+
+__all__ = [
+    "Sequential",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "ReLU",
+    "Softmax",
+    "BatchNorm",
+    "Dropout",
+    "InceptionBlock",
+    "save_weights",
+    "load_weights",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "RandomForestClassifier",
+]

@@ -1,0 +1,11 @@
+"""Factories for the paper's benchmark models."""
+
+from repro.ml.models.cifar10 import build_cifar10_cnn, CIFAR10_CLASSES
+from repro.ml.models.inception_small import build_inception_small, IMAGENET_CATEGORY_COUNT
+
+__all__ = [
+    "build_cifar10_cnn",
+    "CIFAR10_CLASSES",
+    "build_inception_small",
+    "IMAGENET_CATEGORY_COUNT",
+]

@@ -1,0 +1,69 @@
+"""The CIFAR-10 benchmark CNN.
+
+"A multi-layer convolutional neural network trained on CIFAR-10 ...
+takes a 32x32 pixel RGB image as input and classifies it in 10
+categories" (SS V-A). We build the standard conv-pool stack with
+deterministic (seeded) weights; serving experiments exercise inference,
+not training, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.ml.network import Sequential
+
+CIFAR10_CLASSES = (
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+)
+
+
+def build_cifar10_cnn(seed: int = 7) -> Sequential:
+    """Build the CIFAR-10 CNN: 3 conv blocks then a dense head.
+
+    Input ``(N, 32, 32, 3)``, output ``(N, 10)`` class probabilities.
+    """
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(3, 16, 3, padding="same", rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(16, 32, 3, padding="same", rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(32, 64, 3, padding="same", rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 4 * 64, 64, rng=rng),
+            ReLU(),
+            Dense(64, 10, rng=rng),
+            Softmax(),
+        ],
+        name="cifar10-cnn",
+    )
+
+
+def classify(model: Sequential, image: np.ndarray) -> dict:
+    """Classify one 32x32x3 image; returns label + probabilities."""
+    x = np.asarray(image, dtype=np.float64)
+    if x.shape != (32, 32, 3):
+        raise ValueError(f"CIFAR-10 input must be (32, 32, 3), got {x.shape}")
+    probs = model.predict(x[None])[0]
+    top = int(np.argmax(probs))
+    return {
+        "class_index": top,
+        "label": CIFAR10_CLASSES[top],
+        "probabilities": {CIFAR10_CLASSES[i]: float(p) for i, p in enumerate(probs)},
+    }

@@ -1,0 +1,16 @@
+"""scikit-learn-like estimators built from scratch.
+
+CART decision trees plus bagged random forests, with the familiar
+``fit`` / ``predict`` API. The matminer_model servable serves a
+:class:`RandomForestRegressor` trained on the synthetic OQMD dataset.
+"""
+
+from repro.ml.sklearn_like.tree import DecisionTreeRegressor, DecisionTreeClassifier
+from repro.ml.sklearn_like.forest import RandomForestRegressor, RandomForestClassifier
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "RandomForestRegressor",
+    "RandomForestClassifier",
+]

@@ -1,0 +1,34 @@
+"""Parsl-like parallel scripting engine.
+
+DLHub's general-purpose executor is built on Parsl's execution engine
+(SS IV-C): Python functions become *apps* returning futures, a DataFlow
+kernel resolves dependencies and dispatches tasks to executors, and on
+Kubernetes the engine deploys IPythonParallel-style engines in servable
+pods, load balancing requests across them.
+
+* :mod:`repro.parsl.futures` — AppFuture with dependency tracking,
+* :mod:`repro.parsl.app` — the ``python_app`` decorator,
+* :mod:`repro.parsl.dfk` — the DataFlowKernel (dependency resolution,
+  memoization hooks, executor routing),
+* :mod:`repro.parsl.executors` — local and cluster-backed executors,
+* :mod:`repro.parsl.ipp` — IPP-style engine pool with deterministic
+  load balancing and busy-until queueing (what Fig. 7 measures).
+"""
+
+from repro.parsl.futures import AppFuture, FutureError
+from repro.parsl.app import python_app
+from repro.parsl.dfk import DataFlowKernel
+from repro.parsl.executors import LocalExecutor, ClusterExecutor, ExecutorBase
+from repro.parsl.ipp import IPPEnginePool, EngineStats
+
+__all__ = [
+    "AppFuture",
+    "FutureError",
+    "python_app",
+    "DataFlowKernel",
+    "LocalExecutor",
+    "ClusterExecutor",
+    "ExecutorBase",
+    "IPPEnginePool",
+    "EngineStats",
+]

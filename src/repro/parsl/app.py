@@ -1,0 +1,59 @@
+"""The ``python_app`` decorator.
+
+Wrapping a function makes calls return :class:`AppFuture` objects managed
+by a :class:`DataFlowKernel`. Futures passed as arguments become
+dependencies: the kernel resolves them before running the task, enabling
+the chained pre-process -> infer -> post-process pipelines of SS VI-D.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.parsl.dfk import DataFlowKernel
+from repro.parsl.futures import AppFuture
+
+
+def python_app(
+    func: Callable | None = None,
+    *,
+    dfk: DataFlowKernel | None = None,
+    executor: str | None = None,
+    cache: bool = False,
+) -> Callable:
+    """Decorate ``func`` as a Parsl-style Python app.
+
+    Parameters
+    ----------
+    dfk:
+        The kernel to submit to. May also be supplied late via
+        ``app.dfk = kernel`` (useful at module import time).
+    executor:
+        Name of the executor the kernel should route this app to.
+    cache:
+        Enable app-level memoization in the kernel.
+    """
+
+    def decorate(f: Callable) -> Callable:
+        @functools.wraps(f)
+        def wrapper(*args: Any, **kwargs: Any) -> AppFuture:
+            kernel = wrapper.dfk  # type: ignore[attr-defined]
+            if kernel is None:
+                raise RuntimeError(
+                    f"app {f.__name__!r} has no DataFlowKernel; "
+                    "pass dfk= to python_app or set app.dfk"
+                )
+            return kernel.submit(
+                f, args, kwargs, executor=wrapper.executor, cache=wrapper.cache
+            )
+
+        wrapper.dfk = dfk  # type: ignore[attr-defined]
+        wrapper.executor = executor  # type: ignore[attr-defined]
+        wrapper.cache = cache  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = f
+        return wrapper
+
+    if func is not None:
+        return decorate(func)
+    return decorate

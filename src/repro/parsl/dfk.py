@@ -1,0 +1,150 @@
+"""The DataFlowKernel: dependency resolution, routing, memoization.
+
+Apps submit tasks; futures passed as arguments are dependencies resolved
+before execution. Tasks route to named executors. App-level memoization
+(``cache=True``) reuses results for identical ``(fn, args, kwargs)`` —
+the mechanism DLHub's Task-Manager-side cache builds on (SS V-B2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.parsl.executors import ExecutorBase, LocalExecutor
+from repro.parsl.futures import AppFuture
+from repro.sim.clock import VirtualClock
+
+
+class DFKError(RuntimeError):
+    """Raised on kernel misconfiguration (unknown executor, ...)."""
+
+
+@dataclass
+class _Task:
+    task_id: int
+    fn: Callable[..., Any]
+    args: tuple
+    kwargs: dict
+    executor: str
+    cache: bool
+    future: AppFuture
+    exec_cost_s: float = 0.0
+    depends_on: list[int] = field(default_factory=list)
+    ran: bool = False
+
+
+def _memo_key(fn: Callable, args: tuple, kwargs: dict) -> bytes:
+    """Deterministic hashable key over the call signature."""
+    payload = (getattr(fn, "__qualname__", repr(fn)), args, sorted(kwargs.items()))
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class DataFlowKernel:
+    """Coordinates app execution across executors."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock or VirtualClock()
+        self.executors: dict[str, ExecutorBase] = {"local": LocalExecutor(self.clock)}
+        self.default_executor = "local"
+        self._tasks: dict[int, _Task] = {}
+        self._ids = itertools.count(1)
+        self._memo: dict[bytes, Any] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # -- configuration ------------------------------------------------------------
+    def add_executor(self, name: str, executor: ExecutorBase) -> None:
+        if name in self.executors:
+            raise DFKError(f"executor {name!r} already registered")
+        self.executors[name] = executor
+
+    # -- submission ----------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        executor: str | None = None,
+        cache: bool = False,
+        exec_cost_s: float = 0.0,
+    ) -> AppFuture:
+        kwargs = kwargs or {}
+        name = executor or self.default_executor
+        if name not in self.executors:
+            raise DFKError(f"unknown executor {name!r}")
+        task_id = next(self._ids)
+        future = AppFuture(task_id, self, label=getattr(fn, "__name__", "app"))
+        deps = [
+            a.task_id for a in list(args) + list(kwargs.values())
+            if isinstance(a, AppFuture)
+        ]
+        self._tasks[task_id] = _Task(
+            task_id=task_id,
+            fn=fn,
+            args=args,
+            kwargs=kwargs,
+            executor=name,
+            cache=cache,
+            future=future,
+            exec_cost_s=exec_cost_s,
+            depends_on=deps,
+        )
+        return future
+
+    # -- execution -------------------------------------------------------------------
+    def _drive(self, task_id: int) -> None:
+        """Run ``task_id`` (and, transitively, its dependencies)."""
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise DFKError(f"unknown task {task_id}")
+        if task.ran:
+            return
+        # Resolve dependencies depth-first (deterministic submission order).
+        for dep in task.depends_on:
+            self._drive(dep)
+        args = tuple(
+            a.result() if isinstance(a, AppFuture) else a for a in task.args
+        )
+        kwargs = {
+            k: (v.result() if isinstance(v, AppFuture) else v)
+            for k, v in task.kwargs.items()
+        }
+        task.ran = True
+        task.future._set_running()
+        if task.cache:
+            try:
+                key = _memo_key(task.fn, args, kwargs)
+            except Exception:
+                key = None
+            if key is not None and key in self._memo:
+                self.memo_hits += 1
+                task.future._set_result(self._memo[key])
+                return
+            self.memo_misses += 1
+        else:
+            key = None
+        executor = self.executors[task.executor]
+        try:
+            result = executor.execute(task.fn, args, kwargs, task.exec_cost_s)
+        except Exception as exc:
+            task.future._set_exception(exc)
+            return
+        if key is not None:
+            self._memo[key] = result
+        task.future._set_result(result)
+
+    def run_all(self) -> None:
+        """Drive every submitted task to completion."""
+        for task_id in sorted(self._tasks):
+            self._drive(task_id)
+
+    # -- introspection ------------------------------------------------------------------
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    def clear_memo(self) -> None:
+        self._memo.clear()

@@ -1,0 +1,95 @@
+"""Parsl executors: local threads-like and cluster-backed (IPP) variants."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.deployment import Deployment
+from repro.parsl.ipp import IPPEnginePool
+from repro.sim.clock import VirtualClock
+
+
+class ExecutorBase:
+    """Executor interface: run a callable, return its value.
+
+    ``execute`` returns ``(result, exec_cost_charged)`` so the kernel can
+    account time without re-deriving costs.
+    """
+
+    label = "base"
+
+    def execute(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        exec_cost_s: float = 0.0,
+    ) -> Any:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class LocalExecutor(ExecutorBase):
+    """Runs tasks in-process (the Parsl ThreadPool executor stand-in).
+
+    Used for pre/post-processing functions that do not need a servable
+    container, and by the toolbox's run-local mode.
+    """
+
+    label = "local"
+
+    def __init__(self, clock: VirtualClock, overhead_s: float = 0.0002) -> None:
+        self.clock = clock
+        self.overhead_s = overhead_s
+        self.tasks_run = 0
+
+    def execute(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        exec_cost_s: float = 0.0,
+    ) -> Any:
+        self.clock.advance(self.overhead_s + exec_cost_s)
+        self.tasks_run += 1
+        return fn(*args, **kwargs)
+
+
+class ClusterExecutor(ExecutorBase):
+    """Dispatches tasks to IPP engines in a deployment's pods.
+
+    One :class:`IPPEnginePool` per deployment; the pool does least-busy
+    load balancing and busy-until queue accounting.
+    """
+
+    label = "cluster"
+
+    def __init__(self, clock: VirtualClock, deployment: Deployment) -> None:
+        self.clock = clock
+        self.deployment = deployment
+        self.pool = IPPEnginePool(clock, deployment.ready_pods())
+
+    def refresh(self) -> None:
+        """Re-sync engines after the deployment scales."""
+        self.pool.set_pods(self.deployment.ready_pods())
+
+    def execute(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        exec_cost_s: float = 0.0,
+    ) -> Any:
+        # fn is executed inside the pod container (fn=None routes to the
+        # pod handler); a non-None fn is shipped to the engine.
+        if fn is None:
+            result, _pod = self.pool.dispatch_to_pod(args, kwargs, exec_cost_s)
+        else:
+            result, _pod = self.pool.dispatch(fn, args, kwargs, exec_cost_s)
+        self.pool.collect()
+        return result
+
+    def makespan_drain(self) -> float:
+        return self.pool.drain()

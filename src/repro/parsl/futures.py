@@ -1,0 +1,84 @@
+"""Futures for app invocations.
+
+Synchronous discrete-event execution means a future is either already
+resolvable (its task ran) or pending because it waits on upstream futures.
+``result()`` forces evaluation through the owning kernel.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable
+
+
+class FutureError(RuntimeError):
+    """Raised when a future's task failed and its result is requested."""
+
+
+class FutureState(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class AppFuture:
+    """Result handle for one app invocation."""
+
+    def __init__(self, task_id: int, kernel: "Any", label: str = "") -> None:
+        self.task_id = task_id
+        self.label = label
+        self._kernel = kernel
+        self._state = FutureState.PENDING
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["AppFuture"], None]] = []
+
+    # -- state transitions (kernel-internal) ---------------------------------------
+    def _set_running(self) -> None:
+        self._state = FutureState.RUNNING
+
+    def _set_result(self, value: Any) -> None:
+        self._result = value
+        self._state = FutureState.DONE
+        for cb in self._callbacks:
+            cb(self)
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._state = FutureState.FAILED
+        for cb in self._callbacks:
+            cb(self)
+
+    # -- public API ------------------------------------------------------------------
+    def done(self) -> bool:
+        return self._state in (FutureState.DONE, FutureState.FAILED)
+
+    def result(self) -> Any:
+        """Block (by driving the kernel) until this task completes."""
+        if not self.done():
+            self._kernel._drive(self.task_id)
+        if self._state is FutureState.FAILED:
+            assert self._exception is not None
+            raise FutureError(
+                f"task {self.task_id} ({self.label or 'app'}) failed: {self._exception}"
+            ) from self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        if not self.done():
+            self._kernel._drive(self.task_id)
+        return self._exception
+
+    def add_done_callback(self, callback: Callable[["AppFuture"], None]) -> None:
+        if self.done():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    @property
+    def state(self) -> str:
+        return self._state.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AppFuture(task={self.task_id}, state={self._state.value})"

@@ -1,0 +1,35 @@
+"""Baseline serving systems for the Fig. 8 comparison.
+
+Each backend deploys model containers on the Kubernetes cluster and
+exposes ``invoke``; invocation really executes the packaged model handler
+and charges a backend-specific virtual-time cost profile:
+
+* :mod:`repro.serving.tfserving` — the C++ ``tensorflow_model_server``
+  stand-in, with gRPC and REST APIs (lowest per-request cost),
+* :mod:`repro.serving.sagemaker` — SageMaker containers: native Flask
+  HTTP path, or delegation to TF Serving (gRPC/REST),
+* :mod:`repro.serving.clipper` — Clipper: a query-frontend pod with an
+  in-cluster memoization cache and RPC hops to model containers.
+
+The DLHub/Parsl path lives in :mod:`repro.core.executors`; Fig. 8's shape
+comes from these explicit cost profiles (see ``repro.sim.calibration``).
+"""
+
+from repro.serving.base import ServingBackend, ModelSpec, InvocationResult
+from repro.serving.protocols import ProtocolProfile, GRPC, REST, FLASK_HTTP
+from repro.serving.tfserving import TFServingBackend
+from repro.serving.sagemaker import SageMakerBackend
+from repro.serving.clipper import ClipperBackend
+
+__all__ = [
+    "ServingBackend",
+    "ModelSpec",
+    "InvocationResult",
+    "ProtocolProfile",
+    "GRPC",
+    "REST",
+    "FLASK_HTTP",
+    "TFServingBackend",
+    "SageMakerBackend",
+    "ClipperBackend",
+]

@@ -1,0 +1,49 @@
+"""Wire-protocol cost profiles (gRPC vs REST vs Flask HTTP).
+
+The paper attributes TF Serving's edge to its C++ core and gRPC's edge
+over REST to HTTP/JSON overhead (SS V-B5). Each profile carries a fixed
+per-request protocol cost plus a serialization efficiency factor applied
+to payload bytes (protobuf is denser than JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import calibration as cal
+
+
+@dataclass(frozen=True)
+class ProtocolProfile:
+    """Per-request protocol cost model."""
+
+    name: str
+    #: Fixed protocol handling cost per request (framing, codec, HTTP state).
+    per_request_s: float
+    #: Multiplier on payload bytes (JSON inflates payloads ~1.3x over raw;
+    #: protobuf is ~1.0).
+    payload_inflation: float
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        return int(payload_bytes * self.payload_inflation)
+
+
+#: gRPC: HTTP/2 + protobuf.
+GRPC = ProtocolProfile(name="gRPC", per_request_s=cal.GRPC_PROTOCOL_S, payload_inflation=1.0)
+
+#: REST: HTTP/1.1 + JSON.
+REST = ProtocolProfile(name="REST", per_request_s=cal.REST_PROTOCOL_S, payload_inflation=1.35)
+
+#: Flask development-grade HTTP stack (SageMaker's native serving path).
+FLASK_HTTP = ProtocolProfile(
+    name="Flask", per_request_s=cal.FLASK_SERVER_S, payload_inflation=1.35
+)
+
+
+def profile(name: str) -> ProtocolProfile:
+    """Look up a profile by case-insensitive name."""
+    table = {"grpc": GRPC, "rest": REST, "flask": FLASK_HTTP}
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown protocol {name!r}; choose from {sorted(table)}") from None

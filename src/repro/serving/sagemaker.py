@@ -1,0 +1,66 @@
+"""SageMaker stand-in: Flask-native serving or TF-Serving delegation.
+
+SageMaker containers expose "a Python Flask application ... an HTTP-based
+model inference interface" (SS IV-C); they can alternatively serve
+TensorFlow models through an embedded TF Serving (SS V-B5's
+SageMaker-TFServing-gRPC/REST variants). The Flask path pays the Python
+WSGI stack cost on every request — the slowest full path in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from repro.serving.base import ModelSpec, ServingBackend
+from repro.serving.protocols import FLASK_HTTP, profile
+from repro.sim import calibration as cal
+
+
+class SageMakerBackend(ServingBackend):
+    """A SageMaker-style model server.
+
+    Parameters
+    ----------
+    mode:
+        ``"flask"`` (native path), ``"tfserving-grpc"`` or
+        ``"tfserving-rest"`` (embedded TF Serving; model must be
+        TF-exportable).
+    """
+
+    MODES = ("flask", "tfserving-grpc", "tfserving-rest")
+
+    def __init__(self, clock, cluster, link, mode: str = "flask") -> None:
+        super().__init__(clock, cluster, link)
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.mode = mode
+        self.name = f"sagemaker-{mode}"
+
+    def _base_image(self) -> str:
+        return "python:3.7"
+
+    def deploy(self, spec: ModelSpec, replicas: int = 1):
+        if self.mode.startswith("tfserving"):
+            from repro.serving.tfserving import TF_EXPORTABLE_KEYS, NotServableError
+
+            if spec.key not in TF_EXPORTABLE_KEYS:
+                raise NotServableError(
+                    f"SageMaker {self.mode} requires a TF-exportable model, "
+                    f"got key={spec.key!r}"
+                )
+        return super().deploy(spec, replicas)
+
+    def _protocol(self):
+        if self.mode == "flask":
+            return FLASK_HTTP
+        return profile(self.mode.split("-", 1)[1])
+
+    def _serve_cost(self, spec: ModelSpec) -> float:
+        proto = self._protocol()
+        if self.mode == "flask":
+            # Flask profile already includes the Python server cost.
+            return proto.per_request_s
+        # Embedded TF Serving: C++ core + chosen protocol, plus a small
+        # SageMaker routing layer on top.
+        return cal.TFSERVING_CORE_S + proto.per_request_s + 0.0006
+
+    def _wire_bytes(self, nbytes: int) -> int:
+        return self._protocol().wire_bytes(nbytes)

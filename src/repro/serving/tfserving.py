@@ -1,0 +1,53 @@
+"""TensorFlow-Serving stand-in: C++ core, gRPC or REST APIs.
+
+"TensorFlow Serving provides the lowest latency serving of any of the
+surveyed platforms ... built in C++" (SS III-B2). The backend's
+per-request cost is the calibrated C++ core cost plus the chosen
+protocol's cost — which is why TFServing-gRPC wins Fig. 8 and
+TFServing-REST trails it slightly.
+
+Only TensorFlow-exportable models ("servables" in TF terminology) can be
+deployed: model specs must be flagged as TF-exportable. This reproduces
+the real restriction that excluded e.g. arbitrary Python functions from
+TF Serving (Table II, "Model types: TF Servables").
+"""
+
+from __future__ import annotations
+
+from repro.serving.base import ModelSpec, ServingBackend
+from repro.serving.protocols import ProtocolProfile, profile
+from repro.sim import calibration as cal
+
+
+class NotServableError(TypeError):
+    """Raised when deploying a model TF Serving cannot export."""
+
+
+#: Model keys known to be exportable as TF servables in our model zoo.
+TF_EXPORTABLE_KEYS = {"inception", "cifar10", "noop"}
+
+
+class TFServingBackend(ServingBackend):
+    """The ``tensorflow_model_server`` stand-in."""
+
+    def __init__(self, clock, cluster, link, protocol: str | ProtocolProfile = "grpc") -> None:
+        super().__init__(clock, cluster, link)
+        self.protocol = profile(protocol) if isinstance(protocol, str) else protocol
+        self.name = f"tfserving-{self.protocol.name.lower()}"
+
+    def _base_image(self) -> str:
+        return "tensorflow/serving:latest"
+
+    def deploy(self, spec: ModelSpec, replicas: int = 1):
+        if spec.key not in TF_EXPORTABLE_KEYS:
+            raise NotServableError(
+                f"model {spec.name!r} (key={spec.key!r}) cannot be exported as a "
+                "TF servable; TF Serving only serves TensorFlow graphs"
+            )
+        return super().deploy(spec, replicas)
+
+    def _serve_cost(self, spec: ModelSpec) -> float:
+        return cal.TFSERVING_CORE_S + self.protocol.per_request_s
+
+    def _wire_bytes(self, nbytes: int) -> int:
+        return self.protocol.wire_bytes(nbytes)

@@ -1,0 +1,132 @@
+"""Virtual clock primitives.
+
+The entire reproduction runs on virtual time: components call
+:meth:`VirtualClock.advance` to charge latency costs and
+:meth:`VirtualClock.now` to timestamp events. Benchmarks read elapsed
+virtual seconds with :class:`Stopwatch`.
+
+Virtual time is monotonic; advancing by a negative amount is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ClockError(RuntimeError):
+    """Raised on invalid clock operations (e.g. negative advance)."""
+
+
+@dataclass
+class VirtualClock:
+    """A monotonic virtual clock measured in (virtual) seconds.
+
+    Parameters
+    ----------
+    start:
+        Initial timestamp. Defaults to ``0.0``.
+
+    Examples
+    --------
+    >>> clock = VirtualClock()
+    >>> clock.advance(0.5)
+    0.5
+    >>> clock.now()
+    0.5
+    """
+
+    start: float = 0.0
+    _now: float = field(init=False, default=0.0)
+    _advances: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ClockError(f"clock cannot start at negative time {self.start!r}")
+        self._now = float(self.start)
+
+    def now(self) -> float:
+        """Return the current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Raises
+        ------
+        ClockError
+            If ``seconds`` is negative or not finite.
+        """
+        s = float(seconds)
+        if not s >= 0.0:  # catches negatives and NaN
+            raise ClockError(f"cannot advance clock by {seconds!r}")
+        self._now += s
+        self._advances += 1
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute ``timestamp``.
+
+        Moving backwards is an error; advancing to the current time is allowed.
+        """
+        t = float(timestamp)
+        if t < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now!r}, target={t!r}"
+            )
+        self._now = t
+        self._advances += 1
+        return self._now
+
+    @property
+    def advances(self) -> int:
+        """Number of ``advance``/``advance_to`` calls made (diagnostics)."""
+        return self._advances
+
+    def stopwatch(self) -> "Stopwatch":
+        """Create a :class:`Stopwatch` bound to this clock, started now."""
+        return Stopwatch(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now:.6f}s)"
+
+
+class Stopwatch:
+    """Measures elapsed virtual time between construction and :meth:`elapsed`.
+
+    Can be used as a context manager::
+
+        with clock.stopwatch() as sw:
+            do_work(clock)
+        print(sw.elapsed())
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start = clock.now()
+        self._stop: float | None = None
+
+    def restart(self) -> None:
+        """Reset the start time to the clock's current time."""
+        self._start = self._clock.now()
+        self._stop = None
+
+    def stop(self) -> float:
+        """Freeze the stopwatch and return the elapsed time."""
+        self._stop = self._clock.now()
+        return self._stop - self._start
+
+    def elapsed(self) -> float:
+        """Elapsed virtual seconds (frozen value if stopped)."""
+        end = self._stop if self._stop is not None else self._clock.now()
+        return end - self._start
+
+    @property
+    def start_time(self) -> float:
+        return self._start
+
+    def __enter__(self) -> "Stopwatch":
+        self.restart()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

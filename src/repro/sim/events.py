@@ -1,0 +1,118 @@
+"""A minimal discrete-event scheduler.
+
+Components that need future callbacks (pod startup completion, token
+expiry sweeps, redelivery timers) schedule :class:`Event` objects on an
+:class:`EventLoop` that shares the experiment's :class:`VirtualClock`.
+
+The loop is deliberately simple: events fire in timestamp order (ties
+broken by insertion order), and running the loop advances the clock to
+each event's deadline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(when, sequence)`` so FIFO among simultaneous events.
+    """
+
+    when: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Discrete-event loop over a shared :class:`VirtualClock`."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._fired = 0
+
+    def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}")
+        ev = Event(self.clock.now() + delay, next(self._counter), callback, name)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, when: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now()}, when={when}"
+            )
+        ev = Event(when, next(self._counter), callback, name)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Total events executed."""
+        return self._fired
+
+    def run_next(self) -> Event | None:
+        """Pop and run the next pending event, advancing the clock to it.
+
+        Returns the event that ran, or ``None`` if the loop is empty.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.when)
+            ev.callback()
+            self._fired += 1
+            return ev
+        return None
+
+    def run_until(self, deadline: float) -> int:
+        """Run all events with ``when <= deadline``; advance clock to deadline.
+
+        Returns the number of events executed.
+        """
+        count = 0
+        while self._heap:
+            ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if ev.when > deadline:
+                break
+            self.run_next()
+            count += 1
+        if self.clock.now() < deadline:
+            self.clock.advance_to(deadline)
+        return count
+
+    def run_all(self, max_events: int | None = None) -> int:
+        """Drain the loop (optionally bounded); returns events executed."""
+        count = 0
+        while self._heap:
+            if max_events is not None and count >= max_events:
+                break
+            if self.run_next() is None:
+                break
+            count += 1
+        return count

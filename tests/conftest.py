@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture(scope="session")
+def session_zoo():
+    """One small trained model zoo shared by tests that only read it."""
+    from repro.core.zoo import build_zoo
+
+    return build_zoo(oqmd_entries=60, n_estimators=5, max_depth=8)
+
+
+@pytest.fixture
+def testbed():
+    """A fresh full deployment (no jitter, memoization on)."""
+    from repro.core.testbed import build_testbed
+
+    return build_testbed(jitter=False)
+
+
+@pytest.fixture
+def testbed_nomemo():
+    from repro.core.testbed import build_testbed
+
+    return build_testbed(jitter=False, memoize_tm=False)

@@ -1,0 +1,97 @@
+"""Unit tests for Dockerfile synthesis and parsing."""
+
+import pytest
+
+from repro.containers.dockerfile import Dockerfile, DockerfileError
+
+
+class TestBuilderAPI:
+    def test_fluent_construction(self):
+        df = (
+            Dockerfile()
+            .from_("python:3.7")
+            .pip_install(["numpy", "keras"])
+            .copy("model/", "/opt/model/")
+            .env("MODE", "serve")
+            .entrypoint("python serve.py")
+        )
+        text = df.render()
+        assert text.startswith("FROM python:3.7")
+        assert "pip install --no-cache-dir keras numpy" in text
+        assert "COPY model/ /opt/model/" in text
+        assert "ENV MODE=serve" in text
+        assert text.rstrip().endswith("ENTRYPOINT python serve.py")
+
+    def test_from_only_once(self):
+        df = Dockerfile().from_("a")
+        with pytest.raises(DockerfileError):
+            df.from_("b")
+
+    def test_base_image_accessor(self):
+        assert Dockerfile().from_("ubuntu:18.04").base_image == "ubuntu:18.04"
+        with pytest.raises(DockerfileError):
+            Dockerfile().base_image
+
+    def test_copied_paths(self):
+        df = Dockerfile().from_("x").copy("a", "/a").copy("b", "/b")
+        assert df.copied_paths() == [("a", "/a"), ("b", "/b")]
+
+    def test_labels(self):
+        df = Dockerfile().from_("x").label("dlhub.servable", "cifar10")
+        assert df.labels() == {"dlhub.servable": "cifar10"}
+
+    def test_empty_pip_install_is_noop(self):
+        df = Dockerfile().from_("x").pip_install([])
+        assert len(df.instructions) == 1
+
+    def test_apt_install(self):
+        df = Dockerfile().from_("x").apt_install(["git", "curl"])
+        assert "apt-get install -y curl git" in df.render()
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(DockerfileError):
+            Dockerfile().validate()
+
+    def test_must_start_with_from(self):
+        df = Dockerfile()
+        df.instructions.append(("RUN", "echo hi"))
+        with pytest.raises(DockerfileError):
+            df.validate()
+
+    def test_unknown_instruction_rejected(self):
+        df = Dockerfile().from_("x")
+        df.instructions.append(("TELEPORT", "mars"))
+        with pytest.raises(DockerfileError):
+            df.validate()
+
+
+class TestParser:
+    def test_roundtrip(self):
+        original = (
+            Dockerfile()
+            .from_("python:3.7")
+            .run("pip install numpy")
+            .copy("src", "/app")
+            .entrypoint("python /app/main.py")
+        )
+        parsed = Dockerfile.parse(original.render())
+        assert parsed.instructions == original.instructions
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\nFROM python:3.7\n  \nRUN echo hi\n"
+        df = Dockerfile.parse(text)
+        assert len(df.instructions) == 2
+
+    def test_case_insensitive_instructions(self):
+        df = Dockerfile.parse("from python:3.7\nrun echo hi\n")
+        assert df.instructions[0] == ("FROM", "python:3.7")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(DockerfileError):
+            Dockerfile.parse("FROM python:3.7\nJUSTONEWORD\n")
+
+    def test_unknown_instruction_in_text(self):
+        with pytest.raises(DockerfileError):
+            Dockerfile.parse("FROM x\nFLY away\n")

@@ -1,0 +1,89 @@
+"""Unit tests for the Singularity adapter (unprivileged HPC execution)."""
+
+import pytest
+
+from repro.containers.image import Image, Layer
+from repro.containers.singularity import (
+    SingularityError,
+    SingularityImage,
+    SingularityRuntime,
+)
+from repro.sim.clock import VirtualClock
+
+
+def make_image(handler=lambda x: x + 1):
+    return Image(
+        repository="dlhub/hpc-model",
+        tag="v1",
+        layers=[Layer("base", extra_bytes=10_000_000)],
+        handler=handler,
+    )
+
+
+@pytest.fixture
+def runtime():
+    return SingularityRuntime(VirtualClock(), node_name="theta")
+
+
+class TestConversion:
+    def test_from_docker(self):
+        sif = SingularityImage.from_docker(make_image())
+        assert sif.name.endswith(".sif")
+        assert sif.size == 10_000_000
+
+    def test_handlerless_image_rejected(self):
+        bare = Image(repository="x", tag="y", layers=[Layer("l")])
+        with pytest.raises(SingularityError):
+            SingularityImage.from_docker(bare)
+
+    def test_build_charges_flatten_cost(self, runtime):
+        runtime.build(make_image())
+        expected = 10_000_000 * SingularityRuntime.BUILD_PER_BYTE_S
+        assert runtime.clock.now() == pytest.approx(expected)
+
+    def test_build_cached_by_digest(self, runtime):
+        image = make_image()
+        runtime.build(image)
+        t = runtime.clock.now()
+        runtime.build(image)
+        assert runtime.clock.now() == t
+
+
+class TestExecution:
+    def test_start_and_exec(self, runtime):
+        sif = runtime.build(make_image())
+        instance = runtime.start(sif)
+        assert runtime.exec(instance, 41) == 42
+        assert instance.exec_count == 1
+
+    def test_start_cheaper_than_docker(self, runtime):
+        from repro.sim import calibration as cal
+
+        assert SingularityRuntime.START_COST_S < cal.CONTAINER_START_S
+
+    def test_stopped_instance_rejects_exec(self, runtime):
+        sif = runtime.build(make_image())
+        instance = runtime.start(sif)
+        runtime.stop(instance)
+        with pytest.raises(SingularityError):
+            runtime.exec(instance, 1)
+
+    def test_unprivileged_contrast_with_clipper(self):
+        """The structural point of SS III-B4: Clipper needs privileged
+        Docker; Singularity path doesn't — verified via ClipperBackend."""
+        from repro.cluster.cluster import petrelkube
+        from repro.containers.registry import ContainerRegistry
+        from repro.serving.base import ModelSpec
+        from repro.serving.clipper import ClipperBackend, PrivilegeError
+        from repro.sim.latency import NetworkLink
+
+        clock = VirtualClock()
+        cluster = petrelkube(clock, ContainerRegistry())
+        for node in cluster.nodes:
+            node.runtime.privileged = False  # HPC-style nodes
+        clipper = ClipperBackend(
+            clock, cluster, NetworkLink("l", 0.0001), memoization=False
+        )
+        spec = ModelSpec.from_calibration("m", "noop", lambda: "hi")
+        with pytest.raises(PrivilegeError):
+            clipper.deploy(spec)

@@ -1,0 +1,161 @@
+"""Unit tests for the adaptive batching + autoscaling extensions."""
+
+import math
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveBatcher,
+    Autoscaler,
+    ProfileError,
+    ServableProfile,
+)
+from repro.core.zoo import build_zoo, sample_input
+from repro.sim import calibration as cal
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False, memoize_tm=False)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    for name in ("noop", "matminer_featurize", "inception"):
+        testbed.publish_and_deploy(zoo[name])
+    return testbed, zoo
+
+
+class TestServableProfile:
+    def test_fit_recovers_linear_model(self):
+        profile = ServableProfile("m")
+        for n in (1, 5, 10, 50):
+            profile.observe(n, 0.002 + 0.001 * n)
+        intercept, slope = profile.fit()
+        assert intercept == pytest.approx(0.002, abs=1e-6)
+        assert slope == pytest.approx(0.001, abs=1e-6)
+
+    def test_fit_needs_two_distinct_sizes(self):
+        profile = ServableProfile("m")
+        profile.observe(4, 0.01)
+        profile.observe(4, 0.011)
+        with pytest.raises(ProfileError):
+            profile.fit()
+
+    def test_max_batch_for_latency(self):
+        profile = ServableProfile("m")
+        for n in (1, 10):
+            profile.observe(n, 0.002 + 0.001 * n)
+        assert profile.max_batch_for_latency(0.012) == 10
+        assert profile.max_batch_for_latency(0.0021) == 1  # budget ~ intercept
+
+    def test_invalid_observation(self):
+        with pytest.raises(ValueError):
+            ServableProfile("m").observe(0, 0.1)
+
+
+class TestAdaptiveBatcher:
+    def test_outputs_preserve_order_and_values(self, env):
+        testbed, zoo = env
+        batcher = AdaptiveBatcher(
+            testbed.parsl_executor, "matminer_featurize", latency_budget_s=0.2
+        )
+        inputs = [({"Na": 0.5, "Cl": 0.5},), ({"Mg": 0.5, "O": 0.5},)] * 6
+        outputs = batcher.run(inputs)
+        assert len(outputs) == 12
+        direct = zoo["matminer_featurize"].run({"Na": 0.5, "Cl": 0.5})
+        import numpy as np
+
+        assert np.allclose(outputs[0], direct)
+
+    def test_batch_sizes_respect_budget_after_warmup(self, env):
+        testbed, _ = env
+        budget = 0.050
+        batcher = AdaptiveBatcher(
+            testbed.parsl_executor, "noop", latency_budget_s=budget, bootstrap_batch=4
+        )
+        # Warm-up flushes build the profile.
+        batcher.run([()] * 40)
+        warm_decisions = batcher.decisions[-3:]
+        for decision in warm_decisions:
+            if not math.isnan(decision.predicted_time_s):
+                assert decision.predicted_time_s <= budget * 1.25
+
+    def test_adaptive_sizes_grow_for_cheap_servables(self, env):
+        testbed, _ = env
+        batcher = AdaptiveBatcher(
+            testbed.parsl_executor, "noop", latency_budget_s=0.5, bootstrap_batch=2
+        )
+        batcher.run([()] * 8)  # bootstrap
+        batcher.run([()] * 300)
+        assert max(d.batch_size for d in batcher.decisions) > 2
+
+    def test_pending_counter(self, env):
+        testbed, _ = env
+        batcher = AdaptiveBatcher(testbed.parsl_executor, "noop")
+        batcher.submit(())
+        batcher.submit(())
+        assert batcher.pending == 2
+        batcher.flush()
+        assert batcher.pending == 0
+
+    def test_invalid_budget(self, env):
+        testbed, _ = env
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(testbed.parsl_executor, "noop", latency_budget_s=0)
+
+
+class TestAutoscaler:
+    def test_saturation_matches_fig7_model(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        expected = math.ceil(
+            (cal.SERVABLE_SHIM_S + cal.inference_cost("inception"))
+            / cal.PARSL_DISPATCH_S
+        )
+        assert scaler.saturation_replicas("inception") == expected
+        assert 10 <= expected <= 22  # the ~15-replica knee
+
+    def test_recommendation_scales_with_load(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        low = scaler.recommend("inception", 30.0)
+        high = scaler.recommend("inception", 300.0)
+        assert low < high
+
+    def test_recommendation_capped_at_saturation(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        huge = scaler.recommend("inception", 1e6)
+        assert huge == scaler.saturation_replicas("inception")
+
+    def test_autoscale_applies(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        decision = scaler.autoscale("matminer_featurize", 100.0)
+        assert decision.applied
+        assert (
+            testbed.parsl_executor.replicas("matminer_featurize")
+            == decision.recommended_replicas
+        )
+
+    def test_scaled_deployment_meets_demand(self, env):
+        """End-to-end: autoscaled replicas actually sustain the rate."""
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        rate = 80.0  # requests/second
+        scaler.autoscale("matminer_featurize", rate)
+        n = 300
+        makespan = testbed.parsl_executor.submit_stream(
+            "matminer_featurize", [sample_input("matminer_featurize")] * n
+        )
+        assert n / makespan >= rate * 0.9
+
+    def test_unknown_servable(self, env):
+        testbed, _ = env
+        with pytest.raises(ProfileError):
+            Autoscaler(testbed.parsl_executor).recommend("ghost", 1.0)
+
+    def test_negative_rate_rejected(self, env):
+        testbed, _ = env
+        with pytest.raises(ValueError):
+            Autoscaler(testbed.parsl_executor).recommend("inception", -1.0)

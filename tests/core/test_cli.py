@@ -1,0 +1,121 @@
+"""Unit tests for the Git-like CLI."""
+
+import json
+
+import pytest
+
+from repro.core import cli as cli_mod
+from repro.core.cli import (
+    CLIError,
+    build_parser,
+    cmd_init,
+    cmd_ls,
+    cmd_publish,
+    cmd_run,
+    cmd_update,
+)
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    """Isolated working directory and tracking file."""
+    monkeypatch.setattr(cli_mod, "TRACK_FILE", tmp_path / "tracked.json")
+    return tmp_path
+
+
+@pytest.fixture(scope="module")
+def service():
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False)
+    return testbed
+
+
+class TestInit:
+    def test_creates_dlhub_dir(self, workdir):
+        path = cmd_init(workdir, "my_model", "My model")
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert doc["dlhub"]["name"] == "my_model"
+        assert (workdir / ".dlhub").is_dir()
+
+    def test_refuses_overwrite_without_force(self, workdir):
+        cmd_init(workdir, "m", "T")
+        with pytest.raises(CLIError):
+            cmd_init(workdir, "m", "T")
+        cmd_init(workdir, "m", "T", force=True)
+
+    def test_tracks_servable(self, workdir):
+        cmd_init(workdir, "m1", "T")
+        entries = cmd_ls()
+        assert entries[0]["name"] == "m1"
+        assert entries[0]["path"] == str(workdir.resolve())
+
+
+class TestUpdate:
+    def test_dotted_updates(self, workdir):
+        cmd_init(workdir, "m", "T")
+        doc = cmd_update(workdir, {"dlhub.model_type": "keras", "dlhub.domain": "vision"})
+        assert doc["dlhub"]["model_type"] == "keras"
+        assert doc["dlhub"]["domain"] == "vision"
+
+    def test_update_validates(self, workdir):
+        cmd_init(workdir, "m", "T")
+        with pytest.raises(Exception):  # SchemaError
+            cmd_update(workdir, {"dlhub.model_type": "prolog"})
+
+    def test_update_without_init(self, workdir):
+        with pytest.raises(CLIError):
+            cmd_update(workdir, {"dlhub.domain": "x"})
+
+
+class TestLs:
+    def test_empty_when_nothing_tracked(self, workdir):
+        assert cmd_ls() == []
+
+    def test_multiple_tracked(self, workdir, tmp_path):
+        d1 = tmp_path / "a"
+        d2 = tmp_path / "b"
+        d1.mkdir(), d2.mkdir()
+        cmd_init(d1, "m1", "T")
+        cmd_init(d2, "m2", "T")
+        assert {e["name"] for e in cmd_ls()} == {"m1", "m2"}
+
+
+class TestPublishRun:
+    def test_publish_flow(self, workdir, service):
+        cmd_init(workdir, "cli_published", "From the CLI")
+        published = cmd_publish(workdir, service.management, service.token)
+        assert published.full_name.endswith("/cli_published")
+
+    def test_publish_without_init(self, workdir, service):
+        with pytest.raises(CLIError):
+            cmd_publish(workdir, service.management, service.token)
+
+    def test_run_roundtrip(self, workdir, service):
+        cmd_init(workdir, "cli_echo", "Echo")
+        published = cmd_publish(workdir, service.management, service.token)
+        service.task_manager.register_servable(
+            published.servable, published.build.image
+        )
+        value = cmd_run(service.management, service.token, "cli_echo", '{"a": 1}')
+        assert value == {"a": 1}
+
+    def test_run_bad_json(self, service):
+        with pytest.raises(CLIError, match="JSON"):
+            cmd_run(service.management, service.token, "anything", "{broken")
+
+
+class TestParser:
+    def test_all_paper_commands_present(self):
+        parser = build_parser()
+        for command in ("init", "update", "publish", "run", "ls"):
+            args = {
+                "init": ["init", "--name", "m"],
+                "update": ["update", "dlhub.domain=x"],
+                "publish": ["publish"],
+                "run": ["run", "servable", "{}"],
+                "ls": ["ls"],
+            }[command]
+            parsed = parser.parse_args(args)
+            assert parsed.command == command

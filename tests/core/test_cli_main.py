@@ -1,0 +1,57 @@
+"""Tests for the CLI entry point (argv handling, exit codes, output)."""
+
+import json
+
+import pytest
+
+from repro.core import cli as cli_mod
+from repro.core.cli import main
+
+
+@pytest.fixture
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setattr(cli_mod, "TRACK_FILE", tmp_path / "tracked.json")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestMain:
+    def test_init_success_exit_zero(self, isolated, capsys):
+        assert main(["init", "--name", "cli_model", "--title", "T"]) == 0
+        out = capsys.readouterr().out
+        assert "metadata.json" in out
+        assert (isolated / ".dlhub" / "metadata.json").exists()
+
+    def test_init_twice_errors(self, isolated, capsys):
+        main(["init", "--name", "m"])
+        assert main(["init", "--name", "m"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_update_success(self, isolated, capsys):
+        main(["init", "--name", "m"])
+        assert main(["update", "dlhub.domain=materials"]) == 0
+        doc = json.loads((isolated / ".dlhub" / "metadata.json").read_text())
+        assert doc["dlhub"]["domain"] == "materials"
+
+    def test_update_bad_assignment(self, isolated, capsys):
+        main(["init", "--name", "m"])
+        assert main(["update", "no-equals-sign"]) == 1
+
+    def test_update_schema_violation(self, isolated, capsys):
+        main(["init", "--name", "m"])
+        assert main(["update", "dlhub.model_type=prolog"]) == 1
+
+    def test_ls_lists_tracked(self, isolated, capsys):
+        main(["init", "--name", "m1"])
+        capsys.readouterr()
+        assert main(["ls"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing[0]["name"] == "m1"
+
+    def test_unknown_command_exits_nonzero(self, isolated):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_no_command_exits_nonzero(self, isolated):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,90 @@
+"""Unit tests for the DLHubClient SDK."""
+
+import pytest
+
+from repro.core.client import DLHubClient
+from repro.core.pipeline import Pipeline
+from repro.core.tasks import TaskStatus
+from repro.core.zoo import build_zoo
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    for name in ("noop", "matminer_util"):
+        testbed.publish_and_deploy(zoo[name])
+    client = DLHubClient(testbed.management, testbed.token)
+    return testbed, client, zoo
+
+
+class TestServingAPI:
+    def test_run_returns_value(self, env):
+        _, client, _ = env
+        assert client.run("noop") == "hello world"
+
+    def test_run_failure_raises(self, env):
+        _, client, _ = env
+        with pytest.raises(RuntimeError, match="task failed"):
+            client.run("matminer_util", "NotAFormula!!")
+
+    def test_run_detailed_returns_taskresult(self, env):
+        _, client, _ = env
+        result = client.run_detailed("noop")
+        assert result.ok
+        assert result.request_time > 0
+
+    def test_async_flow(self, env):
+        _, client, _ = env
+        handle = client.run_async("matminer_util", "MgO")
+        assert client.status(handle) is TaskStatus.SUCCEEDED
+        assert client.result(handle).value == {"Mg": 0.5, "O": 0.5}
+
+    def test_status_accepts_raw_uuid(self, env):
+        _, client, _ = env
+        handle = client.run_async("noop")
+        assert client.status(handle.task_uuid) is TaskStatus.SUCCEEDED
+
+    def test_run_batch(self, env):
+        _, client, _ = env
+        out = client.run_batch("matminer_util", [("NaCl",), ("MgO",)])
+        assert len(out) == 2
+
+    def test_client_hop_charged(self, env):
+        testbed, client, _ = env
+        before = testbed.clock.now()
+        client.run("noop")
+        assert testbed.clock.now() > before
+
+
+class TestRepositoryAPI:
+    def test_search(self, env):
+        _, client, _ = env
+        assert client.search("matminer*").total >= 1
+
+    def test_describe(self, env):
+        _, client, _ = env
+        doc = client.describe("noop")
+        assert doc["dlhub"]["name"] == "noop"
+
+    def test_cite(self, env):
+        testbed, client, _ = env
+        citation = client.cite(f"{testbed.user.username}/noop")
+        assert "doi:" in citation
+
+    def test_publish_via_client(self, env):
+        testbed, client, zoo = env
+        published = client.publish_servable(zoo["matminer_featurize"])
+        assert published.version >= 1
+        assert client.search("featurize*").total >= 1
+
+
+class TestPipelineAPI:
+    def test_register_and_run_pipeline(self, env):
+        testbed, client, zoo = env
+        pipeline = Pipeline("client_pipe").add_step("matminer_util")
+        client.register_pipeline(pipeline)
+        out = client.run_pipeline("client_pipe", "NaCl")
+        assert out == {"Cl": 0.5, "Na": 0.5}

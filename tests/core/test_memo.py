@@ -1,0 +1,117 @@
+"""Unit tests for the memoization cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.memo import MemoCache
+from repro.sim.clock import VirtualClock
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self):
+        cache = MemoCache()
+        sig = ("servable", (1, 2), ())
+        assert cache.lookup(sig) is cache.MISSING
+        cache.store(sig, "result")
+        assert cache.lookup(sig) == "result"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_signatures_distinct_entries(self):
+        cache = MemoCache()
+        cache.store(("s", (1,), ()), "one")
+        cache.store(("s", (2,), ()), "two")
+        assert cache.lookup(("s", (1,), ())) == "one"
+        assert cache.lookup(("s", (2,), ())) == "two"
+
+    def test_ndarray_inputs_keyable(self):
+        cache = MemoCache()
+        arr = np.arange(10)
+        sig = ("model", (arr,), ())
+        cache.store(sig, "cached")
+        assert cache.lookup(("model", (np.arange(10),), ())) == "cached"
+
+    def test_unkeyable_signature_never_cached(self):
+        cache = MemoCache()
+        sig = ("s", (lambda: 1,), ())
+        assert not cache.store(sig, "x")
+        assert cache.lookup(sig) is cache.MISSING
+        assert cache.unhashable == 1
+
+    def test_clear(self):
+        cache = MemoCache()
+        cache.store(("s", (), ()), 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = MemoCache()
+        sig = ("s", (), ())
+        cache.lookup(sig)
+        cache.store(sig, 1)
+        cache.lookup(sig)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestLRU:
+    def test_eviction_at_capacity(self):
+        cache = MemoCache(max_entries=2)
+        for i in range(3):
+            cache.store(("s", (i,), ()), i)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup(("s", (0,), ())) is cache.MISSING  # oldest gone
+        assert cache.lookup(("s", (2,), ())) == 2
+
+    def test_lookup_refreshes_recency(self):
+        cache = MemoCache(max_entries=2)
+        cache.store(("s", (0,), ()), 0)
+        cache.store(("s", (1,), ()), 1)
+        cache.lookup(("s", (0,), ()))  # refresh 0
+        cache.store(("s", (2,), ()), 2)  # evicts 1, not 0
+        assert cache.lookup(("s", (0,), ())) == 0
+        assert cache.lookup(("s", (1,), ())) is cache.MISSING
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=0)
+
+
+class TestClockCharging:
+    def test_lookup_charges_clock(self):
+        clock = VirtualClock()
+        cache = MemoCache(clock, lookup_cost_s=0.0005)
+        cache.lookup(("s", (), ()))
+        assert clock.now() == pytest.approx(0.0005)
+
+    def test_no_clock_no_charge(self):
+        cache = MemoCache(None)
+        cache.lookup(("s", (), ()))  # must not raise
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_store_then_lookup_property(self, pairs):
+        """Whatever was stored last for a key is what lookup returns."""
+        cache = MemoCache(max_entries=1000)
+        expected = {}
+        for key, value in pairs:
+            sig = ("s", (key,), ())
+            cache.store(sig, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert cache.lookup(("s", (key,), ())) == value
+
+    @given(st.integers(1, 10), st.integers(1, 50))
+    def test_capacity_never_exceeded_property(self, capacity, n_inserts):
+        cache = MemoCache(max_entries=capacity)
+        for i in range(n_inserts):
+            cache.store(("s", (i,), ()), i)
+            assert len(cache) <= capacity

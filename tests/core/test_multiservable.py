@@ -1,0 +1,90 @@
+"""Unit tests for multi-servable containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiservable import MultiServableError, combine_servables, member_names
+from repro.core.zoo import build_zoo, sample_input
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return build_zoo(oqmd_entries=50, n_estimators=4)
+
+
+@pytest.fixture(scope="module")
+def combined(zoo):
+    return combine_servables(
+        "matminer_suite",
+        [zoo["matminer_util"], zoo["matminer_featurize"], zoo["matminer_model"]],
+    )
+
+
+class TestCombination:
+    def test_dispatch_by_member_name(self, combined, zoo):
+        fractions = combined.run("matminer_util", "NaCl")
+        assert fractions == zoo["matminer_util"].run("NaCl")
+        features = combined.run("matminer_featurize", fractions)
+        assert np.allclose(features, zoo["matminer_featurize"].run(fractions))
+
+    def test_unknown_member_rejected(self, combined):
+        with pytest.raises(MultiServableError, match="no member"):
+            combined.run("ghost_member", 1)
+
+    def test_member_names(self, combined):
+        assert member_names(combined) == [
+            "matminer_util",
+            "matminer_featurize",
+            "matminer_model",
+        ]
+
+    def test_plain_servable_has_no_members(self, zoo):
+        with pytest.raises(MultiServableError):
+            member_names(zoo["noop"])
+
+    def test_components_merged_with_prefixes(self, combined):
+        assert "matminer_model/estimator.pkl" in combined.components
+
+    def test_dependencies_unioned(self, combined, zoo):
+        for member in ("matminer_util", "matminer_featurize"):
+            for dep in zoo[member].dependencies:
+                assert dep in combined.dependencies
+
+    def test_cost_key_is_costliest_member(self, combined, zoo):
+        costs = {
+            name: zoo[name].inference_cost_s
+            for name in ("matminer_util", "matminer_featurize", "matminer_model")
+        }
+        costliest = max(costs, key=costs.get)
+        assert combined.key == zoo[costliest].key
+
+    def test_validation(self, zoo):
+        with pytest.raises(MultiServableError):
+            combine_servables("empty", [])
+        with pytest.raises(MultiServableError, match="duplicate"):
+            combine_servables("dup", [zoo["noop"], zoo["noop"]])
+
+
+class TestDeployment:
+    def test_one_image_serves_all_members(self, zoo, combined):
+        """The consolidation win: one image, one deployment, k models."""
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        images_before = len(testbed.registry.repositories())
+        testbed.publish_and_deploy(combined, replicas=2)
+        assert len(testbed.registry.repositories()) == images_before + 1
+
+        result = testbed.management.run(
+            testbed.token, "matminer_suite", "matminer_util", "SiO2"
+        )
+        assert result.ok
+        assert result.value == zoo["matminer_util"].run("SiO2")
+
+        # The same deployment answers for a different member.
+        features = sample_input("matminer_model")[0]
+        result2 = testbed.management.run(
+            testbed.token, "matminer_suite", "matminer_model", features
+        )
+        assert result2.ok
+        assert isinstance(result2.value, float)

@@ -1,0 +1,114 @@
+"""Unit tests for the publication metadata schema."""
+
+import pytest
+
+from repro.core.schema import ModelMetadata, SchemaError, validate_metadata
+
+
+def valid_document():
+    return {
+        "datacite": {
+            "title": "CIFAR-10 classifier",
+            "creators": ["Chard, R.", "Li, Z."],
+            "description": "A CNN",
+        },
+        "dlhub": {
+            "name": "cifar10",
+            "model_type": "keras",
+            "input_type": "image",
+            "output_type": "list",
+            "domain": "vision",
+            "dependencies": ["keras"],
+            "hyperparameters": {"layers": 8},
+        },
+    }
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        validate_metadata(valid_document())
+
+    def test_missing_blocks(self):
+        with pytest.raises(SchemaError, match="datacite"):
+            validate_metadata({"dlhub": {}})
+        with pytest.raises(SchemaError, match="dlhub"):
+            validate_metadata({"datacite": {}})
+        with pytest.raises(SchemaError):
+            validate_metadata("not a dict")
+
+    @pytest.mark.parametrize("field", ["title", "creators"])
+    def test_required_datacite_fields(self, field):
+        doc = valid_document()
+        del doc["datacite"][field]
+        with pytest.raises(SchemaError, match=field):
+            validate_metadata(doc)
+
+    @pytest.mark.parametrize(
+        "field", ["name", "model_type", "input_type", "output_type"]
+    )
+    def test_required_dlhub_fields(self, field):
+        doc = valid_document()
+        del doc["dlhub"][field]
+        with pytest.raises(SchemaError, match=field):
+            validate_metadata(doc)
+
+    def test_creators_must_be_strings(self):
+        doc = valid_document()
+        doc["datacite"]["creators"] = [{"name": "x"}]
+        with pytest.raises(SchemaError):
+            validate_metadata(doc)
+
+    def test_bad_name(self):
+        doc = valid_document()
+        doc["dlhub"]["name"] = "has spaces!"
+        with pytest.raises(SchemaError):
+            validate_metadata(doc)
+
+    def test_name_allows_dash_underscore(self):
+        doc = valid_document()
+        doc["dlhub"]["name"] = "matminer_model-v2"
+        validate_metadata(doc)
+
+    def test_unknown_model_type(self):
+        doc = valid_document()
+        doc["dlhub"]["model_type"] = "prolog"
+        with pytest.raises(SchemaError):
+            validate_metadata(doc)
+
+    def test_unknown_io_types(self):
+        doc = valid_document()
+        doc["dlhub"]["input_type"] = "hologram"
+        with pytest.raises(SchemaError):
+            validate_metadata(doc)
+
+    def test_dependencies_must_be_strings(self):
+        doc = valid_document()
+        doc["dlhub"]["dependencies"] = [1, 2]
+        with pytest.raises(SchemaError):
+            validate_metadata(doc)
+
+
+class TestModelMetadata:
+    def test_from_document(self):
+        md = ModelMetadata.from_document(valid_document())
+        assert md.name == "cifar10"
+        assert md.creators == ["Chard, R.", "Li, Z."]
+        assert md.hyperparameters == {"layers": 8}
+        assert md.domain == "vision"
+
+    def test_roundtrip(self):
+        md = ModelMetadata.from_document(valid_document())
+        doc = md.to_document()
+        md2 = ModelMetadata.from_document(doc)
+        assert md2 == md
+
+    def test_extra_fields_preserved(self):
+        doc = valid_document()
+        doc["dlhub"]["accuracy"] = 0.93
+        md = ModelMetadata.from_document(doc)
+        assert md.extra["accuracy"] == 0.93
+        assert md.to_document()["dlhub"]["accuracy"] == 0.93
+
+    def test_invalid_rejected_by_constructor(self):
+        with pytest.raises(SchemaError):
+            ModelMetadata.from_document({"datacite": {}, "dlhub": {}})

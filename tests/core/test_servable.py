@@ -1,0 +1,128 @@
+"""Unit tests for servables and their shims."""
+
+import numpy as np
+import pytest
+
+from repro.core.servable import (
+    KerasLikeServable,
+    PythonFunctionServable,
+    Servable,
+    ServableError,
+    SklearnLikeServable,
+    verify_components,
+)
+from repro.core.toolbox import MetadataBuilder
+from repro.ml.layers import Dense, Softmax
+from repro.ml.network import Sequential
+from repro.ml.sklearn_like import RandomForestRegressor
+
+
+def metadata(name="m", model_type="python_function"):
+    return (
+        MetadataBuilder(name, f"Test model {name}")
+        .creator("Tester")
+        .model_type(model_type)
+        .input_type("ndarray")
+        .output_type("ndarray")
+        .build()
+    )
+
+
+class TestPythonFunctionServable:
+    def test_wraps_and_runs(self):
+        servable = PythonFunctionServable(metadata(), lambda x: x + 1)
+        assert servable.run(41) == 42
+        assert servable.name == "m"
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ServableError):
+            Servable(metadata(), handler="not callable")  # type: ignore[arg-type]
+
+    def test_calibration_key_defaults_to_name(self):
+        servable = PythonFunctionServable(metadata("custom_thing"), lambda: 0)
+        assert servable.key == "custom_thing"
+        from repro.sim import calibration as cal
+
+        assert servable.inference_cost_s == cal.DEFAULT_INFERENCE_COST_S
+
+    def test_known_key_uses_calibration(self):
+        servable = PythonFunctionServable(metadata(), lambda: 0, key="noop")
+        from repro.sim import calibration as cal
+
+        assert servable.inference_cost_s == cal.INFERENCE_COST_S["noop"]
+        assert servable.request_bytes == cal.PAYLOAD_BYTES["noop"]
+        assert servable.response_bytes == cal.RESPONSE_BYTES["noop"]
+
+
+class TestKerasLikeServable:
+    def _model(self):
+        rng = np.random.default_rng(0)
+        return Sequential([Dense(4, 3, rng=rng), Softmax()])
+
+    def test_weights_become_component(self):
+        servable = KerasLikeServable(metadata(model_type="keras"), self._model())
+        assert "weights.npz" in servable.components
+        assert servable.component_bytes() > 0
+
+    def test_handler_predicts(self):
+        model = self._model()
+        servable = KerasLikeServable(metadata(model_type="keras"), model)
+        x = np.zeros((2, 4))
+        assert np.array_equal(servable.run(x), model.predict(x))
+
+    def test_postprocess_applied(self):
+        servable = KerasLikeServable(
+            metadata(model_type="keras"),
+            self._model(),
+            postprocess=lambda probs: "processed",
+        )
+        assert servable.run(np.zeros((1, 4))) == "processed"
+
+    def test_dependencies_declared(self):
+        servable = KerasLikeServable(metadata(model_type="keras"), self._model())
+        assert "keras" in servable.dependencies
+
+
+class TestSklearnLikeServable:
+    def _forest(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 3))
+        return RandomForestRegressor(n_estimators=3, max_depth=4).fit(x, x[:, 0])
+
+    def test_estimator_pickled_as_component(self):
+        servable = SklearnLikeServable(metadata(model_type="sklearn"), self._forest())
+        assert "estimator.pkl" in servable.components
+
+    def test_handler_calls_method(self):
+        forest = self._forest()
+        servable = SklearnLikeServable(metadata(model_type="sklearn"), forest)
+        x = np.zeros((2, 3))
+        assert np.allclose(servable.run(x), forest.predict(x))
+
+    def test_missing_method_rejected(self):
+        with pytest.raises(ServableError):
+            SklearnLikeServable(
+                metadata(model_type="sklearn"), self._forest(), method="transmogrify"
+            )
+
+
+class TestComponentVerification:
+    def test_verify_keras_components(self):
+        servable = KerasLikeServable(
+            metadata(model_type="keras"),
+            Sequential([Dense(2, 2), Softmax()]),
+        )
+        assert verify_components(servable)
+
+    def test_verify_sklearn_components(self):
+        rng = np.random.default_rng(1)
+        forest = RandomForestRegressor(n_estimators=2, max_depth=3).fit(
+            rng.normal(size=(20, 2)), rng.normal(size=20)
+        )
+        servable = SklearnLikeServable(metadata(model_type="sklearn"), forest)
+        assert verify_components(servable)
+
+    def test_opaque_components_pass(self):
+        servable = PythonFunctionServable(metadata(), lambda: 0)
+        servable.components["README.md"] = b"# hello"
+        assert verify_components(servable)

@@ -1,0 +1,75 @@
+"""Unit tests for the Table I/II registries and rendering."""
+
+from repro.core.survey import (
+    TABLE1_REPOSITORIES,
+    TABLE2_SERVING,
+    dlhub_repository_profile,
+    dlhub_serving_profile,
+    render_table1,
+    render_table2,
+)
+
+
+class TestTable1:
+    def test_five_systems_in_paper_order(self):
+        names = [p.name for p in TABLE1_REPOSITORIES]
+        assert names == ["ModelHub", "Caffe Zoo", "ModelHub.ai", "Kipoi", "DLHub"]
+
+    def test_dlhub_column_contents(self):
+        dlhub = dlhub_repository_profile()
+        assert dlhub.publication_method == "BYO"
+        assert dlhub.metadata_type == "Structured"
+        assert dlhub.search == "Elasticsearch"
+        assert dlhub.versioning
+        assert dlhub.export_method == "Docker"
+
+    def test_paper_cells_spotcheck(self):
+        modelhub = TABLE1_REPOSITORIES[0]
+        assert modelhub.search == "SQL"  # DQL
+        kipoi = TABLE1_REPOSITORIES[3]
+        assert kipoi.domains == "Genomics"
+        assert kipoi.publication_method == "Curated"
+        caffe = TABLE1_REPOSITORIES[1]
+        assert not caffe.versioning
+
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for label in (
+            "Publication method",
+            "Datasets included",
+            "Metadata type",
+            "Versioning supported",
+            "Export method",
+        ):
+            assert label in text
+
+
+class TestTable2:
+    def test_five_systems_in_paper_order(self):
+        names = [p.name for p in TABLE2_SERVING]
+        assert names == ["PennAI", "TF Serving", "Clipper", "SageMaker", "DLHub"]
+
+    def test_dlhub_differentiators(self):
+        dlhub = dlhub_serving_profile()
+        assert dlhub.workflows  # unique to DLHub in the table
+        assert dlhub.transformations
+        assert not dlhub.training_supported
+        assert set(dlhub.execution_environment) == {
+            "K8s",
+            "Docker",
+            "Singularity",
+            "Cloud",
+        }
+
+    def test_only_dlhub_has_workflows(self):
+        assert [p.name for p in TABLE2_SERVING if p.workflows] == ["DLHub"]
+
+    def test_training_column(self):
+        """PennAI and SageMaker train; TF Serving, Clipper, DLHub do not."""
+        trainers = {p.name for p in TABLE2_SERVING if p.training_supported}
+        assert trainers == {"PennAI", "SageMaker"}
+
+    def test_render_contains_all_rows(self):
+        text = render_table2()
+        for label in ("Service model", "Workflows", "Invocation interface"):
+            assert label in text

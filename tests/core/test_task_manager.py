@@ -1,0 +1,113 @@
+"""Unit tests for the Task Manager: routing, memoization, queue loop."""
+
+import pytest
+
+from repro.core.tasks import TaskRequest, TaskStatus
+from repro.core.task_manager import TaskManagerError
+from repro.core.zoo import build_zoo, sample_input
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    """A testbed with noop + matminer_util deployed (module-scoped: tests
+    here only send traffic, they don't mutate deployment state)."""
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    for name in ("noop", "matminer_util"):
+        testbed.publish_and_deploy(zoo[name])
+    return testbed
+
+
+class TestRouting:
+    def test_process_executes_servable(self, deployed):
+        result = deployed.task_manager.process(TaskRequest("noop"))
+        assert result.ok
+        assert result.value == "hello world"
+        assert result.invocation_time > result.inference_time > 0
+
+    def test_unknown_servable_fails_gracefully(self, deployed):
+        result = deployed.task_manager.process(TaskRequest("ghost"))
+        assert result.status is TaskStatus.FAILED
+        assert "not registered" in result.error
+
+    def test_handler_exception_becomes_failed_result(self, deployed):
+        result = deployed.task_manager.process(
+            TaskRequest("matminer_util", args=("NotAFormula!!",))
+        )
+        assert result.status is TaskStatus.FAILED
+        assert "CompositionError" in result.error
+
+    def test_unknown_executor_registration(self, deployed):
+        zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+        with pytest.raises(TaskManagerError):
+            deployed.task_manager.register_servable(
+                zoo["cifar10"], None, executor_name="quantum"
+            )
+
+    def test_registered_servables_listed(self, deployed):
+        assert set(deployed.task_manager.registered_servables()) >= {
+            "noop",
+            "matminer_util",
+        }
+
+
+class TestMemoization:
+    def test_identical_inputs_hit(self, deployed):
+        tm = deployed.task_manager
+        tm.cache.clear()
+        args = sample_input("matminer_util")
+        first = tm.process(TaskRequest("matminer_util", args=args))
+        second = tm.process(TaskRequest("matminer_util", args=args))
+        assert not first.cache_hit and second.cache_hit
+        assert second.value == first.value
+        assert second.invocation_time < first.invocation_time / 10
+
+    def test_different_inputs_miss(self, deployed):
+        tm = deployed.task_manager
+        tm.cache.clear()
+        tm.process(TaskRequest("matminer_util", args=("NaCl",)))
+        result = tm.process(TaskRequest("matminer_util", args=("SiO2",)))
+        assert not result.cache_hit
+
+    def test_memo_disabled(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False, memoize_tm=False)
+        zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+        testbed.publish_and_deploy(zoo["noop"])
+        tm = testbed.task_manager
+        tm.process(TaskRequest("noop"))
+        repeat = tm.process(TaskRequest("noop"))
+        assert not repeat.cache_hit
+
+    def test_batch_requests_bypass_memo(self, deployed):
+        tm = deployed.task_manager
+        tm.cache.clear()
+        request = TaskRequest("matminer_util", batch=[("NaCl",), ("NaCl",)])
+        result = tm.process(request)
+        assert result.ok
+        assert not result.cache_hit
+        assert len(result.value) == 2
+
+
+class TestQueueLoop:
+    def test_poll_once_processes_and_acks(self, deployed):
+        queue = deployed.management.queue
+        queue.put(TaskRequest("noop"))
+        result = deployed.task_manager.poll_once()
+        assert result.ok
+        assert queue.inflight_count == 0
+        assert len(queue) == 0
+
+    def test_poll_empty_returns_none(self, deployed):
+        assert deployed.task_manager.poll_once() is None
+
+    def test_drain(self, deployed):
+        queue = deployed.management.queue
+        for formula in ("NaCl", "SiO2", "MgO"):
+            queue.put(TaskRequest("matminer_util", args=(formula,)))
+        results = deployed.task_manager.drain()
+        assert len(results) == 3
+        assert all(r.ok for r in results)

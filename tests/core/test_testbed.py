@@ -1,0 +1,101 @@
+"""Unit tests for the testbed factory (the SS V-A deployment wiring)."""
+
+import pytest
+
+from repro.core.testbed import build_testbed
+from repro.core.zoo import build_zoo
+
+
+class TestWiring:
+    def test_paper_topology(self):
+        testbed = build_testbed(jitter=False)
+        assert len(testbed.cluster.nodes) == 14  # PetrelKube
+        assert testbed.latency.management_to_task_manager.rtt_s == pytest.approx(
+            0.0207
+        )
+        assert testbed.latency.task_manager_to_cluster.rtt_s == pytest.approx(
+            0.00017
+        )
+
+    def test_identity_providers_registered(self):
+        testbed = build_testbed()
+        for provider in ("globus", "orcid", "google", "anl", "uchicago"):
+            assert provider in testbed.auth.identities.providers
+
+    def test_default_user_token_works(self):
+        testbed = build_testbed()
+        identity = testbed.auth.authorize(testbed.token, "dlhub:all")
+        assert identity is testbed.user
+
+    def test_task_manager_registered_with_management(self):
+        testbed = build_testbed()
+        assert testbed.task_manager in testbed.management._task_managers
+
+    def test_new_user_and_login(self):
+        testbed = build_testbed()
+        identity, token = testbed.new_user("fresh", provider="orcid")
+        assert testbed.auth.authorize(token, "dlhub:all") is identity
+        # login() re-authenticates an existing identity
+        token2 = testbed.login("orcid", "fresh")
+        assert testbed.auth.authorize(token2, "dlhub:all") is identity
+
+    def test_memoize_flag_controls_tm_cache(self):
+        assert build_testbed(memoize_tm=True).task_manager.memoize
+        assert not build_testbed(memoize_tm=False).task_manager.memoize
+
+    def test_deterministic_given_seed(self):
+        """Same seed -> identical end-to-end virtual timings."""
+        def run_once():
+            testbed = build_testbed(seed=5, jitter=True)
+            zoo = build_zoo(seed=5, oqmd_entries=40, n_estimators=3)
+            testbed.publish_and_deploy(zoo["noop"])
+            result = testbed.management.run(testbed.token, "noop")
+            return result.request_time
+
+        assert run_once() == pytest.approx(run_once(), rel=1e-12)
+
+
+class TestExecutorFactories:
+    def test_tfserving_executor_cached(self):
+        testbed = build_testbed()
+        a = testbed.tfserving_executor("grpc")
+        b = testbed.tfserving_executor("grpc")
+        assert a is b
+        assert "tfserving-grpc" in testbed.task_manager.executors
+
+    def test_sagemaker_modes_distinct(self):
+        testbed = build_testbed()
+        flask = testbed.sagemaker_executor("flask")
+        tfs = testbed.sagemaker_executor("tfserving-rest")
+        assert flask is not tfs
+
+    def test_clipper_backend_variants(self):
+        testbed = build_testbed()
+        memo = testbed.clipper_backend(memoization=True)
+        plain = testbed.clipper_backend(memoization=False)
+        assert memo is not plain
+        assert memo.memoization and not plain.memoization
+
+
+class TestPublishAndDeploy:
+    def test_flow_returns_published_model(self):
+        testbed = build_testbed()
+        zoo = build_zoo(oqmd_entries=40, n_estimators=3)
+        published = testbed.publish_and_deploy(zoo["noop"], replicas=2)
+        assert published.version == 1
+        assert testbed.parsl_executor.replicas("noop") == 2
+
+    def test_deploy_to_alternate_executor(self):
+        from repro.core.zoo import sample_input
+
+        testbed = build_testbed()
+        zoo = build_zoo(oqmd_entries=40, n_estimators=3)
+        testbed.tfserving_executor("grpc")  # register it first
+        published = testbed.publish_and_deploy(
+            zoo["cifar10"], executor="tfserving-grpc"
+        )
+        assert published.full_name.endswith("/cifar10")
+        result = testbed.management.run(
+            testbed.token, "cifar10", *sample_input("cifar10")
+        )
+        assert result.ok

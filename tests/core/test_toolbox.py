@@ -1,0 +1,73 @@
+"""Unit tests for the metadata toolbox and local execution."""
+
+import json
+
+import pytest
+
+from repro.core.schema import SchemaError
+from repro.core.servable import PythonFunctionServable
+from repro.core.toolbox import MetadataBuilder, run_local
+
+
+class TestMetadataBuilder:
+    def test_minimal_document(self):
+        md = (
+            MetadataBuilder("m", "Title")
+            .creator("A")
+            .build()
+        )
+        assert md.name == "m" and md.title == "Title"
+
+    def test_fluent_everything(self):
+        doc = (
+            MetadataBuilder("forest", "A forest")
+            .creator("Ward, L.", "Blaiszik, B.")
+            .description("Predicts stability")
+            .model_type("sklearn")
+            .input_type("features")
+            .output_type("number")
+            .domain("materials science")
+            .dependency("scikit-learn", "numpy")
+            .training_data("OQMD")
+            .hyperparameter("n_estimators", 100)
+            .extra("accuracy", 0.9)
+            .document()
+        )
+        assert doc["datacite"]["creators"] == ["Ward, L.", "Blaiszik, B."]
+        assert doc["dlhub"]["dependencies"] == ["scikit-learn", "numpy"]
+        assert doc["dlhub"]["hyperparameters"]["n_estimators"] == 100
+        assert doc["dlhub"]["accuracy"] == 0.9
+
+    def test_invalid_fails_at_build(self):
+        builder = MetadataBuilder("bad name!", "Title").creator("A")
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_missing_creator_fails(self):
+        with pytest.raises(SchemaError):
+            MetadataBuilder("m", "Title").build()
+
+    def test_document_is_a_copy(self):
+        builder = MetadataBuilder("m", "T").creator("A")
+        doc = builder.document()
+        doc["dlhub"]["name"] = "mutated"
+        assert builder.document()["dlhub"]["name"] == "m"
+
+    def test_to_json_parses(self):
+        text = MetadataBuilder("m", "T").creator("A").to_json()
+        assert json.loads(text)["dlhub"]["name"] == "m"
+
+
+class TestRunLocal:
+    def test_executes_handler_directly(self):
+        md = MetadataBuilder("echo", "Echo").creator("A").build()
+        servable = PythonFunctionServable(md, lambda x, scale=1: x * scale)
+        assert run_local(servable, 5, scale=3) == 15
+
+    def test_no_serving_stack_needed(self):
+        """run_local works with zero deployment: the development mode."""
+        md = MetadataBuilder("dev", "Dev").creator("A").build()
+        calls = []
+        servable = PythonFunctionServable(md, lambda: calls.append(1))
+        run_local(servable)
+        assert calls == [1]

@@ -1,0 +1,76 @@
+"""Unit tests for access-controlled endpoints."""
+
+import pytest
+
+from repro.auth.identity import IdentityStore
+from repro.data.endpoint import Endpoint, EndpointACL, EndpointError
+from repro.data.store import ObjectStore
+
+
+@pytest.fixture
+def env():
+    ids = IdentityStore()
+    ids.add_provider("globus")
+    owner = ids.register_identity("globus", "owner")
+    reader = ids.register_identity("globus", "reader")
+    stranger = ids.register_identity("globus", "stranger")
+    store = ObjectStore()
+    endpoint = Endpoint(
+        "lab-data",
+        store,
+        EndpointACL(owner_id=owner.identity_id, readers={reader.identity_id}),
+    )
+    return endpoint, owner, reader, stranger
+
+
+class TestPermissions:
+    def test_owner_can_write_and_read(self, env):
+        endpoint, owner, _, _ = env
+        endpoint.put("w.npz", b"data", owner)
+        assert endpoint.get("w.npz", owner).data == b"data"
+
+    def test_reader_can_read_not_write(self, env):
+        endpoint, owner, reader, _ = env
+        endpoint.put("w.npz", b"data", owner)
+        assert endpoint.get("w.npz", reader).data == b"data"
+        with pytest.raises(EndpointError):
+            endpoint.put("other", b"x", reader)
+
+    def test_stranger_denied(self, env):
+        endpoint, owner, _, stranger = env
+        endpoint.put("w.npz", b"data", owner)
+        with pytest.raises(EndpointError):
+            endpoint.get("w.npz", stranger)
+
+    def test_anonymous_denied(self, env):
+        endpoint, owner, _, _ = env
+        endpoint.put("w.npz", b"data", owner)
+        with pytest.raises(EndpointError):
+            endpoint.get("w.npz", None)
+
+    def test_public_read(self, env):
+        endpoint, owner, _, stranger = env
+        endpoint.acl = EndpointACL(owner_id=owner.identity_id, public_read=True)
+        endpoint.put("w.npz", b"data", owner)
+        assert endpoint.get("w.npz", stranger).data == b"data"
+        assert endpoint.get("w.npz", None).data == b"data"
+
+    def test_writer_grant(self, env):
+        endpoint, owner, _, stranger = env
+        endpoint.acl.writers.add(stranger.identity_id)
+        endpoint.put("up.bin", b"x", stranger)
+        assert endpoint.exists("up.bin")
+
+    def test_listdir_requires_read(self, env):
+        endpoint, owner, reader, stranger = env
+        endpoint.put("a/1", b"", owner)
+        endpoint.put("a/2", b"", owner)
+        assert endpoint.listdir("a/", reader) == ["a/1", "a/2"]
+        with pytest.raises(EndpointError):
+            endpoint.listdir("a/", stranger)
+
+    def test_exists_no_auth_needed(self, env):
+        endpoint, owner, _, _ = env
+        endpoint.put("x", b"", owner)
+        assert endpoint.exists("x")
+        assert not endpoint.exists("y")

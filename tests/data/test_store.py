@@ -1,0 +1,94 @@
+"""Unit tests for the object store."""
+
+import pytest
+
+from repro.data.store import BucketExists, ObjectNotFound, ObjectStore
+
+
+@pytest.fixture
+def store():
+    return ObjectStore()
+
+
+class TestBuckets:
+    def test_create_and_list(self, store):
+        store.create_bucket("models")
+        assert store.buckets() == ["models"]
+
+    def test_duplicate_create_rejected(self, store):
+        store.create_bucket("b")
+        with pytest.raises(BucketExists):
+            store.create_bucket("b")
+
+    def test_ensure_is_idempotent(self, store):
+        store.ensure_bucket("b")
+        store.ensure_bucket("b")
+        assert store.buckets() == ["b"]
+
+    def test_delete_empty(self, store):
+        store.create_bucket("b")
+        store.delete_bucket("b")
+        assert store.buckets() == []
+
+    def test_delete_nonempty_requires_force(self, store):
+        store.put("b", "k", b"x")
+        with pytest.raises(ValueError):
+            store.delete_bucket("b")
+        store.delete_bucket("b", force=True)
+
+    def test_delete_unknown(self, store):
+        with pytest.raises(ObjectNotFound):
+            store.delete_bucket("ghost")
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        store.put("b", "weights.npz", b"\x01\x02", metadata={"v": "1"})
+        obj = store.get("b", "weights.npz")
+        assert obj.data == b"\x01\x02"
+        assert obj.size == 2
+        assert obj.metadata == {"v": "1"}
+
+    def test_digest_stable(self, store):
+        a = store.put("b", "k1", b"same")
+        b = store.put("b", "k2", b"same")
+        assert a.digest == b.digest
+        assert a.digest.startswith("sha256:")
+
+    def test_overwrite(self, store):
+        store.put("b", "k", b"v1")
+        store.put("b", "k", b"v2")
+        assert store.get("b", "k").data == b"v2"
+
+    def test_get_missing(self, store):
+        store.ensure_bucket("b")
+        with pytest.raises(ObjectNotFound):
+            store.get("b", "nope")
+        with pytest.raises(ObjectNotFound):
+            store.get("nobucket", "k")
+
+    def test_exists(self, store):
+        store.put("b", "k", b"x")
+        assert store.exists("b", "k")
+        assert not store.exists("b", "other")
+        assert not store.exists("nobucket", "k")
+
+    def test_delete(self, store):
+        store.put("b", "k", b"x")
+        store.delete("b", "k")
+        assert not store.exists("b", "k")
+        with pytest.raises(ObjectNotFound):
+            store.delete("b", "k")
+
+    def test_list_keys_prefix(self, store):
+        store.put("b", "models/a", b"")
+        store.put("b", "models/b", b"")
+        store.put("b", "data/c", b"")
+        assert store.list_keys("b", "models/") == ["models/a", "models/b"]
+        assert len(store.list_keys("b")) == 3
+
+    def test_total_bytes(self, store):
+        store.put("b1", "k", b"1234")
+        store.put("b2", "k", b"56")
+        assert store.total_bytes("b1") == 4
+        assert store.total_bytes() == 6

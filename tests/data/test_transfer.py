@@ -1,0 +1,122 @@
+"""Unit tests for the transfer manager's bandwidth model."""
+
+import pytest
+
+from repro.auth.identity import IdentityStore
+from repro.data.endpoint import Endpoint, EndpointACL, EndpointError
+from repro.data.store import ObjectStore
+from repro.data.transfer import TransferError, TransferManager
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def env():
+    ids = IdentityStore()
+    ids.add_provider("globus")
+    user = ids.register_identity("globus", "user")
+    store = ObjectStore()
+    clock = VirtualClock()
+    src = Endpoint("laptop", store, EndpointACL(owner_id=user.identity_id), "wan")
+    dst = Endpoint("dlhub", store, EndpointACL(owner_id=user.identity_id), "lan")
+    return clock, TransferManager(clock), src, dst, user
+
+
+class TestTransfer:
+    def test_basic_transfer(self, env):
+        clock, tm, src, dst, user = env
+        src.put("weights.npz", b"w" * 1000, user)
+        record = tm.transfer(src, dst, "weights.npz", user)
+        assert dst.get("weights.npz", user).data == b"w" * 1000
+        assert record.nbytes == 1000
+        assert record.duration > 0
+
+    def test_missing_source_raises(self, env):
+        _, tm, src, dst, user = env
+        with pytest.raises(TransferError):
+            tm.transfer(src, dst, "ghost.bin", user)
+
+    def test_permission_enforced(self, env):
+        clock, tm, src, dst, user = env
+        src.put("private.bin", b"x", user)
+        with pytest.raises(EndpointError):
+            tm.transfer(src, dst, "private.bin", identity=None)
+
+    def test_wan_slower_than_lan(self, env):
+        clock, tm, src, dst, user = env
+        payload = b"x" * 10_000_000
+        src.put("big.bin", payload, user)
+        dst.put("big2.bin", payload, user)
+        before = clock.now()
+        tm.transfer(src, dst, "big.bin", user)  # wan-class source
+        wan_time = clock.now() - before
+        lan_src = Endpoint("cluster", src.store, src.acl, "lan")
+        lan_src.put("big3.bin", payload, user)
+        before = clock.now()
+        tm.transfer(lan_src, dst, "big3.bin", user)
+        lan_time = clock.now() - before
+        assert wan_time > lan_time
+
+    def test_larger_files_take_longer(self, env):
+        clock, tm, src, dst, user = env
+        src.put("small", b"x" * 1000, user)
+        src.put("large", b"x" * 50_000_000, user)
+        t0 = clock.now()
+        tm.transfer(src, dst, "small", user)
+        small_time = clock.now() - t0
+        t0 = clock.now()
+        tm.transfer(src, dst, "large", user)
+        large_time = clock.now() - t0
+        assert large_time > small_time
+
+    def test_dest_path_rename(self, env):
+        _, tm, src, dst, user = env
+        src.put("a.bin", b"x", user)
+        tm.transfer(src, dst, "a.bin", user, dest_path="staged/a.bin")
+        assert dst.exists("staged/a.bin")
+
+    def test_records_accumulate(self, env):
+        _, tm, src, dst, user = env
+        src.put("a", b"1", user)
+        src.put("b", b"2", user)
+        tm.transfer(src, dst, "a", user)
+        tm.transfer(src, dst, "b", user)
+        assert [r.path for r in tm.records] == ["a", "b"]
+
+
+class TestBatchTransfer:
+    def test_batch_moves_all(self, env):
+        _, tm, src, dst, user = env
+        for i in range(3):
+            src.put(f"f{i}", bytes([i]), user)
+        records = tm.transfer_many(src, dst, ["f0", "f1", "f2"], user)
+        assert len(records) == 3
+        assert all(dst.exists(f"f{i}") for i in range(3))
+
+    def test_batch_amortizes_setup(self, env):
+        """One batch of N files beats N separate transfers (single
+        control-channel negotiation)."""
+        clock, tm, src, dst, user = env
+        paths = []
+        for i in range(5):
+            src.put(f"x{i}", b"d" * 100, user)
+            paths.append(f"x{i}")
+        t0 = clock.now()
+        tm.transfer_many(src, dst, paths, user)
+        batch_time = clock.now() - t0
+        for i in range(5):
+            src.put(f"y{i}", b"d" * 100, user)
+        t0 = clock.now()
+        for i in range(5):
+            tm.transfer(src, dst, f"y{i}", user)
+        serial_time = clock.now() - t0
+        assert batch_time < serial_time
+
+    def test_batch_empty(self, env):
+        _, tm, src, dst, user = env
+        assert tm.transfer_many(src, dst, [], user) == []
+
+    def test_batch_missing_file_raises_before_moving(self, env):
+        _, tm, src, dst, user = env
+        src.put("ok", b"x", user)
+        with pytest.raises(TransferError):
+            tm.transfer_many(src, dst, ["ok", "ghost"], user)

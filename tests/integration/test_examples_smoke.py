@@ -1,0 +1,47 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+Each example is executed in-process (``runpy`` with ``__main__``
+semantics) so regressions in the public API surface here immediately.
+The two heaviest examples (materials_pipeline, serving_comparison) are
+exercised through their underlying harnesses elsewhere and are sampled
+here with reduced work via their module mains only if fast.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "published" in out
+        assert "sync prediction" in out
+        assert "timings" in out
+
+    def test_candle_access_control(self, capsys):
+        out = run_example("candle_access_control.py", capsys)
+        assert "outsider search hits: 0" in out
+        assert "after release" in out
+
+    def test_mdf_enrichment(self, capsys):
+        out = run_example("mdf_enrichment.py", capsys)
+        assert "enrichment passes applied" in out
+
+    def test_tomography_serving(self, capsys):
+        out = run_example("tomography_serving.py", capsys)
+        assert "best center: slice 13" in out
+        assert "batch segmentation" in out
+
+    def test_hpc_singularity(self, capsys):
+        out = run_example("hpc_singularity.py", capsys)
+        assert "HPC outputs match local execution: OK" in out
+        assert "Clipper" in out

@@ -1,0 +1,87 @@
+"""Integration tests for file-input serving (Table II "Files" + the
+Globus data-access integration of SS I / SS II)."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import DLHubClient
+from repro.core.servable import PythonFunctionServable
+from repro.core.toolbox import MetadataBuilder
+from repro.data.endpoint import Endpoint, EndpointACL, EndpointError
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False)
+
+    # A servable that consumes raw file bytes: CSV of numbers -> stats.
+    md = (
+        MetadataBuilder("csv_stats", "CSV statistics")
+        .creator("Analyst")
+        .model_type("python_function")
+        .input_type("file")
+        .output_type("dict")
+        .build()
+    )
+
+    def stats(data: bytes) -> dict:
+        values = np.array(
+            [float(x) for x in data.decode().replace("\n", ",").split(",") if x.strip()]
+        )
+        return {"n": int(values.size), "mean": float(values.mean()), "max": float(values.max())}
+
+    testbed.publish_and_deploy(PythonFunctionServable(md, stats, key="matminer_util"))
+    client = DLHubClient(testbed.management, testbed.token)
+
+    # The user's data endpoint.
+    endpoint = Endpoint(
+        "lab-instrument",
+        testbed.store,
+        EndpointACL(owner_id=testbed.user.identity_id),
+        latency_class="wan",
+    )
+    endpoint.put("run42.csv", b"1.0,2.0,3.0\n4.0,5.0", testbed.user)
+    return testbed, client, endpoint
+
+
+class TestFileServing:
+    def test_run_file_fetches_and_serves(self, env):
+        testbed, client, endpoint = env
+        result = client.run_file("csv_stats", endpoint, "run42.csv")
+        assert result == {"n": 5, "mean": 3.0, "max": 5.0}
+
+    def test_transfer_cost_charged(self, env):
+        testbed, client, endpoint = env
+        big = b"1.0," * 2_000_000
+        endpoint.put("big.csv", big + b"2.0", testbed.user)
+        before = testbed.clock.now()
+        client.run_file("csv_stats", endpoint, "big.csv")
+        big_cost = testbed.clock.now() - before
+        before = testbed.clock.now()
+        client.run_file("csv_stats", endpoint, "run42.csv")
+        small_cost = testbed.clock.now() - before
+        assert big_cost > small_cost
+
+    def test_endpoint_acl_enforced_with_caller_identity(self, env):
+        """A caller without read access to the endpoint is denied even
+        though the service itself could read it."""
+        testbed, _, endpoint = env
+        _, stranger_token = testbed.new_user("file_stranger")
+        stranger_client = DLHubClient(testbed.management, stranger_token)
+        with pytest.raises(EndpointError):
+            stranger_client.run_file("csv_stats", endpoint, "run42.csv")
+
+    def test_missing_file(self, env):
+        testbed, client, endpoint = env
+        from repro.data.store import ObjectNotFound
+
+        with pytest.raises(ObjectNotFound):
+            client.run_file("csv_stats", endpoint, "nope.csv")
+
+    def test_task_failure_on_bad_content(self, env):
+        testbed, client, endpoint = env
+        endpoint.put("garbage.csv", b"not,numbers,at,all", testbed.user)
+        with pytest.raises(RuntimeError, match="task failed"):
+            client.run_file("csv_stats", endpoint, "garbage.csv")

@@ -1,0 +1,177 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These test whole-system properties rather than single modules: output
+equivalence between execution paths, determinism under seeding, and
+conservation-style invariants on the simulated infrastructure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.zoo import build_zoo
+from repro.matsci.elements import ELEMENTS
+
+# One shared deployment for the stateless-traffic properties.
+_ZOO = build_zoo(oqmd_entries=40, n_estimators=3)
+
+
+def _fresh_context():
+    from repro.bench.workloads import build_context
+
+    ctx = build_context(
+        servables=("matminer_util", "matminer_featurize"),
+        jitter=False,
+        memoize=False,
+        zoo_kwargs={"oqmd_entries": 40, "n_estimators": 3},
+    )
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return _fresh_context()
+
+
+# A strategy over chemically-valid formula strings.
+formulas = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(ELEMENTS)),
+        st.integers(min_value=1, max_value=6),
+    ),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda t: t[0],
+).map(lambda parts: "".join(f"{s}{n}" for s, n in parts))
+
+
+class TestServingEquivalence:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(formula=formulas)
+    def test_served_equals_local_property(self, ctx, formula):
+        """For any valid formula: serving through the full stack returns
+        exactly what the bare handler returns."""
+        served = ctx.client.run("matminer_util", formula)
+        local = _ZOO["matminer_util"].run(formula)
+        assert served == local
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(formula=formulas)
+    def test_batched_equals_sequential_property(self, ctx, formula):
+        """Batching never changes outputs, only timing."""
+        inputs = [(formula,), (formula,), (formula,)]
+        batch = ctx.client.run_batch("matminer_util", inputs)
+        sequential = [ctx.client.run("matminer_util", formula) for _ in range(3)]
+        assert batch == sequential
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(formula=formulas)
+    def test_pipeline_equals_manual_chain_property(self, ctx, formula):
+        fractions = ctx.client.run("matminer_util", formula)
+        via_chain = ctx.client.run("matminer_featurize", fractions)
+        direct = _ZOO["matminer_featurize"].run(_ZOO["matminer_util"].run(formula))
+        assert np.allclose(via_chain, direct)
+
+
+class TestMemoTransparency:
+    @settings(max_examples=10, deadline=None)
+    @given(formula=formulas)
+    def test_memoization_is_semantically_invisible_property(self, formula):
+        """Identical queries with and without memoization return identical
+        values — the cache changes latency, never answers."""
+        from repro.bench.workloads import build_context
+
+        ctx_memo = build_context(
+            servables=("matminer_util",),
+            jitter=False,
+            memoize=True,
+            zoo_kwargs={"oqmd_entries": 40, "n_estimators": 3},
+        )
+        first = ctx_memo.client.run("matminer_util", formula)
+        second = ctx_memo.client.run("matminer_util", formula)
+        assert first == second == _ZOO["matminer_util"].run(formula)
+
+
+class TestClockMonotonicityAcrossStack:
+    def test_every_operation_moves_time_forward(self, ctx):
+        """Request timestamps strictly increase across a traffic mix."""
+        clock = ctx.testbed.clock
+        stamps = [clock.now()]
+        ctx.client.run("matminer_util", "NaCl")
+        stamps.append(clock.now())
+        ctx.client.run_batch("matminer_util", [("MgO",), ("CaO",)])
+        stamps.append(clock.now())
+        ctx.client.search("matminer*")
+        stamps.append(clock.now())
+        assert stamps == sorted(stamps)
+        assert stamps[-1] > stamps[0]
+
+
+class TestResourceConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        scale_sequence=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=6)
+    )
+    def test_scale_updown_conserves_cluster_resources_property(self, scale_sequence):
+        """Any scale-up/down sequence ending at zero replicas returns the
+        cluster to its pre-deployment allocation."""
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        baseline = testbed.cluster.total_allocated.cpu_millicores
+        testbed.publish_and_deploy(_ZOO["noop"], replicas=1)
+        executor = testbed.parsl_executor
+        for replicas in scale_sequence:
+            executor.scale("noop", replicas)
+            assert testbed.cluster.total_allocated.fits_within(
+                testbed.cluster.total_capacity
+            )
+        executor.scale("noop", 0)
+        assert testbed.cluster.total_allocated.cpu_millicores == baseline
+
+
+class TestSearchConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        names=st.lists(
+            st.text(alphabet="abcdefgh", min_size=3, max_size=8),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    def test_published_models_always_discoverable_property(self, names):
+        """Everything published publicly is findable by exact name."""
+        from repro.core.servable import PythonFunctionServable
+        from repro.core.testbed import build_testbed
+        from repro.core.toolbox import MetadataBuilder
+
+        testbed = build_testbed(jitter=False)
+        for name in names:
+            md = (
+                MetadataBuilder(f"model_{name}", f"Model {name}")
+                .creator("P")
+                .model_type("python_function")
+                .input_type("dict")
+                .output_type("dict")
+                .build()
+            )
+            testbed.management.publish(
+                testbed.token, PythonFunctionServable(md, lambda x: x)
+            )
+        for name in names:
+            hits = testbed.management.search(testbed.token, f"dlhub.name:model_{name}")
+            assert hits.total == 1

@@ -1,0 +1,126 @@
+"""Integration tests for the SS VI use cases (CANDLE, MDF, tomography,
+formation enthalpy) — condensed versions of the examples, asserted."""
+
+import numpy as np
+import pytest
+
+from repro.auth.service import AuthorizationError
+from repro.core.client import DLHubClient
+from repro.core.pipeline import Pipeline
+from repro.core.zoo import build_zoo
+from repro.search.index import Visibility
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    from repro.core.testbed import build_testbed
+
+    return build_testbed(jitter=False)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return build_zoo(oqmd_entries=60, n_estimators=5)
+
+
+class TestCandleAccessControl:
+    """SS VI-A: group-restricted sharing, then general release."""
+
+    @pytest.fixture(scope="class")
+    def published(self, testbed, zoo):
+        tester, tester_token = testbed.new_user("candle_tester")
+        outsider, outsider_token = testbed.new_user("candle_outsider")
+        group = testbed.auth.identities.create_group("candle")
+        group.add(tester)
+        from repro.core.servable import PythonFunctionServable
+        from repro.core.toolbox import MetadataBuilder
+
+        md = (
+            MetadataBuilder("candle_model", "CANDLE drug response")
+            .creator("CANDLE")
+            .model_type("python_function")
+            .input_type("ndarray")
+            .output_type("number")
+            .domain("cancer")
+            .build()
+        )
+        servable = PythonFunctionServable(md, lambda x: float(np.sum(x)))
+        published = testbed.publish_and_deploy(
+            servable, visibility=Visibility.restricted(groups=["candle"])
+        )
+        return published, tester_token, outsider_token
+
+    def test_tester_discovers_and_invokes(self, testbed, published):
+        _, tester_token, _ = published
+        client = DLHubClient(testbed.management, tester_token)
+        assert client.search("candle*").total == 1
+        assert client.run("candle_model", np.ones(3)) == 3.0
+
+    def test_outsider_blind_and_blocked(self, testbed, published):
+        _, _, outsider_token = published
+        client = DLHubClient(testbed.management, outsider_token)
+        assert client.search("candle*").total == 0
+        with pytest.raises(AuthorizationError):
+            client.run("candle_model", np.ones(3))
+
+    def test_general_release_flips_access(self, testbed, published):
+        model, _, outsider_token = published
+        testbed.management.update_visibility(
+            testbed.token, model.full_name, Visibility()
+        )
+        client = DLHubClient(testbed.management, outsider_token)
+        assert client.search("candle*").total == 1
+        assert client.run("candle_model", np.ones(4)) == 4.0
+
+
+class TestMDFEnrichment:
+    """SS VI-B: input-type matching selects applicable models at ingest."""
+
+    def test_type_matching_selects_models(self, testbed, zoo):
+        for name in ("matminer_util", "matminer_featurize"):
+            testbed.publish_and_deploy(zoo[name])
+        client = DLHubClient(testbed.management, testbed.token)
+        string_models = {
+            h.source["dlhub"]["name"]
+            for h in client.search("dlhub.input_type:string").hits
+        }
+        assert "matminer_util" in string_models
+        composition_models = {
+            h.source["dlhub"]["name"]
+            for h in client.search("dlhub.input_type:composition").hits
+        }
+        assert "matminer_featurize" in composition_models
+        assert client.search("dlhub.input_type:file").total == 0
+
+    def test_enrichment_invocation(self, testbed):
+        client = DLHubClient(testbed.management, testbed.token)
+        records = ["FeNi", "CuZn"]
+        enriched = [client.run("matminer_util", r) for r in records]
+        assert all(sum(e.values()) == pytest.approx(1.0) for e in enriched)
+
+
+class TestFormationEnthalpyPipeline:
+    """SS VI-D: one string in, one number out, server-side chaining."""
+
+    def test_pipeline_simplifies_interface(self, testbed, zoo):
+        testbed.publish_and_deploy(zoo["matminer_model"])
+        pipeline = (
+            Pipeline("usecase_enthalpy")
+            .add_step("matminer_util")
+            .add_step("matminer_featurize")
+            .add_step("matminer_model")
+        )
+        client = DLHubClient(testbed.management, testbed.token)
+        client.register_pipeline(pipeline)
+        for formula in ("SiO2", "NaCl", "Fe2O3"):
+            value = client.run_pipeline("usecase_enthalpy", formula)
+            assert isinstance(value, float)
+            assert -6 < value < 2
+
+    def test_predictions_chemically_sensible(self, testbed, zoo):
+        """Strongly ionic compounds come out more stable than weakly
+        bonded ones — the synthetic physics is monotone in EN spread."""
+        client = DLHubClient(testbed.management, testbed.token)
+        ionic = client.run_pipeline("usecase_enthalpy", "NaCl")  # large EN gap
+        metallic = client.run_pipeline("usecase_enthalpy", "FeNi3")  # small gap
+        assert ionic < metallic

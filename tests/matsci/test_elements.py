@@ -1,0 +1,50 @@
+"""Unit tests for the periodic-table data."""
+
+import pytest
+
+from repro.matsci.elements import ELEMENTS, PROPERTY_NAMES, UnknownElement, element
+
+
+class TestTable:
+    def test_common_elements_present(self):
+        for sym in ("H", "C", "O", "Na", "Cl", "Fe", "Si", "Au", "U"):
+            assert sym in ELEMENTS
+
+    def test_atomic_numbers_unique_and_ordered(self):
+        zs = [el.z for el in ELEMENTS.values()]
+        assert len(zs) == len(set(zs))
+
+    def test_lookup(self):
+        fe = element("Fe")
+        assert fe.z == 26
+        assert fe.mass == pytest.approx(55.845)
+
+    def test_unknown_symbol(self):
+        with pytest.raises(UnknownElement):
+            element("Xx")
+
+    def test_property_vector_matches_names(self):
+        vec = element("Si").property_vector()
+        assert len(vec) == len(PROPERTY_NAMES)
+        assert vec[PROPERTY_NAMES.index("Number")] == 14.0
+
+    def test_chemistry_sanity(self):
+        """Spot-check well-known chemical orderings."""
+        assert element("F").electronegativity > element("Cs").electronegativity
+        assert element("Cs").covalent_radius > element("F").covalent_radius
+        assert element("W").melting_point > element("Hg").melting_point
+        assert element("Na").valence == 1
+        assert element("O").valence == 6
+
+    def test_rows_and_groups_in_range(self):
+        for el in ELEMENTS.values():
+            assert 1 <= el.row <= 7
+            assert 1 <= el.group <= 18
+
+    def test_all_properties_finite_positive(self):
+        for el in ELEMENTS.values():
+            assert el.mass > 0
+            assert el.electronegativity > 0
+            assert el.covalent_radius > 0
+            assert el.melting_point > 0
+            assert el.valence >= 1

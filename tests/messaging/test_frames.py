@@ -1,0 +1,95 @@
+"""Unit tests for multipart frames and envelopes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.messaging.frames import DELIMITER, Frame, Message
+
+
+class TestFrame:
+    def test_frame_holds_bytes(self):
+        assert Frame(b"abc").data == b"abc"
+
+    def test_bytearray_coerced(self):
+        assert Frame(bytearray(b"xy")).data == b"xy"
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            Frame("string")  # type: ignore[arg-type]
+
+    def test_len_and_empty(self):
+        assert len(Frame(b"abc")) == 3
+        assert Frame(b"").empty
+        assert not Frame(b"x").empty
+
+
+class TestMessage:
+    def test_of_mixed_parts(self):
+        msg = Message.of(b"a", Frame(b"b"))
+        assert msg.to_parts() == [b"a", b"b"]
+
+    def test_nbytes(self):
+        assert Message.of(b"abc", b"de").nbytes == 5
+
+    def test_push_pop_front(self):
+        msg = Message.of(b"x")
+        msg2 = msg.push_front(b"id")
+        assert msg2.to_parts() == [b"id", b"x"]
+        first, rest = msg2.pop_front()
+        assert first.data == b"id"
+        assert rest.to_parts() == [b"x"]
+        # Original is unchanged (messages are persistent-ish).
+        assert msg.to_parts() == [b"x"]
+
+    def test_pop_front_empty_raises(self):
+        with pytest.raises(IndexError):
+            Message().pop_front()
+
+    def test_wrap_unwrap_roundtrip(self):
+        payload = Message.of(b"hello", b"world")
+        wrapped = payload.wrap(b"client-1")
+        assert wrapped.to_parts() == [b"client-1", b"", b"hello", b"world"]
+        identity, unwrapped = wrapped.unwrap()
+        assert identity == b"client-1"
+        assert unwrapped.to_parts() == [b"hello", b"world"]
+
+    def test_unwrap_without_delimiter(self):
+        msg = Message.of(b"id", b"payload")
+        identity, rest = msg.unwrap()
+        assert identity == b"id"
+        assert rest.to_parts() == [b"payload"]
+
+    def test_unwrap_empty_raises(self):
+        with pytest.raises(ValueError):
+            Message().unwrap()
+
+    def test_payload_frames_after_delimiter(self):
+        msg = Message.of(b"id", b"", b"data1", b"data2")
+        assert [f.data for f in msg.payload_frames()] == [b"data1", b"data2"]
+
+    def test_payload_frames_no_delimiter(self):
+        msg = Message.of(b"a", b"b")
+        assert [f.data for f in msg.payload_frames()] == [b"a", b"b"]
+
+    def test_indexing_and_iteration(self):
+        msg = Message.of(b"a", b"b", b"c")
+        assert msg[1].data == b"b"
+        assert len(msg) == 3
+        assert [f.data for f in msg] == [b"a", b"b", b"c"]
+
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=8))
+    def test_wrap_unwrap_property(self, parts):
+        """wrap(identity) then unwrap() is the identity transform."""
+        msg = Message.from_parts(parts)
+        identity, restored = msg.wrap(b"me").unwrap()
+        assert identity == b"me"
+        assert restored.to_parts() == parts
+
+    @given(st.lists(st.binary(max_size=64), max_size=8))
+    def test_nbytes_property(self, parts):
+        assert Message.from_parts(parts).nbytes == sum(len(p) for p in parts)
+
+
+def test_delimiter_is_empty():
+    assert DELIMITER.empty

@@ -1,0 +1,125 @@
+"""Unit tests for the reliable task queue (at-least-once semantics)."""
+
+import pytest
+
+from repro.messaging.queue import QueueEmpty, TaskQueue, UnknownDelivery
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def queue():
+    return TaskQueue(VirtualClock(), visibility_timeout_s=10.0, max_deliveries=3)
+
+
+class TestBasicFlow:
+    def test_put_claim_ack(self, queue):
+        queue.put({"task": 1})
+        msg = queue.claim()
+        assert msg.body == {"task": 1}
+        queue.ack(msg.delivery_tag)
+        assert len(queue) == 0
+        assert queue.inflight_count == 0
+        assert queue.total_acked == 1
+
+    def test_fifo_order(self, queue):
+        for i in range(3):
+            queue.put(i)
+        assert [queue.claim().body for _ in range(3)] == [0, 1, 2]
+
+    def test_claim_empty_raises(self, queue):
+        with pytest.raises(QueueEmpty):
+            queue.claim()
+
+    def test_topics_are_independent(self, queue):
+        queue.put("a", topic="alpha")
+        queue.put("b", topic="beta")
+        assert queue.claim("beta").body == "b"
+        assert queue.ready_count("alpha") == 1
+        with pytest.raises(QueueEmpty):
+            queue.claim("beta")
+
+    def test_len_counts_all_topics(self, queue):
+        queue.put(1, topic="a")
+        queue.put(2, topic="b")
+        assert len(queue) == 2
+
+
+class TestAckNack:
+    def test_double_ack_rejected(self, queue):
+        queue.put(1)
+        msg = queue.claim()
+        queue.ack(msg.delivery_tag)
+        with pytest.raises(UnknownDelivery):
+            queue.ack(msg.delivery_tag)
+
+    def test_nack_requeues_at_front(self, queue):
+        queue.put("first")
+        queue.put("second")
+        msg = queue.claim()
+        queue.nack(msg.delivery_tag)
+        assert queue.claim().body == "first"  # requeued ahead of "second"
+
+    def test_nack_without_requeue_dead_letters(self, queue):
+        queue.put("poison")
+        msg = queue.claim()
+        queue.nack(msg.delivery_tag, requeue=False)
+        assert len(queue) == 0
+        assert [m.body for m in queue.dead_letters] == ["poison"]
+
+    def test_max_deliveries_dead_letters(self, queue):
+        queue.put("flaky")
+        for _ in range(3):  # max_deliveries = 3
+            msg = queue.claim()
+            queue.nack(msg.delivery_tag)
+        assert len(queue) == 0
+        assert len(queue.dead_letters) == 1
+        assert queue.dead_letters[0].deliveries == 3
+
+
+class TestVisibilityTimeout:
+    def test_expired_inflight_redelivered(self, queue):
+        """A claimed-but-never-acked task is redelivered after the
+        visibility timeout — 'ensures tasks are received and executed'."""
+        queue.put("important")
+        msg = queue.claim()
+        assert queue.inflight_count == 1
+        queue.clock.advance(10.0)
+        redelivered = queue.expire_inflight()
+        assert redelivered == 1
+        again = queue.claim()
+        assert again.body == "important"
+        assert again.deliveries == 2
+        assert again.message_id == msg.message_id
+
+    def test_unexpired_not_redelivered(self, queue):
+        queue.put("x")
+        queue.claim()
+        queue.clock.advance(5.0)  # < timeout
+        assert queue.expire_inflight() == 0
+        assert queue.inflight_count == 1
+
+    def test_redelivery_counter(self, queue):
+        queue.put("x")
+        queue.claim()
+        queue.clock.advance(10.0)
+        queue.expire_inflight()
+        assert queue.total_redelivered == 1
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            TaskQueue(clock, visibility_timeout_s=0)
+        with pytest.raises(ValueError):
+            TaskQueue(clock, max_deliveries=0)
+
+    def test_unknown_nack(self, queue):
+        with pytest.raises(UnknownDelivery):
+            queue.nack(999)
+
+    def test_topics_listing(self, queue):
+        queue.put(1, topic="x")
+        queue.put(2, topic="y")
+        queue.claim("x")
+        assert queue.topics() == ["y"]

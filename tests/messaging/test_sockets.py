@@ -1,0 +1,178 @@
+"""Unit tests for ZeroMQ-style socket patterns."""
+
+import pytest
+
+from repro.messaging.frames import Message
+from repro.messaging.sockets import (
+    AgainError,
+    Context,
+    SocketError,
+    SocketType,
+    StateError,
+)
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import NetworkLink
+
+
+@pytest.fixture
+def ctx():
+    return Context(VirtualClock())
+
+
+class TestReqRep:
+    def test_basic_request_reply(self, ctx):
+        rep = ctx.socket(SocketType.REP).bind("inproc://svc")
+        req = ctx.socket(SocketType.REQ).connect("inproc://svc")
+        req.send(b"ping")
+        request = rep.recv()
+        assert request.to_parts() == [b"ping"]
+        rep.send(b"pong")
+        reply = req.recv()
+        assert reply.to_parts() == [b"pong"]
+
+    def test_req_lockstep_enforced(self, ctx):
+        rep = ctx.socket(SocketType.REP).bind("inproc://svc")
+        req = ctx.socket(SocketType.REQ).connect("inproc://svc")
+        req.send(b"one")
+        with pytest.raises(StateError):
+            req.send(b"two")
+
+    def test_req_recv_before_send_rejected(self, ctx):
+        ctx.socket(SocketType.REP).bind("inproc://svc")
+        req = ctx.socket(SocketType.REQ).connect("inproc://svc")
+        with pytest.raises(StateError):
+            req.recv()
+
+    def test_rep_send_before_recv_rejected(self, ctx):
+        rep = ctx.socket(SocketType.REP).bind("inproc://svc")
+        ctx.socket(SocketType.REQ).connect("inproc://svc")
+        with pytest.raises(StateError):
+            rep.send(b"unsolicited")
+
+    def test_two_clients_replies_routed_correctly(self, ctx):
+        rep = ctx.socket(SocketType.REP).bind("inproc://svc")
+        req1 = ctx.socket(SocketType.REQ, identity=b"c1").connect("inproc://svc")
+        req2 = ctx.socket(SocketType.REQ, identity=b"c2").connect("inproc://svc")
+        req1.send(b"from-1")
+        req2.send(b"from-2")
+        rep.recv()
+        rep.send(b"to-1")
+        rep.recv()
+        rep.send(b"to-2")
+        assert req1.recv().to_parts() == [b"to-1"]
+        assert req2.recv().to_parts() == [b"to-2"]
+
+
+class TestPushPull:
+    def test_round_robin_distribution(self, ctx):
+        pull_a = ctx.socket(SocketType.PULL).bind("inproc://a")
+        pull_b = ctx.socket(SocketType.PULL).bind("inproc://b")
+        push = ctx.socket(SocketType.PUSH)
+        push.connect("inproc://a")
+        push.connect("inproc://b")
+        for i in range(4):
+            push.send(f"task{i}".encode())
+        assert pull_a.pending == 2 and pull_b.pending == 2
+        assert pull_a.recv().to_parts() == [b"task0"]
+        assert pull_b.recv().to_parts() == [b"task1"]
+
+    def test_pull_cannot_send(self, ctx):
+        pull = ctx.socket(SocketType.PULL).bind("inproc://a")
+        with pytest.raises(SocketError):
+            pull.send(b"nope")
+
+    def test_push_cannot_recv(self, ctx):
+        ctx.socket(SocketType.PULL).bind("inproc://a")
+        push = ctx.socket(SocketType.PUSH)
+        push.connect("inproc://a")
+        with pytest.raises(SocketError):
+            push.recv()
+
+    def test_recv_empty_raises_again(self, ctx):
+        pull = ctx.socket(SocketType.PULL).bind("inproc://a")
+        with pytest.raises(AgainError):
+            pull.recv()
+
+    def test_push_skips_closed_peer(self, ctx):
+        pull_a = ctx.socket(SocketType.PULL).bind("inproc://a")
+        pull_b = ctx.socket(SocketType.PULL).bind("inproc://b")
+        push = ctx.socket(SocketType.PUSH)
+        push.connect("inproc://a")
+        push.connect("inproc://b")
+        pull_a.close()
+        push.send(b"x")
+        push.send(b"y")
+        assert pull_b.pending == 2
+
+
+class TestRouterDealer:
+    def test_dealer_to_router_carries_identity(self, ctx):
+        router = ctx.socket(SocketType.ROUTER).bind("inproc://broker")
+        dealer = ctx.socket(SocketType.DEALER, identity=b"worker-1")
+        dealer.connect("inproc://broker")
+        dealer.send(Message.of(b"ready"))
+        msg = router.recv()
+        assert msg.to_parts() == [b"worker-1", b"ready"]
+
+    def test_router_routes_by_identity(self, ctx):
+        router = ctx.socket(SocketType.ROUTER).bind("inproc://broker")
+        d1 = ctx.socket(SocketType.DEALER, identity=b"w1")
+        d2 = ctx.socket(SocketType.DEALER, identity=b"w2")
+        d1.connect("inproc://broker")
+        d2.connect("inproc://broker")
+        router.send(Message.of(b"w2", b"job"))
+        assert d2.recv().to_parts() == [b"job"]
+        assert d1.pending == 0
+
+    def test_router_unknown_identity_raises(self, ctx):
+        router = ctx.socket(SocketType.ROUTER).bind("inproc://broker")
+        d = ctx.socket(SocketType.DEALER, identity=b"w1")
+        d.connect("inproc://broker")
+        with pytest.raises(SocketError):
+            router.send(Message.of(b"ghost", b"job"))
+
+
+class TestWiring:
+    def test_incompatible_pairs_rejected(self, ctx):
+        ctx.socket(SocketType.PULL).bind("inproc://a")
+        req = ctx.socket(SocketType.REQ)
+        with pytest.raises(SocketError):
+            req.connect("inproc://a")
+
+    def test_double_bind_rejected(self, ctx):
+        ctx.socket(SocketType.REP).bind("inproc://svc")
+        with pytest.raises(SocketError):
+            ctx.socket(SocketType.REP).bind("inproc://svc")
+
+    def test_connect_unknown_address(self, ctx):
+        with pytest.raises(SocketError):
+            ctx.socket(SocketType.REQ).connect("inproc://nowhere")
+
+    def test_close_releases_binding(self, ctx):
+        sock = ctx.socket(SocketType.REP).bind("inproc://svc")
+        sock.close()
+        ctx.socket(SocketType.REP).bind("inproc://svc")  # rebind works
+
+    def test_send_with_no_peers(self, ctx):
+        push = ctx.socket(SocketType.PUSH)
+        with pytest.raises(SocketError):
+            push.send(b"x")
+
+    def test_link_charges_clock(self, ctx):
+        pull = ctx.socket(SocketType.PULL).bind("inproc://a")
+        push = ctx.socket(SocketType.PUSH)
+        push.connect("inproc://a")
+        push.link = NetworkLink("test", rtt_s=0.010, bandwidth_bps=1e12)
+        push.send(b"payload")
+        assert ctx.clock.now() == pytest.approx(0.005)
+        assert pull.pending == 1
+
+    def test_message_counters(self, ctx):
+        pull = ctx.socket(SocketType.PULL).bind("inproc://a")
+        push = ctx.socket(SocketType.PUSH)
+        push.connect("inproc://a")
+        push.send(b"1")
+        push.send(b"2")
+        pull.recv()
+        assert push.messages_sent == 2
+        assert pull.messages_received == 1

@@ -1,0 +1,96 @@
+"""Unit tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.sklearn_like import RandomForestClassifier, RandomForestRegressor
+from repro.ml.sklearn_like.tree import NotFittedError
+
+
+def regression_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, size=(n, 3))
+    y = 2 * x[:, 0] - x[:, 1] ** 2 + 0.1 * rng.normal(size=n)
+    return x, y
+
+
+class TestRegressor:
+    def test_learns_smooth_function(self):
+        x, y = regression_data()
+        forest = RandomForestRegressor(n_estimators=15, max_depth=8, random_state=0)
+        forest.fit(x, y)
+        assert forest.score(x, y) > 0.85
+
+    def test_forest_beats_single_shallow_tree_out_of_sample(self):
+        x, y = regression_data(300)
+        x_test, y_test = regression_data(100, seed=9)
+        from repro.ml.sklearn_like.tree import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=4, max_features="sqrt", random_state=0)
+        tree.fit(x, y)
+        forest = RandomForestRegressor(
+            n_estimators=20, max_depth=4, random_state=0
+        ).fit(x, y)
+
+        def r2(pred):
+            ss_res = ((y_test - pred) ** 2).sum()
+            ss_tot = ((y_test - y_test.mean()) ** 2).sum()
+            return 1 - ss_res / ss_tot
+
+        assert r2(forest.predict(x_test)) >= r2(tree.predict(x_test))
+
+    def test_reproducible_with_seed(self):
+        x, y = regression_data()
+        a = RandomForestRegressor(n_estimators=5, random_state=7).fit(x, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=7).fit(x, y)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_predict_std_nonnegative_and_informative(self):
+        x, y = regression_data()
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(x, y)
+        std = forest.predict_std(x)
+        assert (std >= 0).all()
+        # Extrapolation should be at least as uncertain on average.
+        far = np.full((10, 3), 10.0)
+        assert forest.predict_std(far).mean() >= 0
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestClassifier:
+    def test_learns_classification(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] * x[:, 1] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=15, max_depth=6, random_state=0)
+        forest.fit(x, y)
+        assert forest.score(x, y) > 0.85
+
+    def test_predict_proba_valid(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 2))
+        y = rng.integers(0, 3, size=100)
+        forest = RandomForestClassifier(n_estimators=8, random_state=0).fit(x, y)
+        proba = forest.predict_proba(x)
+        assert proba.shape == (100, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_predict_matches_argmax_proba(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(60, 2))
+        y = rng.integers(0, 2, size=60)
+        forest = RandomForestClassifier(n_estimators=6, random_state=1).fit(x, y)
+        assert np.array_equal(
+            forest.predict(x), np.argmax(forest.predict_proba(x), axis=1)
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for the Sequential model (inference + training)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, ReLU, Softmax
+from repro.ml.network import Sequential
+
+
+def make_classifier(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(2, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng), Softmax()],
+        name="toy",
+    )
+
+
+def toy_data(n=300, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestInference:
+    def test_predict_shape(self):
+        model = make_classifier()
+        assert model.predict(np.zeros((5, 2))).shape == (5, 2)
+
+    def test_predict_probabilities(self):
+        probs = make_classifier().predict(np.random.default_rng(0).normal(size=(4, 2)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_classes(self):
+        model = make_classifier()
+        classes = model.predict_classes(np.zeros((3, 2)))
+        assert classes.shape == (3,)
+        assert set(classes.tolist()) <= {0, 1}
+
+    def test_predict_top_k(self):
+        model = make_classifier()
+        top = model.predict_top_k(np.zeros((1, 2)), k=2)
+        assert len(top[0]) == 2
+        (c1, p1), (c2, p2) = top[0]
+        assert p1 >= p2
+        assert p1 + p2 == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(5).normal(size=(3, 2))
+        assert np.array_equal(make_classifier(7).predict(x), make_classifier(7).predict(x))
+
+
+class TestTraining:
+    def test_fit_reduces_loss(self):
+        model = make_classifier()
+        x, y = toy_data()
+        losses = model.fit(x, y, epochs=15, lr=0.1)
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_fit_learns_the_task(self):
+        model = make_classifier()
+        x, y = toy_data()
+        model.fit(x, y, epochs=30, lr=0.2)
+        assert model.evaluate_accuracy(x, y) > 0.9
+
+    def test_fit_requires_softmax_head(self):
+        model = Sequential([Dense(2, 2)])
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 2)), np.zeros(4, dtype=int))
+
+    def test_fit_reproducible(self):
+        x, y = toy_data()
+        a = make_classifier(3)
+        b = make_classifier(3)
+        a.fit(x, y, epochs=3, rng=np.random.default_rng(9))
+        b.fit(x, y, epochs=3, rng=np.random.default_rng(9))
+        assert np.array_equal(a.predict(x), b.predict(x))
+
+
+class TestIntrospection:
+    def test_parameter_count(self):
+        model = make_classifier()
+        # Dense(2,16): 2*16+16; Dense(16,2): 16*2+2.
+        assert model.parameter_count() == (2 * 16 + 16) + (16 * 2 + 2)
+
+    def test_params_keys(self):
+        keys = set(make_classifier().params())
+        assert "layer0.W" in keys and "layer2.b" in keys
+
+    def test_summary_mentions_layers(self):
+        text = make_classifier().summary()
+        assert "Dense" in text and "Softmax" in text and "total params" in text
+
+    def test_add_chains(self):
+        model = Sequential().add(Dense(2, 2)).add(Softmax())
+        assert len(model.layers) == 2

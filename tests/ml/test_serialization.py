@@ -1,0 +1,73 @@
+"""Unit tests for weight/estimator serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, ReLU, Softmax
+from repro.ml.network import Sequential
+from repro.ml.serialization import (
+    load_estimator,
+    load_weights,
+    manifest_json,
+    model_manifest,
+    save_estimator,
+    save_weights,
+)
+from repro.ml.sklearn_like import RandomForestRegressor
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng), Softmax()])
+
+
+class TestWeights:
+    def test_roundtrip_restores_predictions(self):
+        source = make_model(seed=1)
+        blob = save_weights(source)
+        target = make_model(seed=2)  # different init
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        assert not np.allclose(source.predict(x), target.predict(x))
+        load_weights(target, blob)
+        assert np.allclose(source.predict(x), target.predict(x))
+
+    def test_missing_parameter_rejected(self):
+        small = Sequential([Dense(4, 8)])
+        blob = save_weights(small)
+        bigger = make_model()
+        with pytest.raises(KeyError):
+            load_weights(bigger, blob)
+
+    def test_shape_mismatch_rejected(self):
+        a = Sequential([Dense(4, 8)])
+        b = Sequential([Dense(4, 9)])
+        with pytest.raises(ValueError):
+            load_weights(b, save_weights(a))
+
+    def test_blob_is_real_bytes(self):
+        blob = save_weights(make_model())
+        assert isinstance(blob, bytes)
+        assert len(blob) > 100
+
+
+class TestEstimators:
+    def test_forest_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 3))
+        y = x[:, 0] * 2
+        forest = RandomForestRegressor(n_estimators=4, max_depth=5).fit(x, y)
+        restored = load_estimator(save_estimator(forest))
+        assert np.allclose(forest.predict(x), restored.predict(x))
+
+
+class TestManifest:
+    def test_manifest_contents(self):
+        manifest = model_manifest(make_model())
+        assert manifest["layers"] == ["Dense", "ReLU", "Dense", "Softmax"]
+        assert manifest["parameter_count"] > 0
+
+    def test_manifest_json_parses(self):
+        import json
+
+        doc = json.loads(manifest_json(make_model()))
+        assert doc["layers"][0] == "Dense"

@@ -1,0 +1,135 @@
+"""Unit tests for the DataFlowKernel: routing, memoization, apps."""
+
+import pytest
+
+from repro.parsl.app import python_app
+from repro.parsl.dfk import DataFlowKernel, DFKError
+from repro.parsl.executors import LocalExecutor
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def dfk():
+    return DataFlowKernel(VirtualClock())
+
+
+class TestRouting:
+    def test_default_executor_is_local(self, dfk):
+        assert dfk.submit(lambda: "ok").result() == "ok"
+
+    def test_unknown_executor_rejected(self, dfk):
+        with pytest.raises(DFKError):
+            dfk.submit(lambda: 1, executor="gpu-farm")
+
+    def test_add_executor_and_route(self, dfk):
+        extra = LocalExecutor(dfk.clock)
+        dfk.add_executor("extra", extra)
+        dfk.submit(lambda: 1, executor="extra").result()
+        assert extra.tasks_run == 1
+
+    def test_duplicate_executor_rejected(self, dfk):
+        with pytest.raises(DFKError):
+            dfk.add_executor("local", LocalExecutor(dfk.clock))
+
+    def test_exec_cost_charged(self, dfk):
+        before = dfk.clock.now()
+        dfk.submit(lambda: 1, exec_cost_s=0.5).result()
+        assert dfk.clock.now() - before >= 0.5
+
+    def test_run_all(self, dfk):
+        futures = [dfk.submit(lambda i=i: i) for i in range(5)]
+        dfk.run_all()
+        assert all(f.done() for f in futures)
+        assert [f.result() for f in futures] == list(range(5))
+
+
+class TestMemoization:
+    def test_cache_hits_for_identical_calls(self, dfk):
+        calls = []
+
+        def expensive(x):
+            calls.append(x)
+            return x * 2
+
+        a = dfk.submit(expensive, (3,), cache=True)
+        b = dfk.submit(expensive, (3,), cache=True)
+        assert a.result() == b.result() == 6
+        assert len(calls) == 1
+        assert dfk.memo_hits == 1 and dfk.memo_misses == 1
+
+    def test_different_args_miss(self, dfk):
+        f = lambda x: x
+        dfk.submit(f, (1,), cache=True).result()
+        dfk.submit(f, (2,), cache=True).result()
+        assert dfk.memo_hits == 0
+
+    def test_no_cache_by_default(self, dfk):
+        calls = []
+        f = lambda: calls.append(1)
+        dfk.submit(f).result()
+        dfk.submit(f).result()
+        assert len(calls) == 2
+
+    def test_clear_memo(self, dfk):
+        calls = []
+
+        def g(x):
+            calls.append(x)
+            return x
+
+        dfk.submit(g, (1,), cache=True).result()
+        dfk.clear_memo()
+        dfk.submit(g, (1,), cache=True).result()
+        assert len(calls) == 2
+
+
+class TestPythonApp:
+    def test_decorator_with_dfk(self, dfk):
+        @python_app(dfk=dfk)
+        def double(x):
+            return x * 2
+
+        assert double(5).result() == 10
+
+    def test_decorator_without_kernel_raises(self):
+        @python_app
+        def orphan():
+            return 1
+
+        with pytest.raises(RuntimeError):
+            orphan()
+
+    def test_late_kernel_binding(self, dfk):
+        @python_app
+        def late():
+            return "bound"
+
+        late.dfk = dfk
+        assert late().result() == "bound"
+
+    def test_app_futures_compose(self, dfk):
+        @python_app(dfk=dfk)
+        def add(a, b):
+            return a + b
+
+        total = add(add(1, 2), add(3, 4))
+        assert total.result() == 10
+
+    def test_app_cache_flag(self, dfk):
+        calls = []
+
+        @python_app(dfk=dfk, cache=True)
+        def cached(x):
+            calls.append(x)
+            return x
+
+        cached(1).result()
+        cached(1).result()
+        assert len(calls) == 1
+
+    def test_wrapped_preserved(self, dfk):
+        @python_app(dfk=dfk)
+        def documented():
+            """Docstring survives."""
+
+        assert documented.__wrapped__.__doc__ == "Docstring survives."

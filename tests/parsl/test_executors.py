@@ -1,0 +1,77 @@
+"""Unit tests for Parsl executors (local + cluster-backed)."""
+
+import pytest
+
+from repro.cluster.cluster import KubernetesCluster
+from repro.containers.image import Image, Layer
+from repro.containers.registry import ContainerRegistry
+from repro.parsl.dfk import DataFlowKernel
+from repro.parsl.executors import ClusterExecutor, LocalExecutor
+from repro.sim.clock import VirtualClock
+
+
+class TestLocalExecutor:
+    def test_runs_in_process(self):
+        clock = VirtualClock()
+        executor = LocalExecutor(clock)
+        assert executor.execute(lambda a, b: a + b, (1, 2), {}) == 3
+        assert executor.tasks_run == 1
+
+    def test_charges_overhead_and_cost(self):
+        clock = VirtualClock()
+        executor = LocalExecutor(clock, overhead_s=0.001)
+        executor.execute(lambda: None, (), {}, exec_cost_s=0.5)
+        assert clock.now() == pytest.approx(0.501)
+
+    def test_exceptions_propagate(self):
+        executor = LocalExecutor(VirtualClock())
+
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            executor.execute(boom, (), {})
+
+
+class TestClusterExecutor:
+    @pytest.fixture
+    def env(self):
+        clock = VirtualClock()
+        registry = ContainerRegistry()
+        image = Image(
+            repository="m", tag="v", layers=[Layer("l")], handler=lambda x: x * 3
+        )
+        registry.push(image)
+        cluster = KubernetesCluster(name="t", clock=clock, registry=registry)
+        cluster.add_node("n0", 64000, 2**42)
+        deployment = cluster.create_deployment("m", image, replicas=2)
+        return clock, ClusterExecutor(clock, deployment), deployment
+
+    def test_pod_handler_execution(self, env):
+        clock, executor, _ = env
+        # fn=None routes to the pod's packaged handler.
+        assert executor.execute(None, (7,), {}) == 21
+
+    def test_shipped_function_execution(self, env):
+        clock, executor, _ = env
+        assert executor.execute(lambda x: x + 1, (1,), {}) == 2
+
+    def test_refresh_after_scale(self, env):
+        clock, executor, deployment = env
+        deployment.scale(4)
+        executor.refresh()
+        assert executor.pool.engine_count == 4
+
+    def test_integrates_with_dfk(self, env):
+        clock, executor, _ = env
+        dfk = DataFlowKernel(clock)
+        dfk.add_executor("cluster", executor)
+        future = dfk.submit(lambda x: x - 1, (10,), executor="cluster")
+        assert future.result() == 9
+
+    def test_makespan_drain(self, env):
+        clock, executor, _ = env
+        for _ in range(4):
+            executor.pool.dispatch_to_pod((1,), exec_cost_s=2.0)
+        executor.makespan_drain()
+        assert all(p.busy_until <= clock.now() for p in executor.pool.pods)

@@ -1,0 +1,97 @@
+"""Unit tests for AppFutures and the DataFlowKernel driving them."""
+
+import pytest
+
+from repro.parsl.dfk import DataFlowKernel
+from repro.parsl.futures import FutureError
+
+
+@pytest.fixture
+def dfk():
+    return DataFlowKernel()
+
+
+class TestFutureLifecycle:
+    def test_result_forces_execution(self, dfk):
+        future = dfk.submit(lambda: 42)
+        assert not future.done()
+        assert future.result() == 42
+        assert future.done()
+        assert future.state == "done"
+
+    def test_result_idempotent(self, dfk):
+        calls = []
+        future = dfk.submit(lambda: calls.append(1) or "x")
+        assert future.result() == "x"
+        assert future.result() == "x"
+        assert len(calls) == 1
+
+    def test_exception_captured(self, dfk):
+        def boom():
+            raise ValueError("kapow")
+
+        future = dfk.submit(boom)
+        with pytest.raises(FutureError, match="kapow"):
+            future.result()
+        assert future.state == "failed"
+        assert isinstance(future.exception(), ValueError)
+
+    def test_exception_none_on_success(self, dfk):
+        future = dfk.submit(lambda: 1)
+        assert future.exception() is None
+
+    def test_done_callback_after_completion(self, dfk):
+        events = []
+        future = dfk.submit(lambda: "v")
+        future.add_done_callback(lambda f: events.append(f.state))
+        future.result()
+        assert events == ["done"]
+
+    def test_done_callback_immediate_if_done(self, dfk):
+        future = dfk.submit(lambda: "v")
+        future.result()
+        events = []
+        future.add_done_callback(lambda f: events.append(1))
+        assert events == [1]
+
+
+class TestDependencies:
+    def test_future_args_resolved(self, dfk):
+        a = dfk.submit(lambda: 3)
+        b = dfk.submit(lambda x, y: x + y, (a, 4))
+        assert b.result() == 7
+        assert a.done()  # dependency was forced
+
+    def test_future_kwargs_resolved(self, dfk):
+        a = dfk.submit(lambda: 10)
+        b = dfk.submit(lambda x=0: x * 2, (), {"x": a})
+        assert b.result() == 20
+
+    def test_chain_of_dependencies(self, dfk):
+        f = dfk.submit(lambda: 1)
+        for _ in range(5):
+            f = dfk.submit(lambda x: x + 1, (f,))
+        assert f.result() == 6
+
+    def test_diamond_dependency_runs_once(self, dfk):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return 5
+
+        a = dfk.submit(source)
+        left = dfk.submit(lambda x: x + 1, (a,))
+        right = dfk.submit(lambda x: x * 2, (a,))
+        total = dfk.submit(lambda l, r: l + r, (left, right))
+        assert total.result() == 16
+        assert len(calls) == 1
+
+    def test_failed_dependency_propagates(self, dfk):
+        def boom():
+            raise RuntimeError("upstream")
+
+        a = dfk.submit(boom)
+        b = dfk.submit(lambda x: x, (a,))
+        with pytest.raises(FutureError):
+            b.result()

@@ -1,0 +1,25 @@
+"""Unit tests for wire-protocol cost profiles."""
+
+import pytest
+
+from repro.serving.protocols import FLASK_HTTP, GRPC, REST, profile
+
+
+class TestProfiles:
+    def test_grpc_cheapest(self):
+        assert GRPC.per_request_s < REST.per_request_s < FLASK_HTTP.per_request_s
+
+    def test_json_inflation(self):
+        assert GRPC.payload_inflation == 1.0
+        assert REST.payload_inflation > 1.0
+        assert REST.wire_bytes(1000) == 1350
+        assert GRPC.wire_bytes(1000) == 1000
+
+    def test_lookup_by_name(self):
+        assert profile("grpc") is GRPC
+        assert profile("REST") is REST
+        assert profile("Flask") is FLASK_HTTP
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            profile("carrier-pigeon")

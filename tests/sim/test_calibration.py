@@ -1,0 +1,65 @@
+"""Sanity tests on the calibration constants (the paper-evidence layer)."""
+
+from repro.sim import calibration as cal
+
+
+class TestTopology:
+    def test_paper_rtts(self):
+        """The two measured RTTs from SS V-A, verbatim."""
+        assert cal.RTT_MS_TM_S == 0.0207
+        assert cal.RTT_TM_CLUSTER_S == 0.00017
+
+    def test_lan_faster_than_wan(self):
+        assert cal.BANDWIDTH_LAN_BPS > cal.BANDWIDTH_WAN_BPS
+
+
+class TestInferenceCosts:
+    def test_all_six_servables_calibrated(self):
+        for key in (
+            "noop",
+            "inception",
+            "cifar10",
+            "matminer_util",
+            "matminer_featurize",
+            "matminer_model",
+        ):
+            assert cal.inference_cost(key) > 0
+            assert cal.payload_bytes(key) > 0
+            assert cal.response_bytes(key) > 0
+
+    def test_cost_ordering(self):
+        """Inception > CIFAR-10 > noop, per Fig. 3's inference bars."""
+        assert (
+            cal.inference_cost("inception")
+            > cal.inference_cost("cifar10")
+            > cal.inference_cost("noop")
+        )
+
+    def test_unknown_key_uses_default(self):
+        assert cal.inference_cost("never-heard-of-it") == cal.DEFAULT_INFERENCE_COST_S
+        assert cal.payload_bytes("never-heard-of-it") == cal.DEFAULT_PAYLOAD_BYTES
+
+    def test_image_payloads_dominate(self):
+        """Inception/CIFAR inputs are the large payloads of Fig. 3."""
+        assert cal.payload_bytes("inception") > 50 * cal.payload_bytes("matminer_util")
+        assert cal.payload_bytes("cifar10") > cal.payload_bytes("noop")
+
+
+class TestServingCosts:
+    def test_cpp_core_beats_python(self):
+        """TF Serving's C++ core is cheaper than Flask's Python stack."""
+        assert cal.TFSERVING_CORE_S < cal.FLASK_SERVER_S
+
+    def test_grpc_beats_rest(self):
+        assert cal.GRPC_PROTOCOL_S < cal.REST_PROTOCOL_S
+
+    def test_memo_lookup_is_1ms_class(self):
+        assert cal.TASK_MANAGER_CACHE_LOOKUP_S <= 0.001
+
+    def test_fig7_saturation_band(self):
+        """Dispatch vs inception cost must place saturation near 15 replicas."""
+        ratio = (cal.SERVABLE_SHIM_S + cal.inference_cost("inception")) / cal.PARSL_DISPATCH_S
+        assert 10 <= ratio <= 22
+
+    def test_batch_marginal_below_dispatch(self):
+        assert cal.BATCH_ITEM_MARGINAL_S < cal.PARSL_DISPATCH_S

@@ -1,0 +1,114 @@
+"""Unit tests for network links and the latency model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import calibration as cal
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import GaussianJitter, LatencyModel, NetworkLink, NoJitter
+from repro.sim.rng import SeededRNG
+
+
+class TestNetworkLink:
+    def test_one_way_is_half_rtt(self):
+        link = NetworkLink("l", rtt_s=0.020, bandwidth_bps=1e12)
+        assert link.one_way_latency(0) == pytest.approx(0.010)
+
+    def test_payload_adds_transfer_time(self):
+        link = NetworkLink("l", rtt_s=0.0, bandwidth_bps=1000.0)
+        assert link.one_way_latency(500) == pytest.approx(0.5)
+
+    def test_round_trip(self):
+        link = NetworkLink("l", rtt_s=0.010, bandwidth_bps=1000.0)
+        assert link.round_trip_latency(100, 100) == pytest.approx(0.010 + 0.2)
+
+    def test_charge_advances_clock(self):
+        clock = VirtualClock()
+        link = NetworkLink("l", rtt_s=0.010, bandwidth_bps=1e12)
+        cost = link.charge_send(clock, 0)
+        assert clock.now() == pytest.approx(cost) == pytest.approx(0.005)
+
+    def test_charge_round_trip_advances_clock(self):
+        clock = VirtualClock()
+        link = NetworkLink("l", rtt_s=0.010, bandwidth_bps=1e12)
+        link.charge_round_trip(clock)
+        assert clock.now() == pytest.approx(0.010)
+
+    def test_negative_payload_rejected(self):
+        link = NetworkLink("l", rtt_s=0.01)
+        with pytest.raises(ValueError):
+            link.one_way_latency(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            NetworkLink("l", rtt_s=-0.1)
+        with pytest.raises(ValueError):
+            NetworkLink("l", rtt_s=0.1, bandwidth_bps=0)
+
+    @given(
+        rtt=st.floats(min_value=0.0, max_value=1.0),
+        payload=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_latency_nonnegative_property(self, rtt, payload):
+        link = NetworkLink("l", rtt_s=rtt, bandwidth_bps=1e9)
+        assert link.one_way_latency(payload) >= 0
+
+    @given(p1=st.integers(0, 10**6), p2=st.integers(0, 10**6))
+    def test_latency_monotone_in_payload(self, p1, p2):
+        link = NetworkLink("l", rtt_s=0.01, bandwidth_bps=1e6)
+        lo, hi = sorted((p1, p2))
+        assert link.one_way_latency(lo) <= link.one_way_latency(hi)
+
+
+class TestJitter:
+    def test_no_jitter_is_identity(self):
+        assert NoJitter().sample(0.5) == 0.5
+
+    def test_gaussian_jitter_reproducible(self):
+        a = GaussianJitter(SeededRNG(1, "x"), 0.1)
+        b = GaussianJitter(SeededRNG(1, "x"), 0.1)
+        assert [a.sample(1.0) for _ in range(5)] == [b.sample(1.0) for _ in range(5)]
+
+    def test_gaussian_jitter_floor(self):
+        jitter = GaussianJitter(SeededRNG(0), relative_sigma=5.0, floor_fraction=0.5)
+        for _ in range(200):
+            assert jitter.sample(1.0) >= 0.5
+
+    def test_zero_nominal_stays_zero(self):
+        jitter = GaussianJitter(SeededRNG(0), 0.1)
+        assert jitter.sample(0.0) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianJitter(SeededRNG(0), relative_sigma=-1)
+        with pytest.raises(ValueError):
+            GaussianJitter(SeededRNG(0), floor_fraction=0.0)
+
+
+class TestLatencyModel:
+    def test_paper_testbed_rtts(self):
+        model = LatencyModel.paper_testbed(jitter=False)
+        assert model.management_to_task_manager.rtt_s == pytest.approx(cal.RTT_MS_TM_S)
+        assert model.task_manager_to_cluster.rtt_s == pytest.approx(
+            cal.RTT_TM_CLUSTER_S
+        )
+
+    def test_ms_tm_is_dominant_hop(self):
+        """The 20.7 ms EC2 hop dominates all other links (SS V-A)."""
+        model = LatencyModel.paper_testbed(jitter=False)
+        assert model.management_to_task_manager.rtt_s > 50 * model.task_manager_to_cluster.rtt_s
+
+    def test_zero_model_charges_nothing(self):
+        clock = VirtualClock()
+        model = LatencyModel.zero()
+        model.client_to_management.charge_round_trip(clock, 10**6, 10**6)
+        model.management_to_task_manager.charge_send(clock, 10**6)
+        assert clock.now() < 1e-9
+
+    def test_jittered_model_uses_seeded_streams(self):
+        a = LatencyModel.paper_testbed(SeededRNG(7), jitter=True)
+        b = LatencyModel.paper_testbed(SeededRNG(7), jitter=True)
+        xs = [a.management_to_task_manager.one_way_latency(100) for _ in range(5)]
+        ys = [b.management_to_task_manager.one_way_latency(100) for _ in range(5)]
+        assert xs == ys

@@ -13,7 +13,9 @@ Experiments (see DESIGN.md SS4 for the index):
 * :mod:`repro.bench.fig6_batch_scaling` — batching to 10,000 requests,
 * :mod:`repro.bench.fig7_scalability` — throughput vs replica count,
 * :mod:`repro.bench.fig8_comparison` — serving-system comparison,
-* :mod:`repro.bench.tables` — Tables I and II regeneration.
+* :mod:`repro.bench.tables` — Tables I and II regeneration,
+* :mod:`repro.bench.server_batching` — ablation: unbatched vs
+  client-batched vs server-coalesced dispatch across arrival rates.
 """
 
 from repro.bench.workloads import ExperimentContext, build_context

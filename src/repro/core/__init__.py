@@ -10,7 +10,9 @@ The model repository + serving system of SS IV:
 * :mod:`repro.core.management` — the Management Service (REST-facing
   publish/discover/run, batching, caching, async tasks),
 * :mod:`repro.core.task_manager` — queue consumption, executor routing,
-  TM-side memoization,
+  TM-side memoization (per item inside batches),
+* :mod:`repro.core.runtime` — server-side micro-batching: a coalescing
+  dispatch layer sharding servables across a Task Manager fleet,
 * :mod:`repro.core.executors` — TF Serving / SageMaker / Parsl executors,
 * :mod:`repro.core.pipeline` — multi-step server-side pipelines,
 * :mod:`repro.core.client` / :mod:`repro.core.cli` /
@@ -29,8 +31,9 @@ from repro.core.servable import (
     ServableError,
 )
 from repro.core.tasks import TaskRequest, TaskResult, TaskStatus
-from repro.core.metrics import TimingRecord, MetricsCollector
+from repro.core.metrics import TimingRecord, MetricsCollector, StageLatencyCollector
 from repro.core.memo import MemoCache
+from repro.core.runtime import RuntimeResult, ServingRuntime, ServingRuntimeError
 from repro.core.repository import ModelRepository
 from repro.core.management import ManagementService
 from repro.core.task_manager import TaskManager
@@ -53,7 +56,11 @@ __all__ = [
     "TaskStatus",
     "TimingRecord",
     "MetricsCollector",
+    "StageLatencyCollector",
     "MemoCache",
+    "ServingRuntime",
+    "ServingRuntimeError",
+    "RuntimeResult",
     "ModelRepository",
     "ManagementService",
     "TaskManager",

@@ -24,6 +24,7 @@ from typing import Any
 from repro.cluster.cluster import KubernetesCluster
 from repro.cluster.deployment import Deployment
 from repro.core.servable import Servable
+from repro.core.tasks import normalize_batch_item
 from repro.parsl.ipp import IPPEnginePool
 from repro.serving.base import InvocationResult, ModelSpec, ServingBackend
 from repro.serving.sagemaker import SageMakerBackend
@@ -47,15 +48,34 @@ class InvocationOutcome:
 
 
 class DLHubExecutor:
-    """Executor interface: deploy servables, invoke them."""
+    """Executor interface: deploy servables, invoke them.
+
+    Batching is a first-class capability: callers check
+    :attr:`supports_batching` and route batches through
+    :meth:`invoke_batch` — there is no need to know concrete executor
+    classes. Executors without batch support inherit the default
+    ``invoke_batch`` that raises :class:`ExecutorError`.
+    """
 
     label = "base"
+
+    #: Whether :meth:`invoke_batch` dispatches a whole batch in one trip.
+    supports_batching = False
 
     def deploy(self, servable: Servable, image, replicas: int = 1) -> None:
         raise NotImplementedError
 
     def invoke(self, servable_name: str, args: tuple, kwargs: dict) -> InvocationOutcome:
         raise NotImplementedError
+
+    def invoke_batch(self, servable_name: str, inputs: list[Any]) -> InvocationOutcome:
+        """Dispatch a batch of inputs in one executor round trip.
+
+        Each ``inputs`` entry is normalized via
+        :func:`repro.core.tasks.normalize_batch_item`, so items may be
+        single values, args tuples, or ``(args, kwargs)`` pairs.
+        """
+        raise ExecutorError(f"executor {self.label!r} does not support batching")
 
     def supports(self, servable: Servable) -> bool:
         """Whether this executor can serve the given servable."""
@@ -69,6 +89,7 @@ class ParslServableExecutor(DLHubExecutor):
     """The general-purpose Parsl executor over Kubernetes deployments."""
 
     label = "parsl"
+    supports_batching = True
 
     def __init__(
         self,
@@ -152,6 +173,9 @@ class ParslServableExecutor(DLHubExecutor):
     def invoke_batch(self, servable_name: str, inputs: list[Any]) -> InvocationOutcome:
         """One dispatch for a whole batch: overheads amortized across items.
 
+        Items may be single values, args tuples, or ``(args, kwargs)``
+        pairs (see :func:`repro.core.tasks.normalize_batch_item`) —
+        keyword arguments are passed through to the servable, not dropped.
         Returns an outcome whose ``value`` is the list of per-item results
         and whose times cover the entire batch.
         """
@@ -174,8 +198,8 @@ class ParslServableExecutor(DLHubExecutor):
         pod = min(pods, key=lambda p: (p.busy_until, p.name))
         results = []
         for item in inputs:
-            args = item if isinstance(item, tuple) else (item,)
-            results.append(pod.exec(*args))
+            args, kwargs = normalize_batch_item(item)
+            results.append(pod.exec(*args, **kwargs))
         batch_cost = len(inputs) * (servable.inference_cost_s + cal.BATCH_ITEM_MARGINAL_S)
         self.clock.advance(batch_cost)
         pod.busy_until = max(pod.busy_until, self.clock.now())
@@ -207,8 +231,8 @@ class ParslServableExecutor(DLHubExecutor):
         # model execution; the TM pays only serial dispatch per task.
         per_task_cost = cal.SERVABLE_SHIM_S + servable.inference_cost_s
         for item in inputs:
-            args = item if isinstance(item, tuple) else (item,)
-            pool.dispatch_to_pod(args, {}, per_task_cost)
+            args, kwargs = normalize_batch_item(item)
+            pool.dispatch_to_pod(args, kwargs, per_task_cost)
         pool.drain()
         self.requests_served += len(inputs)
         return self.clock.now() - start

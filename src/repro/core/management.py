@@ -31,7 +31,7 @@ from repro.core.task_manager import TaskManager
 from repro.core.tasks import TaskRequest, TaskResult, TaskStatus, TaskStore
 from repro.data.endpoint import Endpoint
 from repro.data.transfer import TransferManager
-from repro.messaging.queue import TaskQueue
+from repro.messaging.queue import TaskQueue, servable_topic
 from repro.messaging.serializer import PickleSerializer, estimate_nbytes
 from repro.search.index import ViewerContext, Visibility
 from repro.search.query import FacetRequest, SearchResult
@@ -182,14 +182,23 @@ class ManagementService:
             )
 
     def _dispatch(self, request: TaskRequest) -> TaskResult:
-        """Queue the request to a Task Manager and collect the result."""
+        """Queue the request to a Task Manager and collect the result.
+
+        Requests ride per-servable topics (``servable_topic``) so queue
+        consumers can claim runs of compatible requests together. The
+        synchronous path uses its own ``"sync"`` lane: the poll below
+        claims the topic head, so sharing a lane with a coalescing
+        :class:`~repro.core.runtime.ServingRuntime` would let this claim
+        steal requests parked there awaiting a batch window.
+        """
         payload = self.serializer.dumps(request)  # charges serialization
         self.clock.advance(cal.MANAGEMENT_ENQUEUE_S)
-        self.queue.put(request)
+        topic = servable_topic(request.servable_name, lane="sync")
+        self.queue.put(request, topic=topic)
         # Task travels MS -> TM over the WAN link.
         self.latency.management_to_task_manager.charge_send(self.clock, len(payload))
         tm = self._pick_task_manager()
-        result = tm.poll_once()
+        result = tm.poll_once(topic)
         if result is None:  # pragma: no cover - queue was just filled
             raise ManagementError("task manager found empty queue")
         # Result travels TM -> MS.

@@ -57,6 +57,85 @@ class TimingSummary:
         }
 
 
+#: Pipeline stages the serving runtime accounts for each micro-batch.
+#: ``queue_wait`` (per item, enqueue -> claim) *contains* the batch's
+#: ``coalesce_delay`` (how long the window was held open — the head
+#: item's wait); the stages are observability views, not disjoint
+#: addends. ``dispatch`` + ``inference`` decompose the executor trip.
+RUNTIME_STAGES = ("queue_wait", "coalesce_delay", "dispatch", "inference")
+
+
+class StageLatencyCollector:
+    """Per-stage latency samples keyed by ``(stage, servable)``.
+
+    The serving runtime decomposes each request's life into named stages
+    (:data:`RUNTIME_STAGES` by default) and records a virtual-seconds
+    sample per stage; summaries reuse :class:`TimingSummary` with the
+    stage name in the ``metric`` field.
+    """
+
+    def __init__(self, stages: tuple[str, ...] = RUNTIME_STAGES) -> None:
+        if not stages:
+            raise ValueError("at least one stage is required")
+        self.stages = tuple(stages)
+        self._samples: dict[tuple[str, str], list[float]] = defaultdict(list)
+
+    def record(self, stage: str, servable: str, seconds: float) -> None:
+        if stage not in self.stages:
+            raise ValueError(f"unknown stage {stage!r}; choose from {self.stages}")
+        if seconds < 0:
+            raise ValueError(f"stage {stage!r} sample must be >= 0")
+        self._samples[(stage, servable)].append(float(seconds))
+
+    def samples(self, stage: str, servable: str | None = None) -> list[float]:
+        """All samples for a stage, optionally restricted to one servable."""
+        if servable is not None:
+            return list(self._samples.get((stage, servable), ()))
+        return [
+            value
+            for (s, _), values in self._samples.items()
+            if s == stage
+            for value in values
+        ]
+
+    def servables(self) -> list[str]:
+        return sorted({servable for _, servable in self._samples})
+
+    def count(self, stage: str | None = None, servable: str | None = None) -> int:
+        return sum(
+            len(values)
+            for (s, sv), values in self._samples.items()
+            if (stage is None or s == stage) and (servable is None or sv == servable)
+        )
+
+    def summarize(self, stage: str, servable: str | None = None) -> TimingSummary:
+        """Percentile summary of one stage (``servable=None`` aggregates)."""
+        values = np.array(self.samples(stage, servable))
+        if values.size == 0:
+            raise KeyError(f"no samples for stage {stage!r}, servable {servable!r}")
+        return TimingSummary(
+            servable=servable if servable is not None else "*",
+            metric=stage,
+            count=int(values.size),
+            median=float(np.median(values)),
+            p5=float(np.percentile(values, 5)),
+            p95=float(np.percentile(values, 95)),
+            mean=float(values.mean()),
+        )
+
+    def summary_table(self) -> list[TimingSummary]:
+        """Per-servable summaries for every stage that has samples."""
+        return [
+            self.summarize(stage, servable)
+            for servable in self.servables()
+            for stage in self.stages
+            if self.samples(stage, servable)
+        ]
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
 class MetricsCollector:
     """Accumulates :class:`TimingRecord` objects and summarizes them."""
 

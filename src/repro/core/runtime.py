@@ -1,0 +1,430 @@
+"""Server-side adaptive micro-batching over a fleet of Task Managers.
+
+The paper shows batching amortizes per-request overhead (SS V-B3,
+Figs. 5-6), but in DLHub proper the *client* must pre-form the batch.
+:class:`ServingRuntime` moves batch formation server-side: single-item
+requests land on per-servable queue topics
+(:func:`repro.messaging.queue.servable_topic`), and a coalescing loop
+drains each topic with :meth:`TaskQueue.claim_many`, grouping compatible
+requests into micro-batches bounded by ``max_batch_size`` and
+``max_coalesce_delay_s`` on the virtual clock. Servables are sharded
+across the worker fleet at placement time, and every micro-batch's life
+is decomposed into per-stage latencies (queue wait, coalesce delay,
+dispatch, inference) recorded through
+:class:`repro.core.metrics.StageLatencyCollector`.
+
+Combined with per-item batch memoization at the Task Manager, clients get
+batched throughput and ~1 ms memo hits without forming batches
+themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metrics import StageLatencyCollector
+from repro.core.servable import Servable
+from repro.core.task_manager import TaskManager
+from repro.core.tasks import TaskRequest, TaskResult, TaskStatus
+from repro.messaging.queue import QueuedMessage, TaskQueue, servable_topic
+from repro.sim.clock import VirtualClock
+
+#: Epsilon for virtual-clock deadline comparisons (guards against float
+#: accumulation pushing a due window just past ``now``).
+_EPS = 1e-12
+
+
+class ServingRuntimeError(RuntimeError):
+    """Raised on invalid runtime configuration or routing failures."""
+
+
+@dataclass
+class RuntimeResult:
+    """One request's outcome as served by the runtime."""
+
+    request: TaskRequest
+    result: TaskResult
+    #: Name of the Task Manager that served the micro-batch.
+    worker: str
+    #: Size of the micro-batch this request rode in.
+    batch_size: int
+    #: When the client intended the request to arrive (open-loop time).
+    arrival_time: float
+    #: When the request actually entered the queue (>= arrival under load).
+    enqueued_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency from intended arrival to completion."""
+        return self.completed_at - self.arrival_time
+
+
+class ServingRuntime:
+    """Coalescing dispatch layer fronting a fleet of Task Managers.
+
+    Parameters
+    ----------
+    clock:
+        Shared virtual clock.
+    queue:
+        The task queue requests are submitted to (per-servable topics).
+    workers:
+        The Task Manager fleet. Worker names must be unique — they key
+        placement and liveness.
+    max_batch_size:
+        Hard cap on micro-batch size; a topic reaching this many ready
+        requests is flushed immediately.
+    max_coalesce_delay_s:
+        Longest a request may wait (virtual time) for its batch to fill
+        before the window is flushed anyway.
+    stage_metrics:
+        Optional collector for per-stage latencies; a fresh
+        :class:`StageLatencyCollector` is created if omitted.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        queue: TaskQueue,
+        workers: list[TaskManager],
+        max_batch_size: int = 32,
+        max_coalesce_delay_s: float = 0.010,
+        stage_metrics: StageLatencyCollector | None = None,
+    ) -> None:
+        if not workers:
+            raise ServingRuntimeError("at least one worker is required")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise ServingRuntimeError(f"worker names must be unique, got {names}")
+        if max_batch_size < 1:
+            raise ServingRuntimeError("max_batch_size must be >= 1")
+        if max_coalesce_delay_s < 0:
+            raise ServingRuntimeError("max_coalesce_delay_s must be >= 0")
+        self.clock = clock
+        self.queue = queue
+        self.workers = list(workers)
+        self.max_batch_size = max_batch_size
+        self.max_coalesce_delay_s = max_coalesce_delay_s
+        self.stage_metrics = stage_metrics or StageLatencyCollector()
+        self._hosts: dict[str, list[TaskManager]] = {}
+        self._down: set[str] = set()
+        self.batches_dispatched = 0
+        self.items_served = 0
+        self.memo_hits = 0
+
+    # -- placement / sharding -----------------------------------------------------
+    def place(
+        self,
+        servable: Servable,
+        image,
+        executor_name: str = "parsl",
+        replicas: int = 1,
+        copies: int = 1,
+    ) -> list[TaskManager]:
+        """Shard a servable onto ``copies`` workers (least-loaded first).
+
+        Each chosen worker registers (and deploys) the servable on its
+        named executor; extra copies give the fleet somewhere to
+        redeliver work when a host crashes.
+        """
+        if servable.name in self._hosts:
+            raise ServingRuntimeError(f"servable {servable.name!r} already placed")
+        if not 1 <= copies <= len(self.workers):
+            raise ServingRuntimeError(
+                f"copies must be in [1, {len(self.workers)}], got {copies}"
+            )
+        load = {w.name: 0 for w in self.workers}
+        for hosts in self._hosts.values():
+            for host in hosts:
+                load[host.name] += 1
+        # Deterministic shard choice: live workers first, then fewest
+        # placements, then fleet order.
+        order = sorted(
+            range(len(self.workers)),
+            key=lambda i: (
+                self.workers[i].name in self._down,
+                load[self.workers[i].name],
+                i,
+            ),
+        )
+        chosen = [self.workers[i] for i in order[:copies]]
+        for worker in chosen:
+            worker.register_servable(
+                servable, image, executor_name=executor_name, replicas=replicas
+            )
+        self._hosts[servable.name] = chosen
+        return chosen
+
+    def placement(self) -> dict[str, list[str]]:
+        """Servable name -> names of the workers hosting it."""
+        return {name: [w.name for w in hosts] for name, hosts in self._hosts.items()}
+
+    def hosts(self, servable_name: str) -> list[TaskManager]:
+        hosts = self._hosts.get(servable_name)
+        if hosts is None:
+            raise ServingRuntimeError(f"servable {servable_name!r} is not placed")
+        return list(hosts)
+
+    # -- worker liveness ----------------------------------------------------------
+    def mark_down(self, worker_name: str) -> None:
+        """Take a worker out of routing (crash / maintenance)."""
+        if worker_name not in {w.name for w in self.workers}:
+            raise ServingRuntimeError(f"unknown worker {worker_name!r}")
+        self._down.add(worker_name)
+
+    def mark_up(self, worker_name: str) -> None:
+        self._down.discard(worker_name)
+
+    def alive_workers(self) -> list[TaskManager]:
+        return [w for w in self.workers if w.name not in self._down]
+
+    def _live_host(self, servable_name: str) -> TaskManager | None:
+        for worker in self.hosts(servable_name):
+            if worker.name not in self._down:
+                return worker
+        return None
+
+    def _worker_for(self, servable_name: str) -> TaskManager:
+        worker = self._live_host(servable_name)
+        if worker is None:
+            raise ServingRuntimeError(
+                f"no live worker hosts servable {servable_name!r}"
+            )
+        return worker
+
+    # -- submission ---------------------------------------------------------------
+    def submit(self, request: TaskRequest) -> QueuedMessage:
+        """Enqueue one single-item request on its servable's topic."""
+        if request.is_batch:
+            raise ServingRuntimeError(
+                "the runtime coalesces single-item requests; submit items "
+                "individually instead of pre-formed batches"
+            )
+        # Reject unplaced servables at the door: once enqueued they would
+        # poison the serve loop for every other topic.
+        self.hosts(request.servable_name)
+        return self.queue.put(request, topic=servable_topic(request.servable_name))
+
+    # -- coalescing loop ----------------------------------------------------------
+    def _flush_due(self, topic: str) -> float:
+        """When the coalescing window on ``topic`` must close.
+
+        A full window is due at its head's enqueue time (i.e. now);
+        otherwise the head may wait at most ``max_coalesce_delay_s``.
+        """
+        head = self.queue.oldest_ready(topic)
+        assert head is not None
+        if self.queue.ready_count(topic) >= self.max_batch_size:
+            return head.enqueued_at
+        return head.enqueued_at + self.max_coalesce_delay_s
+
+    def _topics(self) -> list[str]:
+        """The topics this runtime owns: one per placed servable.
+
+        The queue is shared with other consumers (e.g. the Management
+        Service's sync lane) — the coalescing loop must never scan,
+        claim, or flush traffic it doesn't own.
+        """
+        return [servable_topic(name) for name in self._hosts]
+
+    def _next_window(self, now: float) -> tuple[str | None, float]:
+        """Returns ``(due_topic_or_None, earliest_future_deadline)``."""
+        due: tuple[float, str] | None = None
+        next_deadline = math.inf
+        for name in self._hosts:
+            topic = servable_topic(name)
+            if not self.queue.ready_count(topic):
+                continue
+            if self._live_host(name) is None:
+                # Every host is down: leave the work queued (it is not
+                # lost — a later serve() after mark_up picks it up)
+                # rather than aborting the loop for healthy servables.
+                continue
+            flush_at = self._flush_due(topic)
+            if flush_at <= now + _EPS:
+                if due is None or (flush_at, topic) < due:
+                    due = (flush_at, topic)
+            else:
+                next_deadline = min(next_deadline, flush_at)
+        return (due[1] if due else None), next_deadline
+
+    def _split_batch(
+        self,
+        requests: list[TaskRequest],
+        batch_result: TaskResult,
+        worker: TaskManager,
+    ) -> list[TaskResult]:
+        """Fan a batch TaskResult back out to per-item results.
+
+        Memo-hit items keep their per-item identity (``cache_hit=True``,
+        zero inference); the batch's inference time is shared equally
+        across the dispatched misses (items of one servable cost the
+        same per the calibrated model). ``invocation_time`` is the whole
+        batch's trip — items in a batch complete together.
+        """
+        if not batch_result.ok:
+            # A failed dispatch only dooms the misses: items the memo
+            # cache answered are still recoverable — re-serve each as a
+            # single request (a ~1 ms cache hit at the worker).
+            recoverable = set(batch_result.batch_hits)
+            return [
+                worker.process(req)
+                if i in recoverable
+                else TaskResult(
+                    task_uuid=req.task_uuid,
+                    status=TaskStatus.FAILED,
+                    error=batch_result.error,
+                    invocation_time=batch_result.invocation_time,
+                )
+                for i, req in enumerate(requests)
+            ]
+        hit_set = set(batch_result.batch_hits)
+        n_misses = len(requests) - len(hit_set)
+        inference_share = (
+            batch_result.inference_time / n_misses if n_misses else 0.0
+        )
+        return [
+            TaskResult(
+                task_uuid=req.task_uuid,
+                status=TaskStatus.SUCCEEDED,
+                value=value,
+                inference_time=0.0 if i in hit_set else inference_share,
+                invocation_time=batch_result.invocation_time,
+                cache_hit=i in hit_set,
+            )
+            for i, (req, value) in enumerate(zip(requests, batch_result.value))
+        ]
+
+    def _flush_topic(
+        self, topic: str, arrival_times: dict[str, float] | None = None
+    ) -> list[RuntimeResult]:
+        """Claim a micro-batch off ``topic``, dispatch it, settle it."""
+        head = self.queue.oldest_ready(topic)
+        assert head is not None
+        servable_name = head.body.servable_name
+        # Resolve routing before claiming so a routing failure leaves the
+        # messages ready (not stranded in flight awaiting expiry).
+        worker = self._worker_for(servable_name)
+        messages = self.queue.claim_many(topic, self.max_batch_size)
+        requests: list[TaskRequest] = [m.body for m in messages]
+        now = self.clock.now()
+        for message in messages:
+            self.stage_metrics.record(
+                "queue_wait", servable_name, now - message.enqueued_at
+            )
+        # How long the window was held open: the head waited longest.
+        self.stage_metrics.record(
+            "coalesce_delay", servable_name, now - messages[0].enqueued_at
+        )
+
+        dispatch_start = now
+        if len(requests) == 1:
+            batch_result = worker.process(requests[0])
+        else:
+            batch_request = TaskRequest(
+                servable_name=servable_name,
+                batch=[(req.args, req.kwargs) for req in requests],
+                identity_id=requests[0].identity_id,
+            )
+            batch_result = worker.process(batch_request)
+        # Stage timing is captured before any failure-recovery re-serves
+        # in _split_batch — those are neither dispatch nor inference.
+        elapsed = self.clock.now() - dispatch_start
+        self.stage_metrics.record(
+            "dispatch",
+            servable_name,
+            max(0.0, elapsed - batch_result.inference_time),
+        )
+        self.stage_metrics.record(
+            "inference", servable_name, batch_result.inference_time
+        )
+        if len(requests) == 1:
+            item_results = [batch_result]
+        else:
+            item_results = self._split_batch(requests, batch_result, worker)
+        for message in messages:
+            assert message.delivery_tag is not None
+            self.queue.ack(message.delivery_tag)
+
+        self.batches_dispatched += 1
+        self.items_served += len(requests)
+        if len(requests) == 1:
+            self.memo_hits += int(batch_result.cache_hit)
+        else:
+            self.memo_hits += batch_result.batch_cache_hits
+        completed = self.clock.now()
+        arrival_times = arrival_times or {}
+        return [
+            RuntimeResult(
+                request=req,
+                result=res,
+                worker=worker.name,
+                batch_size=len(requests),
+                arrival_time=arrival_times.get(req.task_uuid, msg.enqueued_at),
+                enqueued_at=msg.enqueued_at,
+                completed_at=completed,
+            )
+            for msg, req, res in zip(messages, requests, item_results)
+        ]
+
+    def serve(
+        self, arrivals: list[tuple[float, TaskRequest]] | None = None
+    ) -> list[RuntimeResult]:
+        """Run the coalescing loop over an open-loop arrival schedule.
+
+        ``arrivals`` is a list of ``(offset_s, request)`` pairs, offsets
+        measured from the moment ``serve`` is called (deployment work has
+        already moved the virtual clock, so absolute times would all be
+        in the past). The loop advances the clock along arrivals and
+        coalesce deadlines, flushing each per-servable window when it
+        fills (``max_batch_size``) or times out (``max_coalesce_delay_s``).
+        Arrivals whose time has already passed (the fleet was busy) are
+        enqueued late — that backlog is exactly what grows batches under
+        load. Runs until the schedule and the queue are drained; expired
+        in-flight messages are redelivered along the way.
+        """
+        start = self.clock.now()
+        schedule = sorted(
+            ((start + offset, request) for offset, request in arrivals or []),
+            key=lambda pair: pair[0],
+        )
+        arrival_times: dict[str, float] = {}
+        results: list[RuntimeResult] = []
+        i = 0
+        while True:
+            self.queue.expire_inflight()
+            now = self.clock.now()
+            while i < len(schedule) and schedule[i][0] <= now + _EPS:
+                intended, request = schedule[i]
+                i += 1
+                arrival_times[request.task_uuid] = intended
+                self.submit(request)
+            due_topic, next_deadline = self._next_window(now)
+            if due_topic is not None:
+                results.extend(self._flush_topic(due_topic, arrival_times))
+                continue
+            next_arrival = schedule[i][0] if i < len(schedule) else math.inf
+            # Work claimed by a crashed consumer becomes ready again when
+            # its visibility timeout lapses — sleep until then rather
+            # than declaring the queue drained.
+            expiry = self.queue.next_inflight_expiry(set(self._topics()))
+            if expiry is not None:
+                next_deadline = min(next_deadline, expiry)
+            target = min(next_arrival, next_deadline)
+            if math.isinf(target):
+                return results
+            if target > now:
+                self.clock.advance_to(target)
+
+    def drain(self) -> list[RuntimeResult]:
+        """Flush everything already enqueued (no further arrivals)."""
+        return self.serve([])
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches_dispatched:
+            return 0.0
+        return self.items_served / self.batches_dispatched

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.executors import DLHubExecutor, ExecutorError, InvocationOutcome, ParslServableExecutor
+from repro.core.executors import DLHubExecutor
 from repro.core.memo import MemoCache
 from repro.core.servable import Servable
 from repro.core.tasks import TaskRequest, TaskResult, TaskStatus
@@ -94,7 +94,9 @@ class TaskManager:
         # executor (SS V-A) — i.e. after unpackaging. A memo hit's
         # "invocation" is just the cache lookup (the Fig. 8 ~1 ms).
         start = self.clock.now()
-        signature = request.input_signature() if not request.is_batch else None
+        if request.is_batch:
+            return self._process_batch(request, start)
+        signature = request.input_signature()
 
         if self.memoize and signature is not None:
             cached = self.cache.lookup(signature)
@@ -122,7 +124,7 @@ class TaskManager:
             )
         invoke_start = self.clock.now()
         try:
-            outcome = self._invoke(executor, request)
+            outcome = executor.invoke(request.servable_name, request.args, request.kwargs)
         except Exception as exc:
             self.tasks_processed += 1
             return TaskResult(
@@ -144,14 +146,93 @@ class TaskManager:
             invocation_time=self.clock.now() - invoke_start,
         )
 
-    def _invoke(self, executor: DLHubExecutor, request: TaskRequest) -> InvocationOutcome:
-        if request.is_batch:
-            if not isinstance(executor, ParslServableExecutor):
-                raise ExecutorError(
-                    f"executor {executor.label!r} does not support batching"
+    def _process_batch(self, request: TaskRequest, start: float) -> TaskResult:
+        """Batch path: memo-check every item, dispatch only the misses.
+
+        Each item is looked up (and each miss's result stored) under the
+        same signature an equivalent single-item request would use, so
+        batches and singles share one cache. A fully-memoized batch never
+        touches the cluster — the Fig. 8 placement win now applies per
+        batch item, not just to single requests.
+        """
+        items = list(request.batch or [])
+        values: list[Any] = [None] * len(items)
+        signatures: list[tuple | None] = [None] * len(items)
+        misses: list[int] = []
+        for i, item in enumerate(items):
+            if self.memoize:
+                signatures[i] = request.item_signature(item)
+                cached = self.cache.lookup(signatures[i])
+                if cached is not self.cache.MISSING:
+                    values[i] = cached
+                    continue
+            misses.append(i)
+        miss_set = set(misses)
+        hit_indices = tuple(i for i in range(len(items)) if i not in miss_set)
+        hits = len(hit_indices)
+
+        # All-hit batches never dispatch: their invocation is the cache
+        # lookup pass from ``start``, as in the single-item hit path.
+        invoke_start = start
+        inference_time = 0.0
+        if misses:
+            # Routing (like the executor trip) is only paid when something
+            # must be dispatched — an all-hit batch returns from cache
+            # exactly as all-hit single requests would.
+            self.clock.advance(cal.TASK_MANAGER_ROUTING_S)
+            try:
+                servable, executor = self.route(request.servable_name)
+            except TaskManagerError as exc:
+                self.tasks_processed += 1
+                return TaskResult(
+                    task_uuid=request.task_uuid,
+                    status=TaskStatus.FAILED,
+                    error=str(exc),
+                    invocation_time=self.clock.now() - start,
+                    batch_cache_hits=hits,
+                    batch_hits=hit_indices,
                 )
-            return executor.invoke_batch(request.servable_name, request.batch or [])
-        return executor.invoke(request.servable_name, request.args, request.kwargs)
+            if not executor.supports_batching:
+                self.tasks_processed += 1
+                return TaskResult(
+                    task_uuid=request.task_uuid,
+                    status=TaskStatus.FAILED,
+                    error=f"executor {executor.label!r} does not support batching",
+                    invocation_time=self.clock.now() - start,
+                    batch_cache_hits=hits,
+                    batch_hits=hit_indices,
+                )
+            invoke_start = self.clock.now()
+            try:
+                outcome = executor.invoke_batch(
+                    request.servable_name, [items[i] for i in misses]
+                )
+            except Exception as exc:
+                self.tasks_processed += 1
+                return TaskResult(
+                    task_uuid=request.task_uuid,
+                    status=TaskStatus.FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                    invocation_time=self.clock.now() - start,
+                    batch_cache_hits=hits,
+                    batch_hits=hit_indices,
+                )
+            inference_time = outcome.inference_time
+            for i, value in zip(misses, outcome.value):
+                values[i] = value
+                if signatures[i] is not None:
+                    self.cache.store(signatures[i], value)
+        self.tasks_processed += 1
+        return TaskResult(
+            task_uuid=request.task_uuid,
+            status=TaskStatus.SUCCEEDED,
+            value=values,
+            inference_time=inference_time,
+            invocation_time=self.clock.now() - invoke_start,
+            cache_hit=bool(items) and not misses,
+            batch_cache_hits=hits,
+            batch_hits=hit_indices,
+        )
 
     # -- queue loop ---------------------------------------------------------------------------
     def poll_once(self, topic: str = "default") -> TaskResult | None:

@@ -19,6 +19,31 @@ class TaskStatus(Enum):
 _task_counter = itertools.count(1)
 
 
+def normalize_batch_item(item: Any) -> tuple[tuple, dict]:
+    """Normalize one batch entry to ``(args, kwargs)``.
+
+    Accepted forms:
+
+    * ``((arg1, arg2), {"kw": v})`` — an explicit ``(args, kwargs)`` pair,
+    * ``(arg1, arg2)`` — a positional-args tuple (kwargs empty),
+    * anything else — a single positional argument.
+
+    A genuine two-tuple argument list whose first element is a tuple and
+    second a dict is indistinguishable from the pair form; spell it as
+    ``((the_tuple, the_dict), {})`` to disambiguate.
+    """
+    if (
+        isinstance(item, tuple)
+        and len(item) == 2
+        and isinstance(item[0], tuple)
+        and isinstance(item[1], dict)
+    ):
+        return item[0], dict(item[1])
+    if isinstance(item, tuple):
+        return item, {}
+    return (item,), {}
+
+
 @dataclass
 class TaskRequest:
     """One serving request as packaged by the Management Service."""
@@ -41,6 +66,15 @@ class TaskRequest:
         """Hashable-ish signature of the inputs, used for memoization."""
         return (self.servable_name, self.args, tuple(sorted(self.kwargs.items())))
 
+    def item_signature(self, item: Any) -> tuple:
+        """Memo signature for one batch item.
+
+        Built exactly like :meth:`input_signature` so a batch item and an
+        equivalent single-item request share one cache entry.
+        """
+        args, kwargs = normalize_batch_item(item)
+        return (self.servable_name, args, tuple(sorted(kwargs.items())))
+
 
 @dataclass
 class TaskResult:
@@ -57,6 +91,11 @@ class TaskResult:
     #: Full round-trip as seen by the Management Service.
     request_time: float = 0.0
     cache_hit: bool = False
+    #: For batch tasks: how many items were served from the memo cache
+    #: (only the remaining misses were dispatched to an executor).
+    batch_cache_hits: int = 0
+    #: For batch tasks: the indices of the memo-hit items.
+    batch_hits: tuple[int, ...] = ()
 
     @property
     def ok(self) -> bool:

@@ -58,6 +58,28 @@ class DLHubTestbed:
     _extra_backends: dict[str, object] = field(default_factory=dict)
 
     # -- convenience -----------------------------------------------------------------
+    def add_task_manager(self, name: str, memoize: bool | None = None) -> TaskManager:
+        """Add a fleet worker: a Task Manager with its own Parsl executor.
+
+        The worker consumes the shared task queue but fronts its own
+        cluster (Task Managers are deployed near distinct compute,
+        SS IV-B), so servables it registers deploy independently. It is
+        *not* registered with the Management Service's round-robin — a
+        :class:`~repro.core.runtime.ServingRuntime` routes to it instead.
+        """
+        cluster = petrelkube(self.clock, self.registry)
+        task_manager = TaskManager(
+            self.clock,
+            self.management.queue,
+            name=name,
+            memoize=self.task_manager.memoize if memoize is None else memoize,
+        )
+        executor = ParslServableExecutor(
+            self.clock, cluster, self.latency.task_manager_to_cluster
+        )
+        task_manager.add_executor("parsl", executor)
+        return task_manager
+
     def login(self, provider: str, username: str) -> str:
         """Authenticate an existing identity; returns a bearer token."""
         return self.auth.login(provider, username).token

@@ -30,6 +30,22 @@ class QueueEmpty(Exception):
     """Raised by ``claim`` when no message is available."""
 
 
+def servable_topic(servable_name: str, lane: str = "requests") -> str:
+    """Queue topic carrying single-item requests for one servable.
+
+    Per-servable topics let a consumer coalesce compatible requests at
+    claim time (``claim_many``): every message on the topic targets the
+    same servable, so any contiguous run of them forms a valid batch.
+
+    ``lane`` separates producer/consumer pairs that must not claim each
+    other's traffic — e.g. the Management Service's synchronous dispatch
+    (lane ``"sync"``, where the producer immediately claims its own
+    message) vs the coalescing runtime (the default lane, where requests
+    sit waiting for a batch window).
+    """
+    return f"servable/{lane}/{servable_name}"
+
+
 class UnknownDelivery(KeyError):
     """Raised by ``ack``/``nack`` for an unknown or already-settled tag."""
 
@@ -93,6 +109,29 @@ class TaskQueue:
         chan = self._ready.get(topic)
         if not chan:
             raise QueueEmpty(topic)
+        return self._claim_from(chan)
+
+    def claim_many(self, topic: str = "default", n: int = 1) -> list[QueuedMessage]:
+        """Claim up to ``n`` ready messages on ``topic``, in FIFO order.
+
+        This is the coalescing primitive: on a per-servable topic the
+        claimed run is a ready-made micro-batch. Each message gets its own
+        delivery tag and visibility timeout, so a partially-failed batch
+        can be settled message by message.
+
+        Raises :class:`QueueEmpty` if nothing is ready.
+        """
+        if n < 1:
+            raise ValueError("claim_many requires n >= 1")
+        chan = self._ready.get(topic)
+        if not chan:
+            raise QueueEmpty(topic)
+        msgs = []
+        while chan and len(msgs) < n:
+            msgs.append(self._claim_from(chan))
+        return msgs
+
+    def _claim_from(self, chan: deque[QueuedMessage]) -> QueuedMessage:
         msg = chan.popleft()
         msg.deliveries += 1
         msg.claimed_at = self.clock.now()
@@ -142,6 +181,33 @@ class TaskQueue:
     # -- introspection ----------------------------------------------------------
     def ready_count(self, topic: str = "default") -> int:
         return len(self._ready.get(topic, ()))
+
+    def oldest_ready(self, topic: str = "default") -> QueuedMessage | None:
+        """Peek at the head message on ``topic`` without claiming it.
+
+        Consumers that hold a coalescing window open use the head's
+        ``enqueued_at`` to decide when the window must close.
+        """
+        chan = self._ready.get(topic)
+        return chan[0] if chan else None
+
+    def next_inflight_expiry(self, topics: set[str] | None = None) -> float | None:
+        """Earliest virtual time an in-flight visibility timeout lapses.
+
+        Event-driven consumers sleep until this moment to pick up work
+        abandoned by a crashed claimant; ``None`` when nothing relevant
+        is in flight. ``topics`` restricts the scan to the caller's own
+        channels on a shared queue.
+        """
+        claimed = [
+            msg.claimed_at
+            for msg in self._inflight.values()
+            if msg.claimed_at is not None
+            and (topics is None or msg.topic in topics)
+        ]
+        if not claimed:
+            return None
+        return min(claimed) + self.visibility_timeout_s
 
     @property
     def inflight_count(self) -> int:

@@ -69,6 +69,64 @@ class TestParslExecutor:
         assert set(testbed.parsl_executor.deployed()) >= {"noop", "cifar10"}
 
 
+class TestBatchingCapability:
+    def test_capability_flags(self, env):
+        testbed, _ = env
+        assert testbed.parsl_executor.supports_batching
+        assert not testbed.tfserving_executor("grpc").supports_batching
+        assert not testbed.sagemaker_executor("flask").supports_batching
+
+    def test_default_invoke_batch_raises(self, env):
+        testbed, _ = env
+        executor = testbed.sagemaker_executor("flask")
+        with pytest.raises(ExecutorError, match="does not support batching"):
+            executor.invoke_batch("anything", [(1,)])
+
+    def test_batch_on_non_batching_executor_fails_gracefully(self, env):
+        """The Task Manager's capability check turns a batch routed to a
+        batch-less executor into a FAILED result, not a crash."""
+        testbed, zoo = env
+        from repro.core.tasks import TaskRequest, TaskStatus
+
+        testbed.tfserving_executor("rest")
+        image = testbed.repository.resolve("cifar10").build.image
+        testbed.task_manager._registrations.pop("cifar10", None)
+        testbed.task_manager.register_servable(
+            zoo["cifar10"], image, executor_name="tfserving-rest"
+        )
+        result = testbed.task_manager.process(
+            TaskRequest("cifar10", batch=[sample_input("cifar10")])
+        )
+        assert result.status is TaskStatus.FAILED
+        assert "does not support batching" in result.error
+
+    def test_invoke_batch_honours_kwargs(self, env):
+        """Batch items may carry kwargs as (args, kwargs) pairs — they
+        reach the servable instead of being silently dropped."""
+        testbed, _ = env
+        from repro.core.servable import PythonFunctionServable
+        from repro.core.toolbox import MetadataBuilder
+
+        metadata = (
+            MetadataBuilder("scaler", "Scales a number")
+            .creator("tests")
+            .description("x * scale, scale given by keyword")
+            .model_type("python_function")
+            .input_type("number")
+            .output_type("number")
+            .build()
+        )
+        servable = PythonFunctionServable(
+            metadata, lambda x, scale=1: x * scale, key="scaler"
+        )
+        testbed.publish_and_deploy(servable)
+        outcome = testbed.parsl_executor.invoke_batch(
+            "scaler",
+            [((2,), {"scale": 3}), (4,), 5],
+        )
+        assert outcome.value == [6, 4, 5]
+
+
 class TestBackendExecutors:
     def test_tfserving_executor_serves_keras(self, env):
         testbed, zoo = env

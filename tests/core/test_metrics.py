@@ -79,3 +79,64 @@ class TestCollector:
         records = mc.records("m")
         records.clear()
         assert mc.count("m") == 1
+
+
+class TestStageLatencyCollector:
+    def _collector(self):
+        from repro.core.metrics import StageLatencyCollector
+
+        collector = StageLatencyCollector()
+        for wait in (0.001, 0.002, 0.003):
+            collector.record("queue_wait", "noop", wait)
+        collector.record("queue_wait", "cifar10", 0.010)
+        collector.record("inference", "noop", 0.005)
+        return collector
+
+    def test_record_and_count(self):
+        collector = self._collector()
+        assert collector.count("queue_wait", "noop") == 3
+        assert collector.count("queue_wait") == 4
+        assert collector.count() == 5
+        assert collector.servables() == ["cifar10", "noop"]
+
+    def test_unknown_stage_rejected(self):
+        collector = self._collector()
+        with pytest.raises(ValueError):
+            collector.record("teleport", "noop", 0.001)
+
+    def test_negative_sample_rejected(self):
+        collector = self._collector()
+        with pytest.raises(ValueError):
+            collector.record("dispatch", "noop", -0.1)
+
+    def test_summarize_per_servable(self):
+        collector = self._collector()
+        summary = collector.summarize("queue_wait", "noop")
+        assert summary.count == 3
+        assert summary.median == pytest.approx(0.002)
+        assert summary.metric == "queue_wait"
+
+    def test_summarize_aggregates_across_servables(self):
+        collector = self._collector()
+        summary = collector.summarize("queue_wait")
+        assert summary.count == 4
+        assert summary.servable == "*"
+
+    def test_summarize_empty_raises(self):
+        collector = self._collector()
+        with pytest.raises(KeyError):
+            collector.summarize("dispatch")
+
+    def test_summary_table_only_lists_sampled_stages(self):
+        collector = self._collector()
+        rows = {(s.servable, s.metric) for s in collector.summary_table()}
+        assert rows == {
+            ("noop", "queue_wait"),
+            ("noop", "inference"),
+            ("cifar10", "queue_wait"),
+        }
+
+    def test_clear(self):
+        collector = self._collector()
+        collector.clear()
+        assert collector.count() == 0

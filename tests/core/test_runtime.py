@@ -1,0 +1,330 @@
+"""Unit tests for the ServingRuntime: coalescing, sharding, stage metrics.
+
+The runtime is the server-side batching layer: single-item requests land
+on per-servable topics and are claimed in micro-batches bounded by
+``max_batch_size`` and ``max_coalesce_delay_s`` on the virtual clock.
+"""
+
+import pytest
+
+from repro.core.runtime import ServingRuntime, ServingRuntimeError
+from repro.core.tasks import TaskRequest
+from repro.core.zoo import build_zoo, sample_input
+from repro.messaging.queue import servable_topic
+
+
+def build_fleet(
+    n_workers=2,
+    servables=("noop", "matminer_util"),
+    copies=1,
+    memoize=True,
+    **runtime_kwargs,
+):
+    """A testbed-backed fleet: extra Task Managers on the shared queue."""
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False, memoize_tm=memoize)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    workers = [testbed.task_manager]
+    workers += [testbed.add_task_manager(f"tm-{i}") for i in range(1, n_workers)]
+    runtime = ServingRuntime(
+        testbed.clock, testbed.management.queue, workers, **runtime_kwargs
+    )
+    for name in servables:
+        published = testbed.management.publish(testbed.token, zoo[name])
+        runtime.place(zoo[name], published.build.image, copies=copies)
+    return testbed, zoo, runtime
+
+
+class TestConstruction:
+    def test_requires_workers(self, clock):
+        from repro.messaging.queue import TaskQueue
+
+        with pytest.raises(ServingRuntimeError):
+            ServingRuntime(clock, TaskQueue(clock), [])
+
+    def test_rejects_duplicate_worker_names(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        dupe = testbed.add_task_manager(testbed.task_manager.name)
+        with pytest.raises(ServingRuntimeError, match="unique"):
+            ServingRuntime(
+                testbed.clock,
+                testbed.management.queue,
+                [testbed.task_manager, dupe],
+            )
+
+    def test_rejects_bad_bounds(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        with pytest.raises(ServingRuntimeError):
+            ServingRuntime(
+                testbed.clock,
+                testbed.management.queue,
+                [testbed.task_manager],
+                max_batch_size=0,
+            )
+        with pytest.raises(ServingRuntimeError):
+            ServingRuntime(
+                testbed.clock,
+                testbed.management.queue,
+                [testbed.task_manager],
+                max_coalesce_delay_s=-1.0,
+            )
+
+
+class TestPlacement:
+    def test_shards_spread_across_workers(self):
+        testbed, zoo, runtime = build_fleet(
+            n_workers=2, servables=("noop", "matminer_util", "cifar10")
+        )
+        placement = runtime.placement()
+        hosting_counts = {w.name: 0 for w in runtime.workers}
+        for hosts in placement.values():
+            assert len(hosts) == 1
+            hosting_counts[hosts[0]] += 1
+        # 3 servables over 2 workers: a 2/1 split, never 3/0.
+        assert sorted(hosting_counts.values()) == [1, 2]
+
+    def test_copies_register_on_distinct_workers(self):
+        testbed, zoo, runtime = build_fleet(n_workers=2, servables=("noop",), copies=2)
+        hosts = runtime.placement()["noop"]
+        assert len(hosts) == 2 and len(set(hosts)) == 2
+
+    def test_double_place_rejected(self):
+        testbed, zoo, runtime = build_fleet(servables=("noop",))
+        with pytest.raises(ServingRuntimeError, match="already placed"):
+            runtime.place(zoo["noop"], None)
+
+    def test_too_many_copies_rejected(self):
+        testbed, zoo, runtime = build_fleet(n_workers=2, servables=())
+        with pytest.raises(ServingRuntimeError, match="copies"):
+            runtime.place(zoo["noop"], None, copies=3)
+
+    def test_unplaced_servable_routing_fails(self):
+        testbed, zoo, runtime = build_fleet(servables=())
+        with pytest.raises(ServingRuntimeError, match="not placed"):
+            runtime.hosts("ghost")
+
+
+class TestCoalescing:
+    def test_backlog_coalesces_into_one_batch(self):
+        testbed, _, runtime = build_fleet(servables=("noop",), max_batch_size=8)
+        for _ in range(8):
+            runtime.submit(TaskRequest("noop"))
+        results = runtime.drain()
+        assert len(results) == 8
+        assert all(r.result.ok for r in results)
+        assert runtime.batches_dispatched == 1
+        assert {r.batch_size for r in results} == {8}
+
+    def test_max_batch_size_caps_windows(self):
+        testbed, _, runtime = build_fleet(servables=("noop",), max_batch_size=4)
+        for _ in range(10):
+            runtime.submit(TaskRequest("noop"))
+        results = runtime.drain()
+        assert len(results) == 10
+        assert runtime.batches_dispatched == 3
+        assert sorted(r.batch_size for r in results) == [2, 2, 4, 4, 4, 4, 4, 4, 4, 4]
+
+    def test_submit_rejects_preformed_batches(self):
+        testbed, _, runtime = build_fleet(servables=("noop",))
+        with pytest.raises(ServingRuntimeError, match="single-item"):
+            runtime.submit(TaskRequest("noop", batch=[(), ()]))
+
+    def test_submit_rejects_unplaced_servable(self):
+        """Bad requests bounce at the door instead of poisoning drain()."""
+        testbed, _, runtime = build_fleet(servables=("noop",))
+        with pytest.raises(ServingRuntimeError, match="not placed"):
+            runtime.submit(TaskRequest("ghost"))
+        assert runtime.drain() == []
+
+    def test_coalesce_delay_bounds_window(self):
+        """Sparse arrivals close by timeout; the recorded coalesce delay
+        never exceeds the configured bound."""
+        delay = 0.005
+        testbed, _, runtime = build_fleet(
+            servables=("noop",), max_batch_size=100, max_coalesce_delay_s=delay
+        )
+        arrivals = [(i * 0.002, TaskRequest("noop")) for i in range(20)]
+        results = runtime.serve(arrivals)
+        assert len(results) == 20
+        assert runtime.batches_dispatched > 1  # windows did close early
+        for sample in runtime.stage_metrics.samples("coalesce_delay", "noop"):
+            assert sample <= delay + 1e-9
+
+    def test_sparse_arrivals_stay_unbatched(self):
+        """Arrivals spaced wider than the window are served singly."""
+        testbed, _, runtime = build_fleet(
+            servables=("noop",), max_batch_size=100, max_coalesce_delay_s=0.001
+        )
+        arrivals = [(i * 0.5, TaskRequest("noop")) for i in range(4)]
+        results = runtime.serve(arrivals)
+        assert len(results) == 4
+        assert {r.batch_size for r in results} == {1}
+
+    def test_mixed_servables_coalesce_per_topic(self):
+        testbed, zoo, runtime = build_fleet(
+            n_workers=2, servables=("noop", "matminer_util"), max_batch_size=16
+        )
+        for _ in range(6):
+            runtime.submit(TaskRequest("noop"))
+            runtime.submit(TaskRequest("matminer_util", args=("NaCl",)))
+        results = runtime.drain()
+        assert len(results) == 12
+        by_servable = {}
+        for r in results:
+            by_servable.setdefault(r.request.servable_name, set()).add(r.batch_size)
+        # Topics never mix: each servable coalesced into its own batch.
+        assert by_servable == {"noop": {6}, "matminer_util": {6}}
+        # Routing honoured the placement shards.
+        placement = runtime.placement()
+        for r in results:
+            assert r.worker in placement[r.request.servable_name]
+
+
+class TestStageMetrics:
+    def test_all_stages_recorded(self):
+        testbed, _, runtime = build_fleet(servables=("noop",), max_batch_size=4)
+        for _ in range(8):
+            runtime.submit(TaskRequest("noop"))
+        runtime.drain()
+        metrics = runtime.stage_metrics
+        assert metrics.count("queue_wait", "noop") == 8  # one per item
+        assert metrics.count("coalesce_delay", "noop") == 2  # one per batch
+        assert metrics.count("dispatch", "noop") == 2
+        assert metrics.count("inference", "noop") == 2
+        assert metrics.summarize("inference", "noop").median > 0
+
+    def test_latency_measured_from_intended_arrival(self):
+        testbed, _, runtime = build_fleet(servables=("noop",), max_batch_size=2)
+        arrivals = [(0.0, TaskRequest("noop")), (0.001, TaskRequest("noop"))]
+        results = runtime.serve(arrivals)
+        for r in results:
+            assert r.completed_at >= r.arrival_time
+            assert r.latency == pytest.approx(r.completed_at - r.arrival_time)
+
+
+class TestServerSideMemo:
+    def test_batch_dispatches_only_misses(self):
+        """Acceptance: coalesced batches hit the memo cache per item — a
+        batch of previously-seen inputs dispatches only the misses."""
+        testbed, _, runtime = build_fleet(
+            servables=("matminer_util",), memoize=True, max_batch_size=8
+        )
+        warm = TaskRequest("matminer_util", args=("NaCl",))
+        runtime.submit(warm)
+        runtime.drain()
+        executor = testbed.parsl_executor
+        served_before = executor.requests_served
+        hits_before = runtime.memo_hits
+        # 3 repeats of the seen input + 1 new input, coalesced into one batch.
+        for formula in ("NaCl", "NaCl", "NaCl", "SiO2"):
+            runtime.submit(TaskRequest("matminer_util", args=(formula,)))
+        results = runtime.drain()
+        assert len(results) == 4 and all(r.result.ok for r in results)
+        assert runtime.batches_dispatched == 2  # warmup + the batch
+        assert executor.requests_served - served_before == 1  # only SiO2
+        assert runtime.memo_hits - hits_before == 3
+        # Per-item hit identity survives the batch split.
+        by_formula = {r.request.args[0]: r.result for r in results}
+        assert by_formula["NaCl"].cache_hit and not by_formula["SiO2"].cache_hit
+        assert by_formula["NaCl"].inference_time == 0.0
+        assert by_formula["SiO2"].inference_time > 0.0
+
+    def test_failed_dispatch_recovers_memo_hits(self):
+        """When a batch's dispatch fails, only the misses fail — items
+        the cache answered are re-served individually."""
+        testbed, _, runtime = build_fleet(
+            servables=("matminer_util",), memoize=True, max_batch_size=8
+        )
+        runtime.submit(TaskRequest("matminer_util", args=("NaCl",)))
+        runtime.drain()
+        # Kill every pod so the next executor dispatch fails.
+        for pod in testbed.parsl_executor._deployments["matminer_util"].ready_pods():
+            pod.fail()
+        for formula in ("NaCl", "SiO2"):
+            runtime.submit(TaskRequest("matminer_util", args=(formula,)))
+        results = runtime.drain()
+        by_formula = {r.request.args[0]: r.result for r in results}
+        assert by_formula["NaCl"].ok and by_formula["NaCl"].cache_hit
+        assert not by_formula["SiO2"].ok
+        assert "no ready pods" in by_formula["SiO2"].error
+
+    def test_fully_cached_batch_serves_in_cache_time(self):
+        testbed, _, runtime = build_fleet(
+            servables=("matminer_util",), memoize=True, max_batch_size=8
+        )
+        runtime.submit(TaskRequest("matminer_util", args=("NaCl",)))
+        runtime.drain()
+        executor = testbed.parsl_executor
+        served_before = executor.requests_served
+        for _ in range(5):
+            runtime.submit(TaskRequest("matminer_util", args=("NaCl",)))
+        results = runtime.drain()
+        assert all(r.result.ok for r in results)
+        assert executor.requests_served == served_before  # never left the TM
+        assert all(r.result.cache_hit for r in results)
+
+
+class TestLiveness:
+    def test_mark_down_reroutes_to_surviving_host(self):
+        testbed, zoo, runtime = build_fleet(
+            n_workers=2, servables=("noop",), copies=2
+        )
+        primary = runtime.placement()["noop"][0]
+        runtime.mark_down(primary)
+        runtime.submit(TaskRequest("noop"))
+        results = runtime.drain()
+        assert results[0].result.ok
+        assert results[0].worker != primary
+
+    def test_all_hosts_down_leaves_work_queued(self):
+        """Unroutable topics wait instead of aborting the serve loop —
+        the work is served once a host comes back."""
+        testbed, zoo, runtime = build_fleet(n_workers=2, servables=("noop",), copies=2)
+        hosts = runtime.placement()["noop"]
+        for name in hosts:
+            runtime.mark_down(name)
+        runtime.submit(TaskRequest("noop"))
+        assert runtime.drain() == []
+        assert testbed.management.queue.ready_count(servable_topic("noop")) == 1
+        runtime.mark_up(hosts[0])
+        results = runtime.drain()
+        assert len(results) == 1 and results[0].result.ok
+
+    def test_mark_up_restores_routing(self):
+        testbed, zoo, runtime = build_fleet(servables=("noop",))
+        name = runtime.placement()["noop"][0]
+        runtime.mark_down(name)
+        runtime.mark_up(name)
+        runtime.submit(TaskRequest("noop"))
+        assert runtime.drain()[0].result.ok
+
+    def test_unknown_worker_rejected(self):
+        testbed, zoo, runtime = build_fleet()
+        with pytest.raises(ServingRuntimeError, match="unknown worker"):
+            runtime.mark_down("nobody")
+
+
+class TestTopicConvention:
+    def test_submit_uses_servable_topic(self):
+        testbed, _, runtime = build_fleet(servables=("noop",))
+        msg = runtime.submit(TaskRequest("noop"))
+        assert msg.topic == servable_topic("noop")
+        assert testbed.management.queue.ready_count(servable_topic("noop")) == 1
+        runtime.drain()
+
+    def test_sync_dispatch_never_steals_coalescing_traffic(self):
+        """The Management Service's synchronous path rides its own lane:
+        a run() call must not claim requests parked for a batch window."""
+        testbed, _, runtime = build_fleet(servables=("matminer_util",))
+        parked = TaskRequest("matminer_util", args=("NaCl",))
+        runtime.submit(parked)
+        sync = testbed.management.run(testbed.token, "matminer_util", "SiO2")
+        assert sync.ok
+        results = runtime.drain()
+        assert [r.request.task_uuid for r in results] == [parked.task_uuid]
+        assert results[0].result.ok

@@ -82,14 +82,76 @@ class TestMemoization:
         repeat = tm.process(TaskRequest("noop"))
         assert not repeat.cache_hit
 
-    def test_batch_requests_bypass_memo(self, deployed):
+    def test_batch_memoized_per_item(self, deployed):
+        """A batch containing previously-seen inputs dispatches only the
+        misses (the acceptance criterion for server-side batching)."""
         tm = deployed.task_manager
         tm.cache.clear()
-        request = TaskRequest("matminer_util", batch=[("NaCl",), ("NaCl",)])
-        result = tm.process(request)
+        executor = deployed.parsl_executor
+        seen = tm.process(TaskRequest("matminer_util", args=("NaCl",)))
+        assert seen.ok and not seen.cache_hit
+        served_before = executor.requests_served
+        result = tm.process(
+            TaskRequest("matminer_util", batch=[("NaCl",), ("SiO2",), ("MgO",)])
+        )
         assert result.ok
-        assert not result.cache_hit
-        assert len(result.value) == 2
+        assert result.batch_cache_hits == 1
+        assert result.batch_hits == (0,)  # NaCl was the seen item
+        assert not result.cache_hit  # two items still missed
+        # Only the two misses reached the executor.
+        assert executor.requests_served - served_before == 2
+        assert result.value[0] == seen.value
+
+    def test_fully_cached_batch_never_dispatches(self, deployed):
+        tm = deployed.task_manager
+        tm.cache.clear()
+        executor = deployed.parsl_executor
+        first = tm.process(TaskRequest("matminer_util", batch=[("NaCl",), ("SiO2",)]))
+        served_before = executor.requests_served
+        again = tm.process(TaskRequest("matminer_util", batch=[("NaCl",), ("SiO2",)]))
+        assert again.ok
+        assert again.cache_hit
+        assert again.batch_cache_hits == 2
+        assert executor.requests_served == served_before
+        assert again.value == first.value
+        assert again.invocation_time < first.invocation_time / 10
+
+    def test_all_hit_batch_skips_routing(self, deployed):
+        """A fully-memoized batch returns from cache even when the
+        servable is not registered here — mirroring the single-item hit
+        path, which also answers before routing."""
+        tm = deployed.task_manager
+        tm.cache.clear()
+        tm.process(TaskRequest("matminer_util", args=("NaCl",)))
+        registration = tm._registrations.pop("matminer_util")
+        try:
+            result = tm.process(TaskRequest("matminer_util", batch=[("NaCl",)]))
+        finally:
+            tm._registrations["matminer_util"] = registration
+        assert result.ok
+        assert result.cache_hit and result.batch_hits == (0,)
+
+    def test_batch_misses_stored_individually(self, deployed):
+        """Each batch miss lands in the cache under its single-item
+        signature, so a later single request hits."""
+        tm = deployed.task_manager
+        tm.cache.clear()
+        tm.process(TaskRequest("matminer_util", batch=[("NaCl",), ("SiO2",)]))
+        single = tm.process(TaskRequest("matminer_util", args=("SiO2",)))
+        assert single.cache_hit
+
+    def test_batch_memo_disabled(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False, memoize_tm=False)
+        zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+        testbed.publish_and_deploy(zoo["noop"])
+        served_before = testbed.parsl_executor.requests_served
+        result = testbed.task_manager.process(TaskRequest("noop", batch=[(), ()]))
+        repeat = testbed.task_manager.process(TaskRequest("noop", batch=[(), ()]))
+        assert result.ok and repeat.ok
+        assert repeat.batch_cache_hits == 0
+        assert testbed.parsl_executor.requests_served - served_before == 4
 
 
 class TestQueueLoop:

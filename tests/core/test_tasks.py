@@ -76,3 +76,26 @@ class TestTaskStore:
         store.create("a")
         store.create("b")
         assert len(store) == 2
+
+
+class TestBatchItemNormalization:
+    def test_pair_form_carries_kwargs(self):
+        from repro.core.tasks import normalize_batch_item
+
+        assert normalize_batch_item(((1, 2), {"k": 3})) == ((1, 2), {"k": 3})
+
+    def test_tuple_form_is_positional_args(self):
+        from repro.core.tasks import normalize_batch_item
+
+        assert normalize_batch_item((1, 2, 3)) == ((1, 2, 3), {})
+
+    def test_scalar_form_wraps_single_argument(self):
+        from repro.core.tasks import normalize_batch_item
+
+        assert normalize_batch_item("NaCl") == (("NaCl",), {})
+        assert normalize_batch_item([1, 2]) == (([1, 2],), {})
+
+    def test_item_signature_matches_single_request_signature(self):
+        single = TaskRequest("m", args=(1, 2), kwargs={"k": 3})
+        batch = TaskRequest("m", batch=[((1, 2), {"k": 3})])
+        assert batch.item_signature(batch.batch[0]) == single.input_signature()

@@ -41,6 +41,12 @@ class TestExamplesRun:
         assert "best center: slice 13" in out
         assert "batch segmentation" in out
 
+    def test_server_side_batching(self, capsys):
+        out = run_example("server_side_batching.py", capsys)
+        assert "placement (servable -> workers):" in out
+        assert "micro-batches dispatched:" in out
+        assert "hot-input memo hits on matminer_util:" in out
+
     def test_hpc_singularity(self, capsys):
         out = run_example("hpc_singularity.py", capsys)
         assert "HPC outputs match local execution: OK" in out

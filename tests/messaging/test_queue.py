@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.messaging.queue import QueueEmpty, TaskQueue, UnknownDelivery
+from repro.messaging.queue import QueueEmpty, TaskQueue, UnknownDelivery, servable_topic
 from repro.sim.clock import VirtualClock
 
 
@@ -42,6 +42,88 @@ class TestBasicFlow:
         queue.put(1, topic="a")
         queue.put(2, topic="b")
         assert len(queue) == 2
+
+
+class TestClaimMany:
+    def test_claims_up_to_n_in_fifo_order(self, queue):
+        for i in range(5):
+            queue.put(i)
+        msgs = queue.claim_many(n=3)
+        assert [m.body for m in msgs] == [0, 1, 2]
+        assert queue.inflight_count == 3
+        assert len(queue) == 2
+
+    def test_returns_fewer_when_queue_short(self, queue):
+        queue.put("only")
+        msgs = queue.claim_many(n=10)
+        assert [m.body for m in msgs] == ["only"]
+
+    def test_empty_topic_raises(self, queue):
+        with pytest.raises(QueueEmpty):
+            queue.claim_many(n=4)
+
+    def test_n_must_be_positive(self, queue):
+        queue.put(1)
+        with pytest.raises(ValueError):
+            queue.claim_many(n=0)
+
+    def test_each_message_settles_independently(self, queue):
+        """A partially-failed batch acks the successes and nacks the rest."""
+        for i in range(3):
+            queue.put(i)
+        msgs = queue.claim_many(n=3)
+        queue.ack(msgs[0].delivery_tag)
+        queue.nack(msgs[1].delivery_tag)
+        queue.nack(msgs[2].delivery_tag, requeue=False)
+        assert queue.total_acked == 1
+        assert queue.claim().body == 1  # requeued
+        assert [m.body for m in queue.dead_letters] == [2]
+
+    def test_respects_topic_boundaries(self, queue):
+        queue.put("a", topic=servable_topic("noop"))
+        queue.put("b", topic=servable_topic("noop"))
+        queue.put("c", topic=servable_topic("cifar10"))
+        msgs = queue.claim_many(servable_topic("noop"), n=10)
+        assert [m.body for m in msgs] == ["a", "b"]
+        assert queue.ready_count(servable_topic("cifar10")) == 1
+
+
+class TestPeek:
+    def test_oldest_ready_peeks_without_claiming(self, queue):
+        queue.put("head")
+        queue.put("tail")
+        head = queue.oldest_ready()
+        assert head is not None and head.body == "head"
+        assert queue.inflight_count == 0
+        assert len(queue) == 2
+
+    def test_oldest_ready_empty_returns_none(self, queue):
+        assert queue.oldest_ready("nothing-here") is None
+
+    def test_servable_topic_is_stable(self):
+        assert servable_topic("noop") == servable_topic("noop")
+        assert servable_topic("noop") != servable_topic("cifar10")
+
+    def test_servable_topic_lanes_are_disjoint(self):
+        """The sync dispatch lane never collides with the coalescing
+        lane, even for the same servable."""
+        assert servable_topic("noop", lane="sync") != servable_topic("noop")
+
+    def test_next_inflight_expiry(self, queue):
+        assert queue.next_inflight_expiry() is None
+        queue.put("a")
+        queue.put("b")
+        first = queue.claim()
+        queue.clock.advance(2.0)
+        queue.claim()
+        # Earliest claim governs the next expiry.
+        assert queue.next_inflight_expiry() == pytest.approx(
+            first.claimed_at + queue.visibility_timeout_s
+        )
+        queue.ack(first.delivery_tag)
+        assert queue.next_inflight_expiry() == pytest.approx(
+            2.0 + queue.visibility_timeout_s
+        )
 
 
 class TestAckNack:

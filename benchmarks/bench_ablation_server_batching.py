@@ -10,6 +10,7 @@ adding at most the coalesce window to latency — unlike client batching,
 which must sit on requests until a whole batch has arrived.
 """
 
+import pytest
 from conftest import run_once
 
 from repro.bench.server_batching import (
@@ -20,6 +21,7 @@ from repro.bench.server_batching import (
 )
 
 
+@pytest.mark.fast
 def test_ablation_server_batching(benchmark):
     report = run_once(benchmark, run_experiment)
     print("\n" + format_report(report))

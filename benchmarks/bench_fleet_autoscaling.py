@@ -1,0 +1,54 @@
+"""Ablation bench: static fleet vs control-plane autoscaling.
+
+Runs :mod:`repro.bench.fleet_autoscaling`: one ramped arrival schedule
+(warm -> spike -> cool) served by a static fleet (default one-copy
+placement), an oracle-sharded static fleet, and a
+:class:`~repro.core.fleet.FleetController`-managed fleet bounded by the
+same peak worker count.
+
+Expected: the autoscaled fleet sustains the spike with a much lower p95
+queue wait than the static fleet at equal peak worker count (container
+cold starts keep it above the pre-sharded oracle), uses no more
+worker-seconds than the oracle, scales back down after the spike, and
+its FleetEvent log records both the scale-up and the drain.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.fleet_autoscaling import MAX_WORKERS, format_report, run_experiment
+
+
+@pytest.mark.fast
+def test_ablation_fleet_autoscaling(benchmark):
+    report = run_once(benchmark, run_experiment)
+    print("\n" + format_report(report))
+
+    arms = report["arms"]
+    static, sharded, autoscaled = (
+        arms["static"],
+        arms["static_sharded"],
+        arms["autoscaled"],
+    )
+    offered = report["params"]["offered_requests"]
+    # Every arm serves the whole schedule successfully.
+    for row in arms.values():
+        assert row["served"] == offered
+    # Equal peak fleet size: the controller is allowed no more workers
+    # than the static arms own outright.
+    assert autoscaled["peak_workers"] == static["peak_workers"] == MAX_WORKERS
+    # The control plane sustains the spike far better than the static
+    # default placement with the same peak fleet...
+    assert autoscaled["p95_queue_wait_ms"] < 0.5 * static["p95_queue_wait_ms"]
+    assert autoscaled["throughput_rps"] > static["throughput_rps"]
+    # ...while cold starts keep it honest against the pre-sharded oracle.
+    assert autoscaled["p95_queue_wait_ms"] > sharded["p95_queue_wait_ms"]
+    # Elasticity: it scales back down after the spike and never pays for
+    # more worker-seconds than the always-on oracle.
+    assert autoscaled["final_workers"] < autoscaled["peak_workers"]
+    assert autoscaled["worker_seconds"] <= sharded["worker_seconds"] * 1.1
+    # The event log records the scale-up and the drain.
+    kinds = {event["kind"] for event in report["events"]}
+    assert "worker_provisioned" in kinds
+    assert "worker_draining" in kinds and "worker_retired" in kinds
+    assert "copy_added" in kinds

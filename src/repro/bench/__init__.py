@@ -15,7 +15,9 @@ Experiments (see DESIGN.md SS4 for the index):
 * :mod:`repro.bench.fig8_comparison` — serving-system comparison,
 * :mod:`repro.bench.tables` — Tables I and II regeneration,
 * :mod:`repro.bench.server_batching` — ablation: unbatched vs
-  client-batched vs server-coalesced dispatch across arrival rates.
+  client-batched vs server-coalesced dispatch across arrival rates,
+* :mod:`repro.bench.fleet_autoscaling` — ablation: static fleet vs
+  control-plane autoscaling under an arrival-rate spike.
 """
 
 from repro.bench.workloads import ExperimentContext, build_context

@@ -21,7 +21,13 @@ This package reproduces that path:
 from repro.containers.dockerfile import Dockerfile, DockerfileError
 from repro.containers.image import Image, Layer, ImageBuilder
 from repro.containers.registry import ContainerRegistry, RegistryError
-from repro.containers.runtime import ContainerRuntime, Container, ContainerState, ContainerError
+from repro.containers.runtime import (
+    ContainerRuntime,
+    Container,
+    ContainerState,
+    ContainerError,
+    cold_start_cost_s,
+)
 from repro.containers.singularity import SingularityRuntime, SingularityImage
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "Container",
     "ContainerState",
     "ContainerError",
+    "cold_start_cost_s",
     "SingularityRuntime",
     "SingularityImage",
 ]

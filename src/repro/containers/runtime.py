@@ -26,6 +26,15 @@ class ContainerError(RuntimeError):
     """Raised on invalid container operations (exec on dead container, ...)."""
 
 
+def cold_start_cost_s(image_bytes: int) -> float:
+    """Virtual-time cost to pull ``image_bytes`` (cold cache) and start one
+    container — the price a fleet controller charges a freshly provisioned
+    worker before it can serve traffic."""
+    if image_bytes < 0:
+        raise ValueError("image_bytes must be >= 0")
+    return image_bytes * cal.IMAGE_PULL_PER_BYTE_S + cal.CONTAINER_START_S
+
+
 class ContainerState(Enum):
     CREATED = "created"
     RUNNING = "running"

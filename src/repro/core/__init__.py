@@ -13,6 +13,8 @@ The model repository + serving system of SS IV:
   TM-side memoization (per item inside batches),
 * :mod:`repro.core.runtime` — server-side micro-batching: a coalescing
   dispatch layer sharding servables across a Task Manager fleet,
+* :mod:`repro.core.fleet` — the fleet control plane: autoscaling,
+  health tracking, and placement rebalancing over the runtime,
 * :mod:`repro.core.executors` — TF Serving / SageMaker / Parsl executors,
 * :mod:`repro.core.pipeline` — multi-step server-side pipelines,
 * :mod:`repro.core.client` / :mod:`repro.core.cli` /
@@ -33,7 +35,20 @@ from repro.core.servable import (
 from repro.core.tasks import TaskRequest, TaskResult, TaskStatus
 from repro.core.metrics import TimingRecord, MetricsCollector, StageLatencyCollector
 from repro.core.memo import MemoCache
-from repro.core.runtime import RuntimeResult, ServingRuntime, ServingRuntimeError
+from repro.core.runtime import (
+    FleetStats,
+    PlacementSpec,
+    RuntimeResult,
+    ServingRuntime,
+    ServingRuntimeError,
+)
+from repro.core.fleet import (
+    FleetController,
+    FleetEvent,
+    FleetPolicy,
+    QueueLatencySLOPolicy,
+    TargetUtilizationPolicy,
+)
 from repro.core.repository import ModelRepository
 from repro.core.management import ManagementService
 from repro.core.task_manager import TaskManager
@@ -61,6 +76,13 @@ __all__ = [
     "ServingRuntime",
     "ServingRuntimeError",
     "RuntimeResult",
+    "FleetStats",
+    "PlacementSpec",
+    "FleetController",
+    "FleetEvent",
+    "FleetPolicy",
+    "QueueLatencySLOPolicy",
+    "TargetUtilizationPolicy",
     "ModelRepository",
     "ManagementService",
     "TaskManager",

@@ -20,7 +20,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.executors import ParslServableExecutor
+from repro.core.executors import ExecutorError, ParslServableExecutor
 from repro.sim import calibration as cal
 
 
@@ -196,20 +196,22 @@ class Autoscaler:
         self.max_replicas = max_replicas
         self.decisions: list[ScalingDecision] = []
 
-    def _task_cost(self, servable_name: str) -> float:
-        servable = self.executor._servables.get(servable_name)
-        if servable is None:
-            raise ProfileError(f"servable {servable_name!r} is not deployed")
+    def task_cost(self, servable_name: str) -> float:
+        """Per-task replica-busy time ``c`` (shim + inference)."""
+        try:
+            servable = self.executor.get_servable(servable_name)
+        except ExecutorError as exc:
+            raise ProfileError(str(exc)) from exc
         return cal.SERVABLE_SHIM_S + servable.inference_cost_s
 
     def saturation_replicas(self, servable_name: str) -> int:
         """Replicas beyond which added capacity is wasted (Fig. 7 knee)."""
-        return max(1, math.ceil(self._task_cost(servable_name) / self.dispatch_cost_s))
+        return max(1, math.ceil(self.task_cost(servable_name) / self.dispatch_cost_s))
 
     def recommend(self, servable_name: str, arrival_rate_rps: float) -> int:
         if arrival_rate_rps < 0:
             raise ValueError("arrival rate must be >= 0")
-        demand = math.ceil(arrival_rate_rps * self._task_cost(servable_name))
+        demand = math.ceil(arrival_rate_rps * self.task_cost(servable_name))
         bounded = min(max(demand, self.min_replicas), self.max_replicas)
         return min(bounded, self.saturation_replicas(servable_name))
 

@@ -84,6 +84,22 @@ class DLHubExecutor:
     def deployed(self) -> list[str]:
         raise NotImplementedError
 
+    def deployed_servables(self) -> list[str]:
+        """Names of the servables currently deployed on this executor."""
+        return self.deployed()
+
+    def get_servable(self, servable_name: str) -> Servable:
+        """The deployed :class:`Servable`; raises :class:`ExecutorError`.
+
+        Public accessor for tooling (autoscalers, fleet controllers) that
+        needs a servable's cost profile without reaching into executor
+        internals.
+        """
+        raise NotImplementedError
+
+    def undeploy(self, servable_name: str) -> None:
+        raise ExecutorError(f"executor {self.label!r} does not support undeploy")
+
 
 class ParslServableExecutor(DLHubExecutor):
     """The general-purpose Parsl executor over Kubernetes deployments."""
@@ -139,6 +155,12 @@ class ParslServableExecutor(DLHubExecutor):
 
     def deployed(self) -> list[str]:
         return sorted(self._deployments)
+
+    def get_servable(self, servable_name: str) -> Servable:
+        servable = self._servables.get(servable_name)
+        if servable is None:
+            raise ExecutorError(f"servable {servable_name!r} is not deployed")
+        return servable
 
     # -- synchronous invocation --------------------------------------------------------
     def invoke(self, servable_name: str, args: tuple, kwargs: dict) -> InvocationOutcome:
@@ -264,6 +286,21 @@ class _BackendExecutor(DLHubExecutor):
 
     def deployed(self) -> list[str]:
         return sorted(self._servables)
+
+    def get_servable(self, servable_name: str) -> Servable:
+        servable = self._servables.get(servable_name)
+        if servable is None:
+            raise ExecutorError(
+                f"servable {servable_name!r} is not deployed on {self.label}"
+            )
+        return servable
+
+    def undeploy(self, servable_name: str) -> None:
+        if servable_name not in self._servables:
+            raise ExecutorError(
+                f"servable {servable_name!r} is not deployed on {self.label}"
+            )
+        del self._servables[servable_name]
 
 
 class TFServingExecutor(_BackendExecutor):

@@ -1,0 +1,752 @@
+"""Fleet control plane: autoscaling, health, and placement rebalancing.
+
+The paper's scalability experiment (SS V-B4, Fig. 7) shows throughput
+scaling with added capacity up to a dispatch-bound knee — but DLHub
+proper serves a *static* fleet. This module closes the loop the paper
+leaves open: a :class:`FleetController` runs a reconciliation loop on
+the shared virtual clock, sampling per-topic queue depth
+(:meth:`TaskQueue.enqueued_count` deltas give arrival rates) and recent
+queue-wait percentiles (:meth:`StageLatencyCollector.samples_since`),
+and drives three actuators on the :class:`ServingRuntime` data plane:
+
+* **worker scaling** — provision new Task Managers (charging the
+  container cold-start cost from :mod:`repro.containers` to the new
+  worker's clock) and drain/retire idle ones;
+* **replica scaling** — apply the Fig. 7 :class:`Autoscaler` cost model
+  to live per-servable-per-host traffic;
+* **placement rebalancing** — re-shard hot servables onto more copies
+  and migrate placements off down or draining workers, so every placed
+  servable keeps at least one routable copy.
+
+Scaling *policy* is pluggable (:class:`FleetPolicy`):
+:class:`TargetUtilizationPolicy` keeps copy utilization near a setpoint,
+:class:`QueueLatencySLOPolicy` sizes the fleet to a queue-wait SLO.
+Every actuation appends a :class:`FleetEvent`, giving benchmarks and
+operators an audit log of what the control plane did and when.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.containers.image import BASE_IMAGE_SIZES
+from repro.containers.runtime import cold_start_cost_s
+from repro.core.adaptive import Autoscaler, ProfileError
+from repro.core.runtime import ServingRuntime
+from repro.core.task_manager import TaskManager, TaskManagerError
+from repro.messaging.queue import servable_topic
+from repro.sim import calibration as cal
+
+
+class FleetControllerError(RuntimeError):
+    """Raised on invalid controller configuration or actuation."""
+
+
+#: Image a freshly provisioned Task Manager must pull before joining.
+DEFAULT_WORKER_IMAGE_BYTES = BASE_IMAGE_SIZES["dlhub/base:latest"]
+
+
+def per_copy_capacity_rps(
+    inference_cost_s: float, max_batch_size: int
+) -> float:
+    """Sustainable single-copy throughput under full micro-batches.
+
+    One coalesced batch pays the serial per-batch overheads (Task
+    Manager handling/routing, Parsl dispatch/collect, servable shim)
+    once, plus the calibrated marginal cost per item — the same
+    amortization model as SS V-B3. Controllers use this as the capacity
+    a placement copy contributes.
+    """
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be >= 1")
+    serial = (
+        cal.TASK_MANAGER_HANDLING_S
+        + cal.TASK_MANAGER_ROUTING_S
+        + cal.PARSL_DISPATCH_S
+        + cal.SERVABLE_SHIM_S
+        + cal.PARSL_COLLECT_S
+    )
+    per_item = inference_cost_s + cal.BATCH_ITEM_MARGINAL_S
+    return max_batch_size / (serial + max_batch_size * per_item)
+
+
+# ---------------------------------------------------------------------------
+# Observability types
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetEvent:
+    """One control-plane actuation, timestamped on the virtual clock."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class WorkerHealth:
+    """Liveness bookkeeping for one worker.
+
+    ``last_active`` advances whenever the worker's claim activity
+    (``tasks_processed``) moves between reconciles; quiet workers are
+    probed explicitly. Status is one of ``healthy``/``draining``/``down``.
+    """
+
+    name: str
+    status: str
+    last_active: float
+    tasks_processed: int
+
+
+@dataclass(frozen=True)
+class ServableDemand:
+    """One servable's live traffic picture at observation time."""
+
+    name: str
+    queue_depth: int
+    arrival_rate_rps: float
+    live_copies: int
+    per_copy_capacity_rps: float
+    #: p95 of queue-wait samples recorded since the previous observation
+    #: (None when no new samples landed).
+    recent_p95_queue_wait_s: float | None
+
+
+@dataclass(frozen=True)
+class FleetObservation:
+    """What a :class:`FleetPolicy` plans from."""
+
+    time: float
+    routable_workers: int
+    draining_workers: int
+    min_workers: int
+    max_workers: int
+    demands: tuple[ServableDemand, ...]
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Desired state a policy hands back to the controller."""
+
+    target_workers: int
+    copies: dict[str, int]
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+class FleetPolicy:
+    """Maps a :class:`FleetObservation` to a :class:`FleetPlan`.
+
+    Scenarios plug in their own controllers by subclassing; the two
+    built-ins cover the common cases (utilization setpoint, latency SLO).
+    """
+
+    name = "base"
+
+    def plan(self, observation: FleetObservation) -> FleetPlan:
+        raise NotImplementedError
+
+    @staticmethod
+    def _fleet_size(copies: dict[str, int], observation: FleetObservation) -> int:
+        """Workers needed to host the widest placement, within bounds."""
+        widest = max(copies.values(), default=1)
+        return min(max(widest, observation.min_workers), observation.max_workers)
+
+
+class TargetUtilizationPolicy(FleetPolicy):
+    """Keep each servable's copy utilization near a setpoint.
+
+    Demand pressure is the arrival rate plus the backlog drained over
+    ``backlog_horizon_s``; desired copies put that pressure at
+    ``target_utilization`` of the copies' combined capacity. Scale-down
+    is hysteretic and gradual: copies shrink one step per reconcile, and
+    only when the remaining copies would still sit below
+    ``scale_down_utilization``.
+    """
+
+    name = "target-utilization"
+
+    def __init__(
+        self,
+        target_utilization: float = 0.65,
+        scale_down_utilization: float = 0.30,
+        backlog_horizon_s: float = 0.5,
+    ) -> None:
+        if not 0 < target_utilization <= 1:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if not 0 <= scale_down_utilization < target_utilization:
+            raise ValueError(
+                "scale_down_utilization must be in [0, target_utilization)"
+            )
+        if backlog_horizon_s <= 0:
+            raise ValueError("backlog_horizon_s must be > 0")
+        self.target_utilization = target_utilization
+        self.scale_down_utilization = scale_down_utilization
+        self.backlog_horizon_s = backlog_horizon_s
+
+    def plan(self, observation: FleetObservation) -> FleetPlan:
+        copies: dict[str, int] = {}
+        for demand in observation.demands:
+            pressure = (
+                demand.arrival_rate_rps
+                + demand.queue_depth / self.backlog_horizon_s
+            )
+            desired = max(
+                1,
+                math.ceil(
+                    pressure
+                    / (self.target_utilization * demand.per_copy_capacity_rps)
+                ),
+            )
+            if desired < demand.live_copies:
+                remaining = max(demand.live_copies - 1, 1)
+                if (
+                    pressure
+                    > self.scale_down_utilization
+                    * remaining
+                    * demand.per_copy_capacity_rps
+                ):
+                    desired = demand.live_copies
+                else:
+                    desired = remaining
+            copies[demand.name] = min(desired, observation.max_workers)
+        return FleetPlan(
+            target_workers=self._fleet_size(copies, observation), copies=copies
+        )
+
+
+class QueueLatencySLOPolicy(FleetPolicy):
+    """Size the fleet so queue wait stays under an SLO.
+
+    Copies must (a) absorb the arrival rate and (b) drain the current
+    backlog within ``slo_s``, both at ``safety`` de-rated capacity; a
+    recent p95 above the SLO forces one exploratory copy. Scale-down
+    only happens when the recent p95 sits comfortably (4x) under the SLO
+    and the arrival rate fits the smaller fleet.
+    """
+
+    name = "queue-latency-slo"
+
+    def __init__(self, slo_s: float = 0.050, safety: float = 0.8) -> None:
+        if slo_s <= 0:
+            raise ValueError("slo_s must be > 0")
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        self.slo_s = slo_s
+        self.safety = safety
+
+    def plan(self, observation: FleetObservation) -> FleetPlan:
+        copies: dict[str, int] = {}
+        for demand in observation.demands:
+            capacity = self.safety * demand.per_copy_capacity_rps
+            rate_floor = max(1, math.ceil(demand.arrival_rate_rps / capacity))
+            backlog_floor = (
+                math.ceil(demand.queue_depth / (self.slo_s * capacity))
+                if demand.queue_depth
+                else 1
+            )
+            desired = max(1, rate_floor, backlog_floor)
+            p95 = demand.recent_p95_queue_wait_s
+            if p95 is not None and p95 > self.slo_s:
+                desired = max(desired, demand.live_copies + 1)
+            if desired < demand.live_copies:
+                # Comfortable means the observed tail sits well under the
+                # SLO — or the servable is fully idle (no new samples, an
+                # empty queue is trivially within any SLO).
+                comfortable = (
+                    p95 < self.slo_s / 4
+                    if p95 is not None
+                    else demand.queue_depth == 0
+                )
+                if comfortable:
+                    desired = max(desired, demand.live_copies - 1)
+                else:
+                    desired = demand.live_copies
+            copies[demand.name] = min(desired, observation.max_workers)
+        return FleetPlan(
+            target_workers=self._fleet_size(copies, observation), copies=copies
+        )
+
+
+# ---------------------------------------------------------------------------
+# Controller
+# ---------------------------------------------------------------------------
+class FleetController:
+    """Reconciliation loop turning the static serving fleet elastic.
+
+    Attach to a :class:`ServingRuntime` (done automatically on
+    construction); the serve loop then calls :meth:`on_tick` every
+    iteration and honours :meth:`next_wakeup`, so reconciles fire every
+    ``interval_s`` of virtual time while traffic flows. The controller
+    also runs standalone: advance the clock and call :meth:`reconcile`
+    directly (benchmarks use this to cool the fleet down after a spike).
+
+    Parameters
+    ----------
+    runtime:
+        The data plane to control.
+    provision_worker:
+        Factory ``name -> TaskManager`` for new workers (e.g.
+        ``testbed.add_fleet_worker``). Without it, worker scaling is
+        disabled and the controller only rebalances/heals the fixed
+        fleet.
+    policy:
+        A :class:`FleetPolicy`; defaults to :class:`TargetUtilizationPolicy`.
+    interval_s:
+        Reconcile period on the virtual clock.
+    min_workers / max_workers:
+        Bounds on the routable fleet size.
+    autoscale_replicas:
+        Apply the Fig. 7 :class:`Autoscaler` to each hosted copy's
+        deployment (pod scale-ups charge cold starts to the worker's
+        clock, so they are only applied to idle workers).
+    max_replicas_per_host:
+        Cap handed to each per-worker :class:`Autoscaler`.
+    worker_image_bytes:
+        Size of the Task Manager image a new worker pulls before joining
+        (drives the provisioning cold start).
+    """
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        provision_worker: Callable[[str], TaskManager] | None = None,
+        policy: FleetPolicy | None = None,
+        interval_s: float = 0.25,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        autoscale_replicas: bool = True,
+        max_replicas_per_host: int = 8,
+        worker_image_bytes: int = DEFAULT_WORKER_IMAGE_BYTES,
+        worker_name_prefix: str = "fleet-w",
+        ewma_alpha: float = 0.5,
+    ) -> None:
+        if interval_s <= 0:
+            raise FleetControllerError("interval_s must be > 0")
+        if not 1 <= min_workers <= max_workers:
+            raise FleetControllerError("need 1 <= min_workers <= max_workers")
+        if not 0 < ewma_alpha <= 1:
+            raise FleetControllerError("ewma_alpha must be in (0, 1]")
+        self.runtime = runtime
+        self.provision_worker = provision_worker
+        self.policy = policy or TargetUtilizationPolicy()
+        self.interval_s = interval_s
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.autoscale_replicas = autoscale_replicas
+        self.max_replicas_per_host = max_replicas_per_host
+        self.worker_image_bytes = worker_image_bytes
+        self.worker_name_prefix = worker_name_prefix
+        self.ewma_alpha = ewma_alpha
+
+        self.events: list[FleetEvent] = []
+        self.health: dict[str, WorkerHealth] = {}
+        self.reconciles = 0
+        self.peak_routable_workers = len(runtime.alive_workers())
+
+        self._rates: dict[str, float] = {}
+        self._enqueued_seen: dict[str, int] = {}
+        self._wait_cursor: dict[str, int] = {}
+        self._last_sample_at: float | None = None
+        self._draining: set[str] = set()
+        self._downed: set[str] = set()
+        self._provisioned: set[str] = set()
+        self._autoscalers: dict[tuple[str, str], Autoscaler] = {}
+        self._names = itertools.count(1)
+        self._next_at = runtime.clock.now()
+        runtime.attach_controller(self)
+
+    # -- serve-loop hooks ---------------------------------------------------------
+    def next_wakeup(self) -> float:
+        """Virtual time of the next scheduled reconcile."""
+        return self._next_at
+
+    def on_tick(self) -> None:
+        """Reconcile iff the interval has elapsed (serve-loop hook)."""
+        if self.runtime.clock.now() + 1e-12 >= self._next_at:
+            self.reconcile()
+
+    # -- event log ----------------------------------------------------------------
+    def events_of(self, *kinds: str) -> list[FleetEvent]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def _record(self, kind: str, subject: str, **detail) -> None:
+        self.events.append(
+            FleetEvent(
+                time=self.runtime.clock.now(),
+                kind=kind,
+                subject=subject,
+                detail=detail,
+            )
+        )
+
+    # -- observation --------------------------------------------------------------
+    def observe(self, now: float | None = None) -> FleetObservation:
+        """Sample the data plane (advances the rate-estimator state)."""
+        now = self.runtime.clock.now() if now is None else now
+        dt = (
+            None
+            if self._last_sample_at is None
+            else max(now - self._last_sample_at, 0.0)
+        )
+        alive = {w.name for w in self.runtime.alive_workers()}
+        demands = []
+        for name in sorted(self.runtime.placement()):
+            topic = servable_topic(name)
+            depth = self.runtime.queue.ready_count(topic)
+            total = self.runtime.queue.enqueued_count(topic)
+            if name not in self._enqueued_seen:
+                # First sight: baseline the counter, no interval to rate.
+                self._enqueued_seen[name] = total
+                rate = self._rates.get(name, 0.0)
+            elif dt:
+                instant = max(total - self._enqueued_seen[name], 0) / dt
+                self._enqueued_seen[name] = total
+                rate = (
+                    self.ewma_alpha * instant
+                    + (1 - self.ewma_alpha) * self._rates.get(name, instant)
+                )
+            else:
+                # Zero-length interval (back-to-back samples): leave the
+                # counter unconsumed so the delta lands in the next real
+                # interval instead of vanishing from the estimator.
+                rate = self._rates.get(name, 0.0)
+            self._rates[name] = rate
+
+            metrics = self.runtime.stage_metrics
+            fresh = metrics.samples_since(
+                "queue_wait", name, self._wait_cursor.get(name, 0)
+            )
+            self._wait_cursor[name] = metrics.count("queue_wait", name)
+            spec = self.runtime.spec(name)
+            demands.append(
+                ServableDemand(
+                    name=name,
+                    queue_depth=depth,
+                    arrival_rate_rps=rate,
+                    live_copies=sum(
+                        1
+                        for host in self.runtime.hosts(name)
+                        if host.name in alive
+                    ),
+                    per_copy_capacity_rps=per_copy_capacity_rps(
+                        spec.servable.inference_cost_s, self.runtime.max_batch_size
+                    ),
+                    recent_p95_queue_wait_s=(
+                        float(np.percentile(fresh, 95.0)) if fresh else None
+                    ),
+                )
+            )
+        self._last_sample_at = now
+        return FleetObservation(
+            time=now,
+            routable_workers=len(alive),
+            draining_workers=len(self._draining),
+            min_workers=self.min_workers,
+            max_workers=self.max_workers,
+            demands=tuple(demands),
+        )
+
+    # -- reconciliation -----------------------------------------------------------
+    def reconcile(self) -> FleetPlan:
+        """One control-loop pass: health -> observe -> plan -> actuate."""
+        now = self.runtime.clock.now()
+        self._next_at = now + self.interval_s
+        self.reconciles += 1
+        self._check_health(now)
+        observation = self.observe(now)
+        plan = self.policy.plan(observation)
+        self._scale_workers(plan, now)
+        self._rebalance(plan, now)
+        if self.autoscale_replicas:
+            self._scale_replicas(observation, now)
+        self.peak_routable_workers = max(
+            self.peak_routable_workers, len(self.runtime.alive_workers())
+        )
+        return plan
+
+    # -- health -------------------------------------------------------------------
+    def _check_health(self, now: float) -> None:
+        fleet = {w.name for w in self.runtime.workers}
+        for stale in set(self.health) - fleet:
+            del self.health[stale]
+        for worker in list(self.runtime.workers):
+            health = self.health.get(worker.name)
+            if health is None:
+                health = WorkerHealth(
+                    name=worker.name,
+                    status="healthy",
+                    last_active=now,
+                    tasks_processed=worker.tasks_processed,
+                )
+                self.health[worker.name] = health
+            active = worker.tasks_processed > health.tasks_processed
+            if active:
+                health.tasks_processed = worker.tasks_processed
+                health.last_active = now
+            # Claim activity since the last reconcile is itself proof of
+            # life; only quiet workers pay an explicit probe.
+            if active or worker.probe():
+                if health.status == "down" and worker.name in self._downed:
+                    self.runtime.revive(worker.name)
+                    self._downed.discard(worker.name)
+                    health.status = "healthy"
+                    self._record("worker_revived", worker.name)
+                elif worker.name in self._draining:
+                    health.status = "draining"
+                elif health.status != "down":
+                    health.status = "healthy"
+            elif health.status != "down":
+                health.status = "down"
+                self.runtime.mark_down(worker.name)
+                self._downed.add(worker.name)
+                self._draining.discard(worker.name)
+                self._record(
+                    "worker_down",
+                    worker.name,
+                    idle_s=round(now - health.last_active, 6),
+                )
+                self._migrate_off(worker, reason="worker_down")
+
+    # -- worker scaling -----------------------------------------------------------
+    def _scale_workers(self, plan: FleetPlan, now: float) -> None:
+        target = min(max(plan.target_workers, self.min_workers), self.max_workers)
+        current = len(self.runtime.alive_workers())
+        if self.provision_worker is not None:
+            if target > current:
+                current = self._grow_to(target, current)
+            elif target < current:
+                self._drain_to(target, current, now)
+        self._retire_draining(now)
+
+    def _grow_to(self, target: int, current: int) -> int:
+        # Cancelling an in-progress drain is free capacity — use it first.
+        for name in sorted(self._draining):
+            if current >= target:
+                break
+            self.runtime.mark_up(name)
+            self._draining.discard(name)
+            if name in self.health:
+                self.health[name].status = "healthy"
+            self._record("worker_undrained", name)
+            current += 1
+        while current < target:
+            name = self._next_name()
+            worker = self.provision_worker(name)
+            if worker.clock is self.runtime.clock:
+                # Charging the cold start to the global clock would warp
+                # every in-flight measurement; fail fast instead.
+                raise FleetControllerError(
+                    "provision_worker must return workers on their own "
+                    "clock (use testbed.add_fleet_worker, not "
+                    "add_task_manager)"
+                )
+            cold = cold_start_cost_s(self.worker_image_bytes)
+            # The new Task Manager pulls and starts its own container
+            # before it can claim work: charge its clock, so the worker
+            # joins the fleet busy until the cold start completes.
+            worker.clock.advance(cold)
+            self.runtime.add_worker(worker)
+            self._provisioned.add(name)
+            self._record("worker_provisioned", name, cold_start_s=round(cold, 6))
+            current += 1
+        return current
+
+    def _drain_to(self, target: int, current: int, now: float) -> None:
+        hosted = self._hosted_counts()
+        order = {w.name: i for i, w in enumerate(self.runtime.workers)}
+        # Idle workers only; prefer empty ones, then our own provisions,
+        # newest first.
+        candidates = sorted(
+            (
+                w
+                for w in self.runtime.alive_workers()
+                if self.runtime.free_at(w) <= now + 1e-12
+            ),
+            key=lambda w: (
+                hosted[w.name],
+                w.name not in self._provisioned,
+                -order[w.name],
+            ),
+        )
+        for worker in candidates[: current - target]:
+            self.runtime.mark_down(worker.name)
+            self._draining.add(worker.name)
+            if worker.name in self.health:
+                self.health[worker.name].status = "draining"
+            self._record("worker_draining", worker.name, hosted=hosted[worker.name])
+            self._migrate_off(worker, reason="worker_draining")
+
+    def _retire_draining(self, now: float) -> None:
+        for name in sorted(self._draining):
+            worker = self.runtime.worker(name)
+            if self.runtime.free_at(worker) > now + 1e-12:
+                continue  # still finishing its last batch
+            placement = self.runtime.placement()
+            hosted = [s for s, hosts in placement.items() if name in hosts]
+            routable = {w.name for w in self.runtime.alive_workers()}
+            if any(
+                not (set(placement[s]) - {name}) & routable for s in hosted
+            ):
+                continue  # a hosted servable has nowhere else to live yet
+            for servable_name in hosted:
+                self.runtime.remove_copy(servable_name, name)
+            self.runtime.remove_worker(name)
+            self._draining.discard(name)
+            self.health.pop(name, None)
+            self._autoscalers = {
+                key: scaler
+                for key, scaler in self._autoscalers.items()
+                if key[0] != name
+            }
+            self._record("worker_retired", name, released=hosted)
+
+    def _next_name(self) -> str:
+        existing = {w.name for w in self.runtime.workers}
+        while True:
+            name = f"{self.worker_name_prefix}{next(self._names)}"
+            if name not in existing:
+                return name
+
+    def _hosted_counts(self) -> dict[str, int]:
+        counts = {w.name: 0 for w in self.runtime.workers}
+        for hosts in self.runtime.placement().values():
+            for host_name in hosts:
+                counts[host_name] += 1
+        return counts
+
+    # -- rebalancing --------------------------------------------------------------
+    def _migrate_off(self, worker: TaskManager, reason: str) -> None:
+        """Give every servable hosted only on ``worker`` a routable copy."""
+        routable = [w for w in self.runtime.alive_workers() if w is not worker]
+        for servable_name, hosts in self.runtime.placement().items():
+            if worker.name not in hosts:
+                continue
+            if any(w.name in hosts for w in routable):
+                continue  # a live copy already exists elsewhere
+            target = self._least_loaded(routable, exclude_hosting=servable_name)
+            if target is None:
+                continue  # no capacity yet; the next reconcile retries
+            self.runtime.add_copy(servable_name, target)
+            self._record(
+                "servable_migrated",
+                servable_name,
+                source=worker.name,
+                target=target.name,
+                reason=reason,
+            )
+
+    def _least_loaded(
+        self, workers: list[TaskManager], exclude_hosting: str
+    ) -> TaskManager | None:
+        hosting = set(self.runtime.placement().get(exclude_hosting, ()))
+        counts = self._hosted_counts()
+        order = {w.name: i for i, w in enumerate(self.runtime.workers)}
+        candidates = [w for w in workers if w.name not in hosting]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: (counts[w.name], order[w.name]))
+
+    def _rebalance(self, plan: FleetPlan, now: float) -> None:
+        routable = self.runtime.alive_workers()
+        for servable_name, desired in sorted(plan.copies.items()):
+            hosts = self.runtime.placement().get(servable_name)
+            if hosts is None:
+                continue  # unplaced since the observation
+            live = [w for w in routable if w.name in hosts]
+            desired = min(max(desired, 1), len(routable)) if routable else 0
+            if desired > len(live):
+                for _ in range(desired - len(live)):
+                    target = self._least_loaded(
+                        routable, exclude_hosting=servable_name
+                    )
+                    if target is None:
+                        break
+                    self.runtime.add_copy(servable_name, target)
+                    if live:
+                        self._record(
+                            "copy_added", servable_name, worker=target.name
+                        )
+                    else:
+                        # Every existing copy is on a down/draining worker:
+                        # this add is a migration, not extra capacity.
+                        self._record(
+                            "servable_migrated",
+                            servable_name,
+                            source=None,
+                            target=target.name,
+                            reason="no_routable_copy",
+                        )
+                        live = [target]
+            elif desired and desired < len(live):
+                counts = self._hosted_counts()
+                order = {w.name: i for i, w in enumerate(self.runtime.workers)}
+                shed = sorted(
+                    live, key=lambda w: (-counts[w.name], -order[w.name])
+                )[: len(live) - desired]
+                for worker in shed:
+                    if len(self.runtime.hosts(servable_name)) <= 1:
+                        break
+                    self.runtime.remove_copy(servable_name, worker.name)
+                    self._record(
+                        "copy_removed", servable_name, worker=worker.name
+                    )
+        # Self-healing invariant: every placed servable keeps >= 1
+        # routable copy whenever the fleet has any routable capacity.
+        for servable_name, hosts in self.runtime.placement().items():
+            if not any(w.name in hosts for w in self.runtime.alive_workers()):
+                target = self._least_loaded(
+                    self.runtime.alive_workers(), exclude_hosting=servable_name
+                )
+                if target is not None:
+                    self.runtime.add_copy(servable_name, target)
+                    self._record(
+                        "servable_migrated",
+                        servable_name,
+                        source=None,
+                        target=target.name,
+                        reason="no_routable_copy",
+                    )
+
+    # -- replica scaling ----------------------------------------------------------
+    def _scale_replicas(self, observation: FleetObservation, now: float) -> None:
+        for demand in observation.demands:
+            hosts = self.runtime.placement().get(demand.name, ())
+            per_copy_rate = demand.arrival_rate_rps / max(demand.live_copies, 1)
+            for worker in self.runtime.alive_workers():
+                if worker.name not in hosts:
+                    continue
+                if self.runtime.free_at(worker) > now + 1e-12:
+                    continue  # pod cold starts would stack onto live work
+                try:
+                    _, executor = worker.route(demand.name)
+                except TaskManagerError:
+                    continue
+                if not hasattr(executor, "scale") or not hasattr(
+                    executor, "replicas"
+                ):
+                    continue
+                scaler = self._autoscalers.setdefault(
+                    (worker.name, executor.label),
+                    Autoscaler(executor, max_replicas=self.max_replicas_per_host),
+                )
+                try:
+                    want = scaler.recommend(demand.name, per_copy_rate)
+                    have = executor.replicas(demand.name)
+                except ProfileError:
+                    continue
+                if want != have:
+                    scaler.autoscale(demand.name, per_copy_rate)
+                    self._record(
+                        "replicas_scaled",
+                        demand.name,
+                        worker=worker.name,
+                        replicas=want,
+                        previous=have,
+                    )

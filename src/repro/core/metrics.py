@@ -98,6 +98,20 @@ class StageLatencyCollector:
             for value in values
         ]
 
+    def samples_since(self, stage: str, servable: str, index: int) -> list[float]:
+        """Samples recorded after cursor ``index`` for ``(stage, servable)``.
+
+        Samples are append-only, so a consumer that remembers the last
+        ``count(stage, servable)`` it saw gets exactly the new window —
+        how the fleet controller computes *recent* tail latency without
+        the all-time history washing out a spike.
+        """
+        if stage not in self.stages:
+            raise ValueError(f"unknown stage {stage!r}; choose from {self.stages}")
+        if index < 0:
+            raise ValueError("index must be >= 0")
+        return list(self._samples.get((stage, servable), ())[index:])
+
     def servables(self) -> list[str]:
         return sorted({servable for _, servable in self._samples})
 

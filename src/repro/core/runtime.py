@@ -13,13 +13,29 @@ is decomposed into per-stage latencies (queue wait, coalesce delay,
 dispatch, inference) recorded through
 :class:`repro.core.metrics.StageLatencyCollector`.
 
-Combined with per-item batch memoization at the Task Manager, clients get
-batched throughput and ~1 ms memo hits without forming batches
-themselves.
+**Fleet membership is dynamic.** Workers can join (:meth:`add_worker`),
+leave (:meth:`remove_worker`), crash (:meth:`mark_down`), and rejoin
+(:meth:`revive`); placements gain and shed copies at runtime
+(:meth:`add_copy` / :meth:`remove_copy`). A control plane — see
+:mod:`repro.core.fleet` — drives these actuators from live queue and
+latency observations.
+
+**Workers may run on private clocks.** A worker whose ``clock`` is the
+runtime's own clock is *serial*: processing advances global time, so the
+fleet degrades to one timeline (the pre-control-plane behaviour, kept
+bit-for-bit for reproducibility). A worker with its own
+:class:`~repro.sim.clock.VirtualClock` (see
+:meth:`DLHubTestbed.add_fleet_worker`) is *concurrent*: its clock is
+synced forward to global time at dispatch, processing advances only the
+worker's timeline, and the worker is busy until its clock catches up —
+so independent workers genuinely overlap, and deployment cold starts
+(container pull + start on the worker's cluster) occupy that worker
+without stalling the data plane.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 
@@ -61,6 +77,57 @@ class RuntimeResult:
         return self.completed_at - self.arrival_time
 
 
+@dataclass(frozen=True)
+class PlacementSpec:
+    """How a servable was placed — what :meth:`ServingRuntime.add_copy`
+    replays onto a new host."""
+
+    servable: Servable
+    image: object
+    executor_name: str
+    replicas: int
+
+
+@dataclass(frozen=True)
+class WorkerStat:
+    """One worker's slice of a :class:`FleetStats` snapshot."""
+
+    name: str
+    hosted: tuple[str, ...]
+    down: bool
+    #: Virtual time at which the worker can accept its next batch.
+    free_at: float
+    tasks_processed: int
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Point-in-time fleet snapshot for controllers and dashboards."""
+
+    time: float
+    workers: tuple[WorkerStat, ...]
+    down: frozenset[str]
+    placements: dict[str, tuple[str, ...]]
+    queue_depths: dict[str, int]
+
+    @property
+    def routable_workers(self) -> tuple[str, ...]:
+        return tuple(w.name for w in self.workers if not w.down)
+
+
+@dataclass
+class _PendingBatch:
+    """A dispatched micro-batch whose completion time is in the future
+    (the worker runs on its own timeline)."""
+
+    completed_at: float
+    seq: int
+    worker_name: str
+    messages: list[QueuedMessage]
+    requests: list[TaskRequest]
+    results: list[TaskResult]
+
+
 class ServingRuntime:
     """Coalescing dispatch layer fronting a fleet of Task Managers.
 
@@ -71,8 +138,9 @@ class ServingRuntime:
     queue:
         The task queue requests are submitted to (per-servable topics).
     workers:
-        The Task Manager fleet. Worker names must be unique — they key
-        placement and liveness.
+        The initial Task Manager fleet. Worker names must be unique —
+        they key placement and liveness. Membership may change later via
+        :meth:`add_worker` / :meth:`remove_worker`.
     max_batch_size:
         Hard cap on micro-batch size; a topic reaching this many ready
         requests is flushed immediately.
@@ -109,10 +177,57 @@ class ServingRuntime:
         self.max_coalesce_delay_s = max_coalesce_delay_s
         self.stage_metrics = stage_metrics or StageLatencyCollector()
         self._hosts: dict[str, list[TaskManager]] = {}
+        self._specs: dict[str, PlacementSpec] = {}
         self._down: set[str] = set()
+        self._pending: list[_PendingBatch] = []
+        self._seq = itertools.count(1)
+        self._controller = None
         self.batches_dispatched = 0
         self.items_served = 0
         self.memo_hits = 0
+
+    # -- fleet membership ---------------------------------------------------------
+    def worker(self, worker_name: str) -> TaskManager:
+        for worker in self.workers:
+            if worker.name == worker_name:
+                return worker
+        raise ServingRuntimeError(f"unknown worker {worker_name!r}")
+
+    def add_worker(self, worker: TaskManager) -> TaskManager:
+        """Admit a worker into the fleet (it becomes a placement target)."""
+        if worker.name in {w.name for w in self.workers}:
+            raise ServingRuntimeError(f"worker name {worker.name!r} already in fleet")
+        if worker.queue is not self.queue:
+            raise ServingRuntimeError(
+                f"worker {worker.name!r} does not consume this runtime's queue"
+            )
+        self.workers.append(worker)
+        return worker
+
+    def remove_worker(self, worker_name: str) -> TaskManager:
+        """Retire a worker. It must not host any placement copies."""
+        worker = self.worker(worker_name)
+        if len(self.workers) == 1:
+            raise ServingRuntimeError("cannot remove the last worker")
+        hosted = [name for name, hosts in self._hosts.items() if worker in hosts]
+        if hosted:
+            raise ServingRuntimeError(
+                f"worker {worker_name!r} still hosts {hosted}; migrate copies first"
+            )
+        self.workers.remove(worker)
+        self._down.discard(worker_name)
+        return worker
+
+    def free_at(self, worker: TaskManager) -> float:
+        """When ``worker`` can accept its next batch.
+
+        A worker on the shared clock is always free *now* (processing is
+        serial on the global timeline); a worker on its own clock is busy
+        until that clock catches up with global time.
+        """
+        if worker.clock is self.clock:
+            return self.clock.now()
+        return worker.clock.now()
 
     # -- placement / sharding -----------------------------------------------------
     def place(
@@ -144,7 +259,7 @@ class ServingRuntime:
         order = sorted(
             range(len(self.workers)),
             key=lambda i: (
-                self.workers[i].name in self._down,
+                not self._is_live(self.workers[i]),
                 load[self.workers[i].name],
                 i,
             ),
@@ -155,7 +270,60 @@ class ServingRuntime:
                 servable, image, executor_name=executor_name, replicas=replicas
             )
         self._hosts[servable.name] = chosen
+        self._specs[servable.name] = PlacementSpec(
+            servable=servable,
+            image=image,
+            executor_name=executor_name,
+            replicas=replicas,
+        )
         return chosen
+
+    def spec(self, servable_name: str) -> PlacementSpec:
+        """The placement spec recorded when the servable was placed."""
+        spec = self._specs.get(servable_name)
+        if spec is None:
+            raise ServingRuntimeError(f"servable {servable_name!r} is not placed")
+        return spec
+
+    def add_copy(self, servable_name: str, worker: TaskManager) -> TaskManager:
+        """Register an additional copy of a placed servable on ``worker``.
+
+        The deployment cold start (image pull + container start on the
+        worker's cluster) is charged to the worker's clock, so a
+        concurrent worker is busy — not routable — until the copy is up.
+        """
+        spec = self.spec(servable_name)
+        worker = self.worker(worker.name if isinstance(worker, TaskManager) else worker)
+        hosts = self._hosts[servable_name]
+        if worker.name in {h.name for h in hosts}:
+            raise ServingRuntimeError(
+                f"worker {worker.name!r} already hosts {servable_name!r}"
+            )
+        worker.register_servable(
+            spec.servable,
+            spec.image,
+            executor_name=spec.executor_name,
+            replicas=spec.replicas,
+        )
+        hosts.append(worker)
+        return worker
+
+    def remove_copy(self, servable_name: str, worker_name: str) -> None:
+        """Unregister one copy; at least one copy must remain."""
+        hosts = self._hosts.get(servable_name)
+        if hosts is None:
+            raise ServingRuntimeError(f"servable {servable_name!r} is not placed")
+        match = [h for h in hosts if h.name == worker_name]
+        if not match:
+            raise ServingRuntimeError(
+                f"worker {worker_name!r} does not host {servable_name!r}"
+            )
+        if len(hosts) == 1:
+            raise ServingRuntimeError(
+                f"cannot remove the last copy of {servable_name!r}"
+            )
+        match[0].unregister_servable(servable_name)
+        hosts.remove(match[0])
 
     def placement(self) -> dict[str, list[str]]:
         """Servable name -> names of the workers hosting it."""
@@ -169,30 +337,82 @@ class ServingRuntime:
 
     # -- worker liveness ----------------------------------------------------------
     def mark_down(self, worker_name: str) -> None:
-        """Take a worker out of routing (crash / maintenance)."""
-        if worker_name not in {w.name for w in self.workers}:
-            raise ServingRuntimeError(f"unknown worker {worker_name!r}")
+        """Take a worker out of routing (crash / maintenance / draining)."""
+        self.worker(worker_name)
         self._down.add(worker_name)
 
     def mark_up(self, worker_name: str) -> None:
         self._down.discard(worker_name)
 
-    def alive_workers(self) -> list[TaskManager]:
-        return [w for w in self.workers if w.name not in self._down]
-
-    def _live_host(self, servable_name: str) -> TaskManager | None:
-        for worker in self.hosts(servable_name):
-            if worker.name not in self._down:
-                return worker
-        return None
-
-    def _worker_for(self, servable_name: str) -> TaskManager:
-        worker = self._live_host(servable_name)
-        if worker is None:
-            raise ServingRuntimeError(
-                f"no live worker hosts servable {servable_name!r}"
-            )
+    def revive(self, worker_name: str) -> TaskManager:
+        """Bring a down worker back into routing (its registrations and
+        memo cache survived the outage). The health-tracking hook a
+        controller calls once the worker's probe succeeds again."""
+        worker = self.worker(worker_name)
+        if worker_name not in self._down:
+            raise ServingRuntimeError(f"worker {worker_name!r} is not down")
+        self._down.discard(worker_name)
         return worker
+
+    def _is_live(self, worker: TaskManager) -> bool:
+        return worker.name not in self._down and worker.probe()
+
+    def alive_workers(self) -> list[TaskManager]:
+        return [w for w in self.workers if self._is_live(w)]
+
+    def fleet_stats(self) -> FleetStats:
+        """Snapshot per-worker load, liveness, placements, queue depths."""
+        hosted: dict[str, list[str]] = {w.name: [] for w in self.workers}
+        for name, hosts in self._hosts.items():
+            for host in hosts:
+                hosted[host.name].append(name)
+        return FleetStats(
+            time=self.clock.now(),
+            workers=tuple(
+                WorkerStat(
+                    name=w.name,
+                    hosted=tuple(sorted(hosted[w.name])),
+                    down=not self._is_live(w),
+                    free_at=self.free_at(w),
+                    tasks_processed=w.tasks_processed,
+                )
+                for w in self.workers
+            ),
+            down=frozenset(self._down),
+            placements={
+                name: tuple(w.name for w in hosts)
+                for name, hosts in self._hosts.items()
+            },
+            queue_depths={
+                name: self.queue.ready_count(servable_topic(name))
+                for name in self._hosts
+            },
+        )
+
+    def _route(self, servable_name: str, now: float) -> tuple[TaskManager | None, float]:
+        """Pick a live host free at ``now``; also report the earliest time
+        any live host frees up (``inf`` when none is live)."""
+        best: tuple[float, int, TaskManager] | None = None
+        earliest_free = math.inf
+        for idx, worker in enumerate(self.hosts(servable_name)):
+            if not self._is_live(worker):
+                continue
+            free = self.free_at(worker)
+            earliest_free = min(earliest_free, free)
+            if free <= now + _EPS and (best is None or (free, idx) < best[:2]):
+                best = (free, idx, worker)
+        return (best[2] if best else None), earliest_free
+
+    # -- control plane ------------------------------------------------------------
+    def attach_controller(self, controller) -> None:
+        """Hook a fleet controller into the serve loop.
+
+        The controller must expose ``on_tick()`` (called once per loop
+        iteration) and ``next_wakeup() -> float`` (folded into the loop's
+        sleep target so reconciles fire on schedule even when the data
+        plane is idle between arrivals).
+        """
+        self._controller = controller
 
     # -- submission ---------------------------------------------------------------
     def submit(self, request: TaskRequest) -> QueuedMessage:
@@ -230,25 +450,33 @@ class ServingRuntime:
         return [servable_topic(name) for name in self._hosts]
 
     def _next_window(self, now: float) -> tuple[str | None, float]:
-        """Returns ``(due_topic_or_None, earliest_future_deadline)``."""
+        """Returns ``(dispatchable_topic_or_None, earliest_future_event)``.
+
+        A topic is dispatchable when its window is due *and* a live host
+        is free. A due window whose hosts are all busy contributes the
+        earliest host-free time to the future-event horizon; a topic with
+        no live host at all is skipped (the work is not lost — a later
+        serve() after mark_up/revive picks it up).
+        """
         due: tuple[float, str] | None = None
-        next_deadline = math.inf
+        next_event = math.inf
         for name in self._hosts:
             topic = servable_topic(name)
             if not self.queue.ready_count(topic):
                 continue
-            if self._live_host(name) is None:
-                # Every host is down: leave the work queued (it is not
-                # lost — a later serve() after mark_up picks it up)
-                # rather than aborting the loop for healthy servables.
+            worker, earliest_free = self._route(name, now)
+            if worker is None and math.isinf(earliest_free):
                 continue
             flush_at = self._flush_due(topic)
             if flush_at <= now + _EPS:
-                if due is None or (flush_at, topic) < due:
-                    due = (flush_at, topic)
+                if worker is not None:
+                    if due is None or (flush_at, topic) < due:
+                        due = (flush_at, topic)
+                else:
+                    next_event = min(next_event, earliest_free)
             else:
-                next_deadline = min(next_deadline, flush_at)
-        return (due[1] if due else None), next_deadline
+                next_event = min(next_event, flush_at)
+        return (due[1] if due else None), next_event
 
     def _split_batch(
         self,
@@ -297,19 +525,28 @@ class ServingRuntime:
             for i, (req, value) in enumerate(zip(requests, batch_result.value))
         ]
 
-    def _flush_topic(
-        self, topic: str, arrival_times: dict[str, float] | None = None
-    ) -> list[RuntimeResult]:
-        """Claim a micro-batch off ``topic``, dispatch it, settle it."""
+    def _dispatch_topic(self, topic: str) -> None:
+        """Claim a micro-batch off ``topic`` and dispatch it to a free host.
+
+        The batch's processing runs on the chosen worker's timeline: for
+        a shared-clock worker that advances global time (serial), for an
+        own-clock worker only the worker's clock moves and the finished
+        batch parks on the pending list until global time reaches its
+        completion.
+        """
         head = self.queue.oldest_ready(topic)
         assert head is not None
         servable_name = head.body.servable_name
+        now = self.clock.now()
         # Resolve routing before claiming so a routing failure leaves the
         # messages ready (not stranded in flight awaiting expiry).
-        worker = self._worker_for(servable_name)
+        worker, _ = self._route(servable_name, now)
+        if worker is None:
+            raise ServingRuntimeError(
+                f"no free live worker hosts servable {servable_name!r}"
+            )
         messages = self.queue.claim_many(topic, self.max_batch_size)
         requests: list[TaskRequest] = [m.body for m in messages]
-        now = self.clock.now()
         for message in messages:
             self.stage_metrics.record(
                 "queue_wait", servable_name, now - message.enqueued_at
@@ -319,7 +556,12 @@ class ServingRuntime:
             "coalesce_delay", servable_name, now - messages[0].enqueued_at
         )
 
-        dispatch_start = now
+        # Sync a lagging concurrent worker forward to global time: its
+        # idle gap is skipped, and from here its clock is the batch's
+        # timeline.
+        if worker.clock is not self.clock and worker.clock.now() < now:
+            worker.clock.advance_to(now)
+        dispatch_start = worker.clock.now()
         if len(requests) == 1:
             batch_result = worker.process(requests[0])
         else:
@@ -331,7 +573,7 @@ class ServingRuntime:
             batch_result = worker.process(batch_request)
         # Stage timing is captured before any failure-recovery re-serves
         # in _split_batch — those are neither dispatch nor inference.
-        elapsed = self.clock.now() - dispatch_start
+        elapsed = worker.clock.now() - dispatch_start
         self.stage_metrics.record(
             "dispatch",
             servable_name,
@@ -354,20 +596,43 @@ class ServingRuntime:
             self.memo_hits += int(batch_result.cache_hit)
         else:
             self.memo_hits += batch_result.batch_cache_hits
-        completed = self.clock.now()
-        arrival_times = arrival_times or {}
-        return [
-            RuntimeResult(
-                request=req,
-                result=res,
-                worker=worker.name,
-                batch_size=len(requests),
-                arrival_time=arrival_times.get(req.task_uuid, msg.enqueued_at),
-                enqueued_at=msg.enqueued_at,
-                completed_at=completed,
+        self._pending.append(
+            _PendingBatch(
+                completed_at=worker.clock.now(),
+                seq=next(self._seq),
+                worker_name=worker.name,
+                messages=messages,
+                requests=requests,
+                results=item_results,
             )
-            for msg, req, res in zip(messages, requests, item_results)
-        ]
+        )
+
+    def _settle(
+        self, now: float, arrival_times: dict[str, float]
+    ) -> list[RuntimeResult]:
+        """Emit results for dispatched batches whose completion time has
+        been reached by the global clock."""
+        done = [p for p in self._pending if p.completed_at <= now + _EPS]
+        if not done:
+            return []
+        done_ids = {id(p) for p in done}
+        self._pending = [p for p in self._pending if id(p) not in done_ids]
+        done.sort(key=lambda p: (p.completed_at, p.seq))
+        results: list[RuntimeResult] = []
+        for batch in done:
+            results.extend(
+                RuntimeResult(
+                    request=req,
+                    result=res,
+                    worker=batch.worker_name,
+                    batch_size=len(batch.requests),
+                    arrival_time=arrival_times.get(req.task_uuid, msg.enqueued_at),
+                    enqueued_at=msg.enqueued_at,
+                    completed_at=batch.completed_at,
+                )
+                for msg, req, res in zip(batch.messages, batch.requests, batch.results)
+            )
+        return results
 
     def serve(
         self, arrivals: list[tuple[float, TaskRequest]] | None = None
@@ -377,13 +642,17 @@ class ServingRuntime:
         ``arrivals`` is a list of ``(offset_s, request)`` pairs, offsets
         measured from the moment ``serve`` is called (deployment work has
         already moved the virtual clock, so absolute times would all be
-        in the past). The loop advances the clock along arrivals and
-        coalesce deadlines, flushing each per-servable window when it
-        fills (``max_batch_size``) or times out (``max_coalesce_delay_s``).
+        in the past). The loop advances the clock along arrivals,
+        coalesce deadlines, and batch completions, flushing each
+        per-servable window when it fills (``max_batch_size``) or times
+        out (``max_coalesce_delay_s``) — onto whichever live host is
+        free, so concurrent workers drain a backlog in parallel.
         Arrivals whose time has already passed (the fleet was busy) are
         enqueued late — that backlog is exactly what grows batches under
-        load. Runs until the schedule and the queue are drained; expired
-        in-flight messages are redelivered along the way.
+        load. An attached fleet controller ticks once per iteration and
+        its wakeups are honoured while work remains. Runs until the
+        schedule, the queue, and the in-flight batches are drained;
+        expired in-flight messages are redelivered along the way.
         """
         start = self.clock.now()
         schedule = sorted(
@@ -395,15 +664,18 @@ class ServingRuntime:
         i = 0
         while True:
             self.queue.expire_inflight()
+            if self._controller is not None:
+                self._controller.on_tick()
             now = self.clock.now()
+            results.extend(self._settle(now, arrival_times))
             while i < len(schedule) and schedule[i][0] <= now + _EPS:
                 intended, request = schedule[i]
                 i += 1
                 arrival_times[request.task_uuid] = intended
                 self.submit(request)
-            due_topic, next_deadline = self._next_window(now)
+            due_topic, next_event = self._next_window(now)
             if due_topic is not None:
-                results.extend(self._flush_topic(due_topic, arrival_times))
+                self._dispatch_topic(due_topic)
                 continue
             next_arrival = schedule[i][0] if i < len(schedule) else math.inf
             # Work claimed by a crashed consumer becomes ready again when
@@ -411,10 +683,18 @@ class ServingRuntime:
             # than declaring the queue drained.
             expiry = self.queue.next_inflight_expiry(set(self._topics()))
             if expiry is not None:
-                next_deadline = min(next_deadline, expiry)
-            target = min(next_arrival, next_deadline)
+                next_event = min(next_event, expiry)
+            if self._pending:
+                next_event = min(
+                    next_event, min(p.completed_at for p in self._pending)
+                )
+            target = min(next_arrival, next_event)
             if math.isinf(target):
                 return results
+            if self._controller is not None:
+                wake = self._controller.next_wakeup()
+                if now < wake:
+                    target = min(target, wake)
             if target > now:
                 self.clock.advance_to(target)
 
@@ -428,3 +708,8 @@ class ServingRuntime:
         if not self.batches_dispatched:
             return 0.0
         return self.items_served / self.batches_dispatched
+
+    @property
+    def inflight_batches(self) -> int:
+        """Dispatched micro-batches whose completion is still in the future."""
+        return len(self._pending)

@@ -51,6 +51,27 @@ class TaskManager:
         self.executors: dict[str, DLHubExecutor] = {}
         self._registrations: dict[str, ServableRegistration] = {}
         self.tasks_processed = 0
+        #: Liveness flag flipped by :meth:`crash` / :meth:`recover`
+        #: (failure injection for fleet health tracking).
+        self.alive = True
+
+    # -- liveness ---------------------------------------------------------------------
+    def crash(self) -> None:
+        """Failure injection: the worker process dies.
+
+        A crashed worker fails :meth:`probe` and refuses to process tasks
+        until :meth:`recover` is called; registrations and the memo cache
+        survive (the paper's Task Managers restart near the same compute).
+        """
+        self.alive = False
+
+    def recover(self) -> None:
+        """The worker process comes back up (state intact)."""
+        self.alive = True
+
+    def probe(self) -> bool:
+        """Explicit health probe: is the worker process responsive?"""
+        return self.alive
 
     # -- registration -----------------------------------------------------------------
     def add_executor(self, name: str, executor: DLHubExecutor) -> None:
@@ -77,6 +98,17 @@ class TaskManager:
         executor.deploy(servable, image, replicas)
         self._registrations[servable.name] = ServableRegistration(servable, executor_name)
 
+    def unregister_servable(self, servable_name: str) -> None:
+        """Undeploy a servable from its executor and stop routing to it.
+
+        The inverse of :meth:`register_servable`; the fleet controller
+        uses it to shed placement copies when rebalancing or draining.
+        """
+        reg = self._registrations.pop(servable_name, None)
+        if reg is None:
+            raise TaskManagerError(f"servable {servable_name!r} is not registered")
+        self.executors[reg.executor_name].undeploy(servable_name)
+
     def route(self, servable_name: str) -> tuple[Servable, DLHubExecutor]:
         reg = self._registrations.get(servable_name)
         if reg is None:
@@ -89,6 +121,8 @@ class TaskManager:
     # -- task processing ------------------------------------------------------------------
     def process(self, request: TaskRequest) -> TaskResult:
         """Execute one request: unpackage, memo-check, route, invoke."""
+        if not self.alive:
+            raise TaskManagerError(f"task manager {self.name!r} is down")
         self.clock.advance(cal.TASK_MANAGER_HANDLING_S)
         # Invocation time starts when the TM makes a request to the
         # executor (SS V-A) — i.e. after unpackaging. A memo hit's

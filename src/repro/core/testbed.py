@@ -80,6 +80,33 @@ class DLHubTestbed:
         task_manager.add_executor("parsl", executor)
         return task_manager
 
+    def add_fleet_worker(self, name: str, memoize: bool | None = None) -> TaskManager:
+        """Add a *concurrent* fleet worker: a Task Manager on its own clock.
+
+        Shared-clock workers (``add_task_manager``) serialize: any
+        processing advances the one global timeline. A fleet worker
+        carries a private :class:`VirtualClock` (synced forward to global
+        time when the :class:`~repro.core.runtime.ServingRuntime`
+        dispatches to it), so independent workers genuinely overlap and
+        deployment cold starts occupy only the worker being provisioned.
+        This is the worker shape the fleet control plane
+        (:class:`~repro.core.fleet.FleetController`) provisions and
+        retires.
+        """
+        worker_clock = VirtualClock(start=self.clock.now())
+        cluster = petrelkube(worker_clock, self.registry)
+        task_manager = TaskManager(
+            worker_clock,
+            self.management.queue,
+            name=name,
+            memoize=self.task_manager.memoize if memoize is None else memoize,
+        )
+        executor = ParslServableExecutor(
+            worker_clock, cluster, self.latency.task_manager_to_cluster
+        )
+        task_manager.add_executor("parsl", executor)
+        return task_manager
+
     def login(self, provider: str, username: str) -> str:
         """Authenticate an existing identity; returns a bearer token."""
         return self.auth.login(provider, username).token

@@ -87,6 +87,7 @@ class TaskQueue:
         self.total_enqueued = 0
         self.total_acked = 0
         self.total_redelivered = 0
+        self._topic_enqueued: dict[str, int] = {}
 
     # -- producer side ----------------------------------------------------------
     def put(self, body: Any, topic: str = "default") -> QueuedMessage:
@@ -98,6 +99,7 @@ class TaskQueue:
         )
         self._ready.setdefault(topic, deque()).append(msg)
         self.total_enqueued += 1
+        self._topic_enqueued[topic] = self._topic_enqueued.get(topic, 0) + 1
         return msg
 
     # -- consumer side ----------------------------------------------------------
@@ -181,6 +183,15 @@ class TaskQueue:
     # -- introspection ----------------------------------------------------------
     def ready_count(self, topic: str = "default") -> int:
         return len(self._ready.get(topic, ()))
+
+    def enqueued_count(self, topic: str = "default") -> int:
+        """Cumulative number of messages ever ``put`` on ``topic``.
+
+        Monotonic (redeliveries don't count), so consumers can estimate a
+        topic's arrival rate from the delta between two samples — the
+        signal a fleet controller scales on.
+        """
+        return self._topic_enqueued.get(topic, 0)
 
     def oldest_ready(self, topic: str = "default") -> QueuedMessage | None:
         """Peek at the head message on ``topic`` without claiming it.

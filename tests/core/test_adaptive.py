@@ -159,3 +159,54 @@ class TestAutoscaler:
         testbed, _ = env
         with pytest.raises(ValueError):
             Autoscaler(testbed.parsl_executor).recommend("inception", -1.0)
+
+
+class TestAutoscalerEdgeCases:
+    def test_zero_arrival_rate_holds_floor(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor, min_replicas=2)
+        assert scaler.recommend("inception", 0.0) == 2
+        assert Autoscaler(testbed.parsl_executor).recommend("inception", 0.0) == 1
+
+    def test_saturation_knee_equality(self, env):
+        """A rate whose demand lands exactly on the knee is served at the
+        knee — neither clamped below it nor pushed past it."""
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        knee = scaler.saturation_replicas("inception")
+        rate = knee / scaler.task_cost("inception")
+        assert math.ceil(rate * scaler.task_cost("inception")) == knee
+        assert scaler.recommend("inception", rate) == knee
+        # Pushing demand past the knee still returns the knee.
+        assert scaler.recommend("inception", rate * 2) == knee
+
+    def test_max_replicas_clamps_below_saturation(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor, max_replicas=3)
+        assert scaler.saturation_replicas("inception") > 3
+        assert scaler.recommend("inception", 1e6) == 3
+
+    def test_task_cost_is_public(self, env):
+        testbed, _ = env
+        scaler = Autoscaler(testbed.parsl_executor)
+        expected = cal.SERVABLE_SHIM_S + cal.inference_cost("inception")
+        assert scaler.task_cost("inception") == pytest.approx(expected)
+
+
+class TestExecutorAccessors:
+    def test_deployed_servables_and_get_servable(self, env):
+        testbed, zoo = env
+        executor = testbed.parsl_executor
+        assert set(executor.deployed_servables()) == {
+            "noop",
+            "matminer_featurize",
+            "inception",
+        }
+        assert executor.get_servable("noop") is zoo["noop"]
+
+    def test_get_servable_unknown_raises(self, env):
+        from repro.core.executors import ExecutorError
+
+        testbed, _ = env
+        with pytest.raises(ExecutorError):
+            testbed.parsl_executor.get_servable("ghost")

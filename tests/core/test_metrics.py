@@ -140,3 +140,36 @@ class TestStageLatencyCollector:
         collector = self._collector()
         collector.clear()
         assert collector.count() == 0
+
+
+class TestSamplesSince:
+    def _collector_with(self, n):
+        from repro.core.metrics import StageLatencyCollector
+
+        collector = StageLatencyCollector()
+        for i in range(n):
+            collector.record("queue_wait", "noop", 0.001 * (i + 1))
+        return collector
+
+    def test_windowed_reads(self):
+        collector = self._collector_with(3)
+        cursor = collector.count("queue_wait", "noop")
+        assert collector.samples_since("queue_wait", "noop", 0) == [
+            0.001,
+            0.002,
+            0.003,
+        ]
+        collector.record("queue_wait", "noop", 0.004)
+        assert collector.samples_since("queue_wait", "noop", cursor) == [0.004]
+
+    def test_empty_window(self):
+        collector = self._collector_with(2)
+        assert collector.samples_since("queue_wait", "noop", 2) == []
+        assert collector.samples_since("queue_wait", "ghost", 0) == []
+
+    def test_validation(self):
+        collector = self._collector_with(1)
+        with pytest.raises(ValueError):
+            collector.samples_since("ghost", "noop", 0)
+        with pytest.raises(ValueError):
+            collector.samples_since("queue_wait", "noop", -1)

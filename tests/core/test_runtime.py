@@ -328,3 +328,160 @@ class TestTopicConvention:
         results = runtime.drain()
         assert [r.request.task_uuid for r in results] == [parked.task_uuid]
         assert results[0].result.ok
+
+
+class TestDynamicMembership:
+    def test_add_worker_becomes_placement_target(self):
+        testbed, zoo, runtime = build_fleet(n_workers=1, servables=("noop",))
+        joined = runtime.add_worker(testbed.add_task_manager("tm-late"))
+        runtime.add_copy("noop", joined)
+        assert runtime.placement()["noop"] == [runtime.workers[0].name, "tm-late"]
+
+    def test_add_worker_rejects_duplicates_and_foreign_queues(self):
+        from repro.core.task_manager import TaskManager
+        from repro.messaging.queue import TaskQueue
+
+        testbed, zoo, runtime = build_fleet(n_workers=1, servables=())
+        with pytest.raises(ServingRuntimeError, match="already in fleet"):
+            runtime.add_worker(testbed.add_task_manager(runtime.workers[0].name))
+        stranger = TaskManager(testbed.clock, TaskQueue(testbed.clock), name="alien")
+        with pytest.raises(ServingRuntimeError, match="queue"):
+            runtime.add_worker(stranger)
+
+    def test_remove_worker_requires_empty_host(self):
+        testbed, zoo, runtime = build_fleet(n_workers=2, servables=("noop",))
+        host, idle = runtime.placement()["noop"][0], None
+        idle = next(w.name for w in runtime.workers if w.name != host)
+        with pytest.raises(ServingRuntimeError, match="still hosts"):
+            runtime.remove_worker(host)
+        runtime.remove_worker(idle)
+        assert [w.name for w in runtime.workers] == [host]
+        with pytest.raises(ServingRuntimeError, match="last worker"):
+            runtime.remove_worker(host)
+
+    def test_copy_lifecycle(self):
+        testbed, zoo, runtime = build_fleet(n_workers=2, servables=("noop",))
+        placement = runtime.placement()["noop"]
+        other = next(w for w in runtime.workers if w.name != placement[0])
+        runtime.add_copy("noop", other)
+        assert set(runtime.placement()["noop"]) == {w.name for w in runtime.workers}
+        with pytest.raises(ServingRuntimeError, match="already hosts"):
+            runtime.add_copy("noop", other)
+        runtime.remove_copy("noop", other.name)
+        assert runtime.placement()["noop"] == placement
+        # The removed copy is genuinely undeployed from the worker.
+        assert "noop" not in other.registered_servables()
+        with pytest.raises(ServingRuntimeError, match="last copy"):
+            runtime.remove_copy("noop", placement[0])
+
+    def test_spec_records_placement_parameters(self):
+        testbed, zoo, runtime = build_fleet(servables=("noop",))
+        spec = runtime.spec("noop")
+        assert spec.servable is zoo["noop"]
+        assert spec.executor_name == "parsl"
+        with pytest.raises(ServingRuntimeError, match="not placed"):
+            runtime.spec("ghost")
+
+
+class TestReviveAndStats:
+    def test_revive_restores_routing(self):
+        testbed, zoo, runtime = build_fleet(servables=("noop",))
+        name = runtime.placement()["noop"][0]
+        runtime.mark_down(name)
+        runtime.submit(TaskRequest("noop"))
+        assert runtime.drain() == []
+        revived = runtime.revive(name)
+        assert revived.name == name
+        results = runtime.drain()
+        assert len(results) == 1 and results[0].result.ok
+
+    def test_revive_requires_down(self):
+        testbed, zoo, runtime = build_fleet(servables=("noop",))
+        with pytest.raises(ServingRuntimeError, match="not down"):
+            runtime.revive(runtime.workers[0].name)
+
+    def test_crashed_worker_is_not_routable(self):
+        """A failed probe takes a worker out of routing even before any
+        controller marks it down."""
+        testbed, zoo, runtime = build_fleet(n_workers=2, servables=("noop",), copies=2)
+        primary = runtime.hosts("noop")[0]
+        primary.crash()
+        runtime.submit(TaskRequest("noop"))
+        results = runtime.drain()
+        assert results[0].result.ok and results[0].worker != primary.name
+
+    def test_fleet_stats_snapshot(self):
+        testbed, zoo, runtime = build_fleet(
+            n_workers=2, servables=("noop", "matminer_util")
+        )
+        runtime.mark_down(runtime.workers[1].name)
+        runtime.submit(TaskRequest("noop"))
+        stats = runtime.fleet_stats()
+        assert stats.time == testbed.clock.now()
+        assert stats.down == {runtime.workers[1].name}
+        assert stats.routable_workers == (runtime.workers[0].name,)
+        by_name = {w.name: w for w in stats.workers}
+        assert by_name[runtime.workers[1].name].down
+        hosted = [s for w in stats.workers for s in w.hosted]
+        assert sorted(hosted) == ["matminer_util", "noop"]
+        assert stats.placements["noop"] == tuple(runtime.placement()["noop"])
+        assert stats.queue_depths == {"noop": 1, "matminer_util": 0}
+        runtime.drain()
+
+
+class TestConcurrentWorkers:
+    """Own-clock workers overlap; shared-clock workers stay serial."""
+
+    def build_concurrent_fleet(self, n_workers, **runtime_kwargs):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False, memoize_tm=False)
+        zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+        workers = [testbed.add_fleet_worker(f"cw-{i}") for i in range(n_workers)]
+        runtime = ServingRuntime(
+            testbed.clock, testbed.management.queue, workers, **runtime_kwargs
+        )
+        published = testbed.management.publish(testbed.token, zoo["noop"])
+        runtime.place(zoo["noop"], published.build.image, copies=n_workers)
+        return testbed, runtime
+
+    def test_backlog_spreads_across_free_workers(self):
+        testbed, runtime = self.build_concurrent_fleet(2, max_batch_size=4)
+        for _ in range(8):
+            runtime.submit(TaskRequest("noop"))
+        results = runtime.drain()
+        assert len(results) == 8 and all(r.result.ok for r in results)
+        assert {r.worker for r in results} == {"cw-0", "cw-1"}
+
+    def test_two_workers_halve_the_makespan(self):
+        def makespan(n_workers):
+            testbed, runtime = self.build_concurrent_fleet(
+                n_workers, max_batch_size=4, max_coalesce_delay_s=0.0
+            )
+            start = testbed.clock.now()
+            runtime.serve([(0.0, TaskRequest("noop")) for _ in range(32)])
+            return testbed.clock.now() - start
+
+        solo, duo = makespan(1), makespan(2)
+        assert duo < 0.65 * solo
+
+    def test_results_settle_at_worker_completion_times(self):
+        testbed, runtime = self.build_concurrent_fleet(2, max_batch_size=4)
+        for _ in range(8):
+            runtime.submit(TaskRequest("noop"))
+        results = runtime.drain()
+        assert runtime.inflight_batches == 0
+        for r in results:
+            assert r.completed_at > r.enqueued_at
+            assert r.completed_at <= testbed.clock.now() + 1e-9
+
+    def test_cold_start_makes_new_copy_busy(self):
+        """Registering a servable on a concurrent worker charges the
+        deployment cold start to that worker, not to global time."""
+        testbed, runtime = self.build_concurrent_fleet(1)
+        late = testbed.add_fleet_worker("cw-late")
+        runtime.add_worker(late)
+        before = testbed.clock.now()
+        runtime.add_copy("noop", late)
+        assert testbed.clock.now() == before  # global time untouched
+        assert runtime.free_at(late) > before  # the worker is busy warming

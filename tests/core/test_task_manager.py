@@ -173,3 +173,50 @@ class TestQueueLoop:
         results = deployed.task_manager.drain()
         assert len(results) == 3
         assert all(r.ok for r in results)
+
+
+class TestLiveness:
+    def test_probe_reflects_crash_and_recover(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        tm = testbed.task_manager
+        assert tm.probe()
+        tm.crash()
+        assert not tm.probe()
+        tm.recover()
+        assert tm.probe()
+
+    def test_crashed_worker_refuses_tasks(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+        testbed.publish_and_deploy(zoo["noop"])
+        testbed.task_manager.crash()
+        with pytest.raises(TaskManagerError, match="down"):
+            testbed.task_manager.process(TaskRequest("noop"))
+        testbed.task_manager.recover()
+        assert testbed.task_manager.process(TaskRequest("noop")).ok
+
+
+class TestUnregistration:
+    def test_unregister_undeploys_and_stops_routing(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+        testbed.publish_and_deploy(zoo["noop"])
+        assert "noop" in testbed.parsl_executor.deployed()
+        testbed.task_manager.unregister_servable("noop")
+        assert "noop" not in testbed.parsl_executor.deployed()
+        assert "noop" not in testbed.task_manager.registered_servables()
+        result = testbed.task_manager.process(TaskRequest("noop"))
+        assert not result.ok and "not registered" in result.error
+
+    def test_unregister_unknown_rejected(self):
+        from repro.core.testbed import build_testbed
+
+        testbed = build_testbed(jitter=False)
+        with pytest.raises(TaskManagerError, match="not registered"):
+            testbed.task_manager.unregister_servable("ghost")

@@ -51,3 +51,15 @@ class TestExamplesRun:
         out = run_example("hpc_singularity.py", capsys)
         assert "HPC outputs match local execution: OK" in out
         assert "Clipper" in out
+
+    def test_autoscaled_serving(self, capsys):
+        out = run_example("autoscaled_serving.py", capsys)
+        # The controller scaled up during the spike...
+        assert "worker_provisioned" in out
+        assert "copy_added" in out
+        # ...drained back down afterwards...
+        assert "scaled back down to 1 worker(s)" in out
+        # ...and healed around the crash, reviving the worker later.
+        assert "worker_down" in out
+        assert "the crashed worker served none" in out
+        assert "worker_revived" in out

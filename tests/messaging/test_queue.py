@@ -205,3 +205,24 @@ class TestValidation:
         queue.put(2, topic="y")
         queue.claim("x")
         assert queue.topics() == ["y"]
+
+
+class TestTopicCounters:
+    def test_enqueued_count_per_topic(self, queue):
+        for _ in range(3):
+            queue.put("a", topic="x")
+        queue.put("b", topic="y")
+        assert queue.enqueued_count("x") == 3
+        assert queue.enqueued_count("y") == 1
+        assert queue.enqueued_count("ghost") == 0
+
+    def test_enqueued_count_monotonic_across_redelivery(self, queue):
+        """Redeliveries are not arrivals: the counter only moves on put,
+        so rate estimators reading deltas never double-count."""
+        queue.put("a", topic="x")
+        queue.claim("x")
+        queue.clock.advance(10.0)
+        queue.expire_inflight()
+        assert queue.enqueued_count("x") == 1
+        queue.claim("x")  # redelivered message
+        assert queue.enqueued_count("x") == 1

@@ -12,7 +12,6 @@ batch blows any per-batch latency budget; adaptive lands between —
 near-whole-queue throughput while each chunk honours the budget.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.bench.workloads import build_context

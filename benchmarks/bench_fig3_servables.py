@@ -37,7 +37,9 @@ def test_fig3_servable_performance(benchmark):
 
     # Image servables pay visible input-transfer overhead: the gap between
     # request and invocation is larger for Inception than for noop.
-    gap = lambda n: (
-        results[n]["request_time"]["median_ms"] - results[n]["invocation_time"]["median_ms"]
-    )
+    def gap(n):
+        return (
+            results[n]["request_time"]["median_ms"]
+            - results[n]["invocation_time"]["median_ms"]
+        )
     assert gap("inception") > gap("noop")

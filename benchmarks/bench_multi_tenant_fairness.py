@@ -1,0 +1,56 @@
+"""Ablation bench: multi-tenant fairness with and without the gateway.
+
+Runs :mod:`repro.bench.multi_tenant_fairness`: a light tenant and a
+10x-hotter tenant share one servable on a saturated fleet, served three
+ways — the light tenant alone (isolated baseline), both tenants behind
+the serving gateway (admission + WFQ lanes + slot shares), and both
+tenants straight onto the runtime's FIFO topic (the pre-gateway status
+quo).
+
+Expected: behind the gateway the light tenant's p95 end-to-end latency
+stays within 2x of its isolated baseline while the ungated arm degrades
+by an order of magnitude (growing with the hot tenant's backlog), the
+hot tenant still gets the bulk of the fleet (work conservation), and
+every admitted request is served.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.multi_tenant_fairness import format_report, run_experiment
+
+
+@pytest.mark.fast
+def test_ablation_multi_tenant_fairness(benchmark):
+    report = run_once(benchmark, run_experiment)
+    print("\n" + format_report(report))
+
+    params = report["params"]
+    arms = report["arms"]
+    isolated = arms["light_isolated"]["tenants"]["light"]
+    fair_light = arms["gateway"]["tenants"]["light"]
+    fair_hot = arms["gateway"]["tenants"]["hot"]
+    raw_light = arms["ungated"]["tenants"]["light"]
+
+    # Every offered request is admitted and served in every arm.
+    assert isolated["served"] == params["offered_light"]
+    assert fair_light["served"] == params["offered_light"]
+    assert fair_hot["served"] == params["offered_hot"]
+    assert raw_light["served"] == params["offered_light"]
+
+    # The acceptance bar: under a 10:1 skew the gateway holds the light
+    # tenant's p95 within 2x of its isolated-run p95...
+    assert fair_light["p95_ms"] < 2.0 * isolated["p95_ms"]
+    # ...while the ungated FIFO path degrades it by an order of
+    # magnitude (and unboundedly in offered load — the backlog grows
+    # for the whole run).
+    assert raw_light["p95_ms"] > 10 * isolated["p95_ms"]
+    assert raw_light["p95_ms"] > 4 * fair_light["p95_ms"]
+
+    # Work conservation: fairness must not idle the fleet — the hot
+    # tenant's drain (gateway arm) finishes in comparable time to the
+    # ungated free-for-all.
+    assert arms["gateway"]["makespan_s"] < 1.5 * arms["ungated"]["makespan_s"]
+
+    # Tenant-pure micro-batching still amortizes the hot tenant.
+    assert arms["gateway"]["mean_batch_size"] > 2.0

@@ -90,7 +90,9 @@ def main() -> None:
     seen = show_events(controller, 0)
 
     print("\n== cool-down: traffic stops, the fleet drains ==")
-    cool_down(testbed, controller)
+    # A few extra ticks cover the migrations consolidating both
+    # servables onto one survivor before the spare workers retire.
+    cool_down(testbed, controller, ticks=24)
     stats = runtime.fleet_stats()
     print(f"scaled back down to {len(stats.routable_workers)} worker(s): "
           f"{', '.join(stats.routable_workers)}")

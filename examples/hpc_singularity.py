@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import build_testbed, build_zoo, sample_input
+from repro import build_testbed, build_zoo
 from repro.cluster.hpc import HPCResource
 from repro.serving.base import ModelSpec
 from repro.serving.clipper import ClipperBackend, PrivilegeError

@@ -98,6 +98,18 @@ class AuthService:
             raise AuthorizationError(str(exc)) from exc
         return self.tokens.issue(tok.identity, [str(downstream_scope)], lifetime_s=3600.0)
 
+    def principal_groups(self, identity: Identity) -> frozenset[str]:
+        """All groups any of the principal's linked identities belongs to.
+
+        Shared by the Management Service's visibility checks and the
+        serving gateway's group-based tenant resolution.
+        """
+        return frozenset(
+            name
+            for name in self.identities.groups
+            if self.identities.in_group(identity, name)
+        )
+
     # -- group-based checks -----------------------------------------------------------
     def require_group(self, identity: Identity, group_name: str) -> None:
         if not self.identities.in_group(identity, group_name):

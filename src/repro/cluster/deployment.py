@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.node import Node, ResourceSpec, DEFAULT_POD_REQUEST
 from repro.cluster.pod import Pod, PodPhase
-from repro.cluster.scheduler import Scheduler, SchedulingError
+from repro.cluster.scheduler import Scheduler
 from repro.containers.image import Image
 
 
@@ -51,14 +51,23 @@ class Deployment:
         return pod
 
     def scale(self, replicas: int) -> "Deployment":
-        """Scale to exactly ``replicas`` ready pods."""
+        """Scale to exactly ``replicas`` ready pods.
+
+        Scale-up starts the new pods *concurrently*, as real kubelets
+        do: the virtual clock is charged the longest single pod start
+        (schedule + image pull + container start), not the sum — so an
+        N-replica scale-up costs one cold start, with later pods riding
+        the node's now-warm layer cache.
+        """
         if replicas < 0:
             raise ValueError("replicas must be >= 0")
         self.replicas = replicas
         current = self.ready_pods()
         if len(current) < replicas:
-            for _ in range(replicas - len(current)):
-                self.pods.append(self._new_pod())
+            with self.scheduler.clock.concurrent() as region:
+                for _ in range(replicas - len(current)):
+                    with region.branch():
+                        self.pods.append(self._new_pod())
         elif len(current) > replicas:
             for pod in current[replicas:]:
                 pod.terminate()

@@ -115,6 +115,21 @@ class ServableDemand:
     #: p95 of queue-wait samples recorded since the previous observation
     #: (None when no new samples landed).
     recent_p95_queue_wait_s: float | None
+    #: Tenant-weight-adjusted arrival rate (only when a serving gateway
+    #: feeds the controller): each tenant's rate is scaled by its fair
+    #: weight relative to the mean, so a heavy-weight tenant's traffic
+    #: pulls capacity harder than the same volume from a light tenant.
+    weighted_arrival_rate_rps: float | None = None
+    #: Per-tenant EWMA arrival rates behind the weighted figure.
+    tenant_rates: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def effective_rate_rps(self) -> float:
+        """What policies should plan on: the weighted rate when tenancy
+        is known, the raw rate otherwise."""
+        if self.weighted_arrival_rate_rps is not None:
+            return self.weighted_arrival_rate_rps
+        return self.arrival_rate_rps
 
 
 @dataclass(frozen=True)
@@ -194,7 +209,7 @@ class TargetUtilizationPolicy(FleetPolicy):
         copies: dict[str, int] = {}
         for demand in observation.demands:
             pressure = (
-                demand.arrival_rate_rps
+                demand.effective_rate_rps
                 + demand.queue_depth / self.backlog_horizon_s
             )
             desired = max(
@@ -245,7 +260,7 @@ class QueueLatencySLOPolicy(FleetPolicy):
         copies: dict[str, int] = {}
         for demand in observation.demands:
             capacity = self.safety * demand.per_copy_capacity_rps
-            rate_floor = max(1, math.ceil(demand.arrival_rate_rps / capacity))
+            rate_floor = max(1, math.ceil(demand.effective_rate_rps / capacity))
             backlog_floor = (
                 math.ceil(demand.queue_depth / (self.slo_s * capacity))
                 if demand.queue_depth
@@ -304,13 +319,20 @@ class FleetController:
         Bounds on the routable fleet size.
     autoscale_replicas:
         Apply the Fig. 7 :class:`Autoscaler` to each hosted copy's
-        deployment (pod scale-ups charge cold starts to the worker's
-        clock, so they are only applied to idle workers).
+        deployment (pod scale-ups start replicas concurrently and charge
+        the max cold start to the worker's clock).
     max_replicas_per_host:
         Cap handed to each per-worker :class:`Autoscaler`.
     worker_image_bytes:
         Size of the Task Manager image a new worker pulls before joining
         (drives the provisioning cold start).
+    gateway:
+        Optional serving gateway fronting the runtime. When given, the
+        controller reads demand from the gateway's *admitted* arrival
+        counters (the WFQ throttle sits between lanes and the queue, so
+        topic enqueue counts undercount offered load), adds lane-held
+        backlog to queue depth, and computes tenant-weight-adjusted
+        rates so scale-up respects tenant weights.
     """
 
     def __init__(
@@ -326,6 +348,7 @@ class FleetController:
         worker_image_bytes: int = DEFAULT_WORKER_IMAGE_BYTES,
         worker_name_prefix: str = "fleet-w",
         ewma_alpha: float = 0.5,
+        gateway=None,
     ) -> None:
         if interval_s <= 0:
             raise FleetControllerError("interval_s must be > 0")
@@ -344,6 +367,7 @@ class FleetController:
         self.worker_image_bytes = worker_image_bytes
         self.worker_name_prefix = worker_name_prefix
         self.ewma_alpha = ewma_alpha
+        self.gateway = gateway
 
         self.events: list[FleetEvent] = []
         self.health: dict[str, WorkerHealth] = {}
@@ -352,6 +376,8 @@ class FleetController:
 
         self._rates: dict[str, float] = {}
         self._enqueued_seen: dict[str, int] = {}
+        self._tenant_rates: dict[tuple[str, str], float] = {}
+        self._tenant_seen: dict[tuple[str, str], int] = {}
         self._wait_cursor: dict[str, int] = {}
         self._last_sample_at: float | None = None
         self._draining: set[str] = set()
@@ -387,6 +413,36 @@ class FleetController:
         )
 
     # -- observation --------------------------------------------------------------
+    def _ewma_rate(
+        self,
+        seen: dict,
+        rates: dict,
+        key,
+        total: int,
+        dt: float | None,
+    ) -> float:
+        """EWMA arrival-rate update from a monotonic counter sample.
+
+        First sight baselines the counter with no interval to rate over;
+        a zero-length interval (back-to-back samples) leaves the counter
+        unconsumed so the delta lands in the next real interval instead
+        of vanishing from the estimator.
+        """
+        if key not in seen:
+            seen[key] = total
+            rate = rates.get(key, 0.0)
+        elif dt:
+            instant = max(total - seen[key], 0) / dt
+            seen[key] = total
+            rate = (
+                self.ewma_alpha * instant
+                + (1 - self.ewma_alpha) * rates.get(key, instant)
+            )
+        else:
+            rate = rates.get(key, 0.0)
+        rates[key] = rate
+        return rate
+
     def observe(self, now: float | None = None) -> FleetObservation:
         """Sample the data plane (advances the rate-estimator state)."""
         now = self.runtime.clock.now() if now is None else now
@@ -398,26 +454,55 @@ class FleetController:
         alive = {w.name for w in self.runtime.alive_workers()}
         demands = []
         for name in sorted(self.runtime.placement()):
-            topic = servable_topic(name)
-            depth = self.runtime.queue.ready_count(topic)
-            total = self.runtime.queue.enqueued_count(topic)
-            if name not in self._enqueued_seen:
-                # First sight: baseline the counter, no interval to rate.
-                self._enqueued_seen[name] = total
-                rate = self._rates.get(name, 0.0)
-            elif dt:
-                instant = max(total - self._enqueued_seen[name], 0) / dt
-                self._enqueued_seen[name] = total
-                rate = (
-                    self.ewma_alpha * instant
-                    + (1 - self.ewma_alpha) * self._rates.get(name, instant)
-                )
+            depth = self.runtime.queue_depth(name)
+            if self.gateway is not None:
+                # Lane-held backlog is invisible to the queue; admitted
+                # counters see offered load the WFQ throttle hasn't
+                # released yet.
+                depth += self.gateway.queued_count(name)
+                total = self.gateway.admitted_count(name)
             else:
-                # Zero-length interval (back-to-back samples): leave the
-                # counter unconsumed so the delta lands in the next real
-                # interval instead of vanishing from the estimator.
-                rate = self._rates.get(name, 0.0)
-            self._rates[name] = rate
+                total = self.runtime.queue.enqueued_count(servable_topic(name))
+            rate = self._ewma_rate(self._enqueued_seen, self._rates, name, total, dt)
+
+            weighted = None
+            tenant_rates: tuple[tuple[str, float], ...] = ()
+            if self.gateway is not None:
+                # Registered tenants baseline on the first observe (so
+                # their first real interval rates correctly) even before
+                # their first admission.
+                admissions = self.gateway.tenant_admissions(name)
+                tenant_names = sorted(
+                    set(self.gateway.policies.tenants()) | set(admissions)
+                )
+                tenant_rates = tuple(
+                    (
+                        tenant,
+                        self._ewma_rate(
+                            self._tenant_seen,
+                            self._tenant_rates,
+                            (name, tenant),
+                            admissions.get(tenant, 0),
+                            dt,
+                        ),
+                    )
+                    for tenant in tenant_names
+                )
+                # Weights are relative among *active* tenants: a lone
+                # tenant's weighted rate equals its raw rate; under
+                # contention a heavy tenant's traffic pulls capacity
+                # harder than the same volume from a light one.
+                active = [(t, r) for t, r in tenant_rates if r > 0]
+                if active:
+                    weights = {
+                        tenant: self.gateway.tenant_weight(tenant)
+                        for tenant, _ in active
+                    }
+                    mean_weight = sum(weights.values()) / len(weights)
+                    weighted = sum(
+                        tenant_rate * weights[tenant] / mean_weight
+                        for tenant, tenant_rate in active
+                    )
 
             metrics = self.runtime.stage_metrics
             fresh = metrics.samples_since(
@@ -441,6 +526,8 @@ class FleetController:
                     recent_p95_queue_wait_s=(
                         float(np.percentile(fresh, 95.0)) if fresh else None
                     ),
+                    weighted_arrival_rate_rps=weighted,
+                    tenant_rates=tenant_rates,
                 )
             )
         self._last_sample_at = now
@@ -722,8 +809,11 @@ class FleetController:
             for worker in self.runtime.alive_workers():
                 if worker.name not in hosts:
                     continue
-                if self.runtime.free_at(worker) > now + 1e-12:
-                    continue  # pod cold starts would stack onto live work
+                # Pod scale-ups start replicas concurrently (the worker
+                # clock is charged the max cold start, not the sum — see
+                # Deployment.scale), so busy workers may scale too; the
+                # added busy time is one pod's start, which the extra
+                # replicas immediately amortize.
                 try:
                     _, executor = worker.route(demand.name)
                 except TaskManagerError:

@@ -12,7 +12,15 @@ Responsibilities reproduced here:
 * **pipelines** — register multi-step pipelines and execute them
   server-side (intermediates never return to the client);
 * **security** — every API call is authorized through the Auth service
-  (bearer token with the ``dlhub`` scope).
+  (bearer token with the ``dlhub`` scope);
+* **unified routing** — when a serving gateway is attached
+  (:meth:`ManagementService.attach_gateway`), every invocation path —
+  ``run``, ``run_async``, ``run_batch``, pipelines — goes through
+  tenant admission and weighted fair queuing into the
+  :class:`~repro.core.runtime.ServingRuntime`; no task reaches a Task
+  Manager behind the control plane's back. Without a gateway the
+  legacy round-robin dispatch to directly registered Task Managers is
+  kept bit-for-bit.
 """
 
 from __future__ import annotations
@@ -28,7 +36,13 @@ from repro.core.repository import ModelRepository, PublishedModel
 from repro.core.metrics import MetricsCollector, TimingRecord
 from repro.core.servable import Servable
 from repro.core.task_manager import TaskManager
-from repro.core.tasks import TaskRequest, TaskResult, TaskStatus, TaskStore
+from repro.core.tasks import (
+    TaskRequest,
+    TaskResult,
+    TaskStatus,
+    TaskStore,
+    normalize_batch_item,
+)
 from repro.data.endpoint import Endpoint
 from repro.data.transfer import TransferManager
 from repro.messaging.queue import TaskQueue, servable_topic
@@ -82,6 +96,7 @@ class ManagementService:
         self._task_managers: list[TaskManager] = []
         self._pipelines: dict[str, Pipeline] = {}
         self._rr = 0
+        self._gateway = None
         self.requests_handled = 0
 
         if "dlhub" not in auth.resource_servers:
@@ -100,17 +115,35 @@ class ManagementService:
         self._rr += 1
         return tm
 
+    # -- gateway attachment (unified routing through the ServingRuntime) ------
+    def attach_gateway(self, gateway) -> None:
+        """Route every invocation path through a serving gateway.
+
+        ``gateway`` is a :class:`~repro.gateway.gateway.ServingGateway`
+        (duck-typed here to keep the dependency one-way). Once attached,
+        ``run``/``run_async``/``run_batch`` and pipeline steps all pass
+        tenant admission and weighted fair queuing before reaching the
+        runtime's fleet; the legacy round-robin Task Managers are no
+        longer used for serving. Admission denials surface as
+        :class:`~repro.gateway.gateway.AdmissionRejected`.
+        """
+        if self._gateway is not None:
+            raise ManagementError("a gateway is already attached")
+        self._gateway = gateway
+
+    @property
+    def gateway(self):
+        return self._gateway
+
     # -- auth helper -------------------------------------------------------------
     def _authorize(self, token: str) -> Identity:
         return self.auth.authorize(token, DLHUB_SCOPE)
 
     def _viewer(self, identity: Identity) -> ViewerContext:
-        groups = frozenset(
-            name
-            for name in self.auth.identities.groups
-            if self.auth.identities.in_group(identity, name)
+        return ViewerContext(
+            principal_id=identity.identity_id,
+            groups=self.auth.principal_groups(identity),
         )
-        return ViewerContext(principal_id=identity.identity_id, groups=groups)
 
     # -- publication ---------------------------------------------------------------
     def publish(
@@ -184,29 +217,46 @@ class ManagementService:
     def _dispatch(self, request: TaskRequest) -> TaskResult:
         """Queue the request to a Task Manager and collect the result.
 
-        Requests ride per-servable topics (``servable_topic``) so queue
-        consumers can claim runs of compatible requests together. The
-        synchronous path uses its own ``"sync"`` lane: the poll below
-        claims the topic head, so sharing a lane with a coalescing
+        With a gateway attached, the request instead passes tenant
+        admission and weighted fair queuing into the ServingRuntime
+        (:meth:`attach_gateway`); the MS-side serialization, WAN hops,
+        and status update are charged identically on both paths.
+
+        Without a gateway, requests ride per-servable topics
+        (``servable_topic``) so queue consumers can claim runs of
+        compatible requests together. The synchronous path uses its own
+        ``"sync"`` lane: the poll below claims the topic head, so
+        sharing a lane with a coalescing
         :class:`~repro.core.runtime.ServingRuntime` would let this claim
         steal requests parked there awaiting a batch window.
         """
+        self._charge_dispatch_send(request)
+        if self._gateway is not None:
+            result = self._gateway.invoke_sync(request)
+        else:
+            topic = servable_topic(request.servable_name, lane="sync")
+            self.queue.put(request, topic=topic)
+            tm = self._pick_task_manager()
+            result = tm.poll_once(topic)
+            if result is None:  # pragma: no cover - queue was just filled
+                raise ManagementError("task manager found empty queue")
+        self._charge_dispatch_return(result)
+        return result
+
+    def _charge_dispatch_send(self, request: TaskRequest) -> None:
+        """The MS-side cost of shipping one task: serialization, enqueue
+        handling, and the MS -> TM WAN hop. Shared by every dispatch
+        path so gateway-vs-legacy comparisons stay apples to apples."""
         payload = self.serializer.dumps(request)  # charges serialization
         self.clock.advance(cal.MANAGEMENT_ENQUEUE_S)
-        topic = servable_topic(request.servable_name, lane="sync")
-        self.queue.put(request, topic=topic)
-        # Task travels MS -> TM over the WAN link.
         self.latency.management_to_task_manager.charge_send(self.clock, len(payload))
-        tm = self._pick_task_manager()
-        result = tm.poll_once(topic)
-        if result is None:  # pragma: no cover - queue was just filled
-            raise ManagementError("task manager found empty queue")
-        # Result travels TM -> MS.
+
+    def _charge_dispatch_return(self, result: TaskResult) -> None:
+        """The TM -> MS return hop plus the status update."""
         self.latency.management_to_task_manager.charge_send(
             self.clock, estimate_nbytes(result.value)
         )
         self.clock.advance(cal.MANAGEMENT_STATUS_UPDATE_S)
-        return result
 
     def run(
         self,
@@ -269,7 +319,24 @@ class ManagementService:
         )
         self.task_store.create(request.task_uuid)
         self.task_store.mark_running(request.task_uuid)
-        result = self._dispatch(request)
+        try:
+            result = self._dispatch(request)
+        except Exception as exc:
+            # A gateway admission denial is terminal for this task: poll
+            # paths must not see it RUNNING forever. The denial still
+            # raises (the submitting caller gets the typed outcome).
+            from repro.gateway.gateway import AdmissionRejected
+
+            if isinstance(exc, AdmissionRejected):
+                self.task_store.complete(
+                    TaskResult(
+                        task_uuid=request.task_uuid,
+                        status=TaskStatus.FAILED,
+                        error=str(exc),
+                        request_time=self.clock.now() - start,
+                    )
+                )
+            raise
         result.request_time = self.clock.now() - start
         self.task_store.complete(result)
         self.requests_handled += 1
@@ -324,10 +391,51 @@ class ManagementService:
         request = TaskRequest(
             servable_name=name, batch=list(inputs), identity_id=identity.identity_id
         )
-        result = self._dispatch(request)
+        if self._gateway is None:
+            result = self._dispatch(request)
+        else:
+            result = self._dispatch_batch(request)
         result.request_time = self.clock.now() - start
         self.requests_handled += 1
         self._record(name, result)
+        return result
+
+    def _dispatch_batch(self, request: TaskRequest) -> TaskResult:
+        """Gateway path for a pre-formed batch: split, admit, re-merge.
+
+        The gateway meters single-item requests (its fair shares are
+        per request), so the batch is split into tenant-tagged items;
+        they land on one servable topic together and the runtime
+        coalesces them back into micro-batches, preserving the SS V-B3
+        amortization. Admission is all-or-nothing for the batch.
+        """
+        self._charge_dispatch_send(request)
+        items = [
+            TaskRequest(
+                servable_name=request.servable_name,
+                args=args,
+                kwargs=kwargs,
+                identity_id=request.identity_id,
+            )
+            for args, kwargs in map(normalize_batch_item, request.batch or [])
+        ]
+        item_results = self._gateway.invoke_sync_many(items)
+        failures = [r for r in item_results if not r.ok]
+        hit_indices = tuple(i for i, r in enumerate(item_results) if r.cache_hit)
+        result = TaskResult(
+            task_uuid=request.task_uuid,
+            status=TaskStatus.FAILED if failures else TaskStatus.SUCCEEDED,
+            value=[r.value for r in item_results],
+            error=failures[0].error if failures else None,
+            # Per-item shares of a coalesced batch sum to the batch's
+            # inference; items travel together so the trip is the max.
+            inference_time=sum(r.inference_time for r in item_results),
+            invocation_time=max(r.invocation_time for r in item_results),
+            cache_hit=bool(item_results) and len(hit_indices) == len(item_results),
+            batch_cache_hits=len(hit_indices),
+            batch_hits=hit_indices,
+        )
+        self._charge_dispatch_return(result)
         return result
 
     # -- pipelines ------------------------------------------------------------------------
@@ -354,9 +462,12 @@ class ManagementService:
         pipeline = self._pipelines.get(pipeline_name)
         if pipeline is None:
             raise PipelineError(f"unknown pipeline {pipeline_name!r}")
-        # The whole chain ships to the TM as one task; intermediates flow
-        # pod-to-pod over the intra-cluster link (server-side execution).
-        tm = self._pick_task_manager()
+        # The whole chain ships server-side as one task; intermediates
+        # flow pod-to-pod over the intra-cluster link. With a gateway
+        # attached, each step passes admission + WFQ into the runtime
+        # (tenant caps apply per step); otherwise the legacy direct
+        # Task Manager executes the chain.
+        tm = self._pick_task_manager() if self._gateway is None else None
         payload = self.serializer.dumps((pipeline.step_names, args))
         self.clock.advance(cal.MANAGEMENT_ENQUEUE_S)
         self.latency.management_to_task_manager.charge_send(self.clock, len(payload))
@@ -371,7 +482,10 @@ class ManagementService:
                 args=step_args,
                 identity_id=identity.identity_id,
             )
-            result = tm.process(request)
+            if tm is not None:
+                result = tm.process(request)
+            else:
+                result = self._gateway.invoke_sync(request, identity=identity)
             if not result.ok:
                 result.request_time = self.clock.now() - start
                 self._record(pipeline_name, result)

@@ -83,6 +83,49 @@ class MemoCache:
             self.evictions += 1
         return True
 
+    # -- cache warming (fleet rebalancing) ---------------------------------------
+    def export_entries(
+        self, servable_name: str | None = None
+    ) -> list[tuple[bytes, Any]]:
+        """Snapshot cache entries, optionally for one servable.
+
+        Signatures are ``(servable_name, args, kwargs_items)`` tuples
+        (see :meth:`TaskRequest.input_signature`), so filtering unpickles
+        each key and matches its first element. Used to warm a freshly
+        placed copy so rebalancing does not cold-start the ~1 ms
+        memoized path (SS V-B5).
+        """
+        entries: list[tuple[bytes, Any]] = []
+        for key, value in self._cache.items():
+            if servable_name is not None:
+                try:
+                    signature = pickle.loads(key)
+                except Exception:  # pragma: no cover - keys we made unpickle
+                    continue
+                if not (
+                    isinstance(signature, tuple)
+                    and signature
+                    and signature[0] == servable_name
+                ):
+                    continue
+            entries.append((key, value))
+        return entries
+
+    def absorb(self, entries: list[tuple[bytes, Any]]) -> int:
+        """Import exported entries (no lookup cost charged — the copy
+        ships alongside the deployment transfer already paid for).
+
+        Existing entries are overwritten in place; LRU order treats
+        absorbed entries as most recent. Returns how many were stored.
+        """
+        for key, value in entries:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+        return len(entries)
+
     def __len__(self) -> int:
         return len(self._cache)
 

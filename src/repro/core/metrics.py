@@ -12,7 +12,7 @@ median and 5th/95th percentiles the figures plot.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -148,6 +148,108 @@ class StageLatencyCollector:
 
     def clear(self) -> None:
         self._samples.clear()
+
+
+@dataclass
+class TenantCounters:
+    """One tenant's cumulative traffic picture at the gateway."""
+
+    tenant: str
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Denials keyed by typed outcome value (e.g. ``rejected_rate_limit``).
+    denied: dict = field(default_factory=dict)
+
+    @property
+    def denied_total(self) -> int:
+        return sum(self.denied.values())
+
+    @property
+    def in_progress(self) -> int:
+        """Admitted but not yet completed/failed."""
+        return self.admitted - self.completed - self.failed
+
+
+class TenantUsageCollector:
+    """Per-tenant admission counters and end-to-end latency samples.
+
+    The serving gateway records every admission decision and completion
+    here; :meth:`latency_summary` reuses :class:`TimingSummary` (metric
+    ``"e2e_latency"``) so tenant tails read like the paper's tables.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, TenantCounters] = {}
+        self._latencies: dict[str, list[float]] = defaultdict(list)
+        self._admitted_by_servable: dict[tuple[str, str], int] = defaultdict(int)
+
+    def _counter(self, tenant: str) -> TenantCounters:
+        counter = self._counters.get(tenant)
+        if counter is None:
+            counter = TenantCounters(tenant=tenant)
+            self._counters[tenant] = counter
+        return counter
+
+    def record_admitted(self, tenant: str, servable: str) -> None:
+        self._counter(tenant).admitted += 1
+        self._admitted_by_servable[(tenant, servable)] += 1
+
+    def record_denied(self, tenant: str, outcome: str) -> None:
+        denied = self._counter(tenant).denied
+        denied[outcome] = denied.get(outcome, 0) + 1
+
+    def record_completion(
+        self, tenant: str, latency_s: float, ok: bool = True
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        counter = self._counter(tenant)
+        if ok:
+            counter.completed += 1
+        else:
+            counter.failed += 1
+        self._latencies[tenant].append(float(latency_s))
+
+    # -- reads --------------------------------------------------------------------
+    def tenants(self) -> list[str]:
+        return sorted(self._counters)
+
+    def counters(self, tenant: str) -> TenantCounters:
+        counter = self._counters.get(tenant)
+        if counter is None:
+            raise KeyError(f"no usage recorded for tenant {tenant!r}")
+        return counter
+
+    def admitted_count(self, tenant: str, servable: str) -> int:
+        """Cumulative admissions for ``(tenant, servable)`` — monotonic,
+        so controllers can rate-estimate from deltas between samples."""
+        return self._admitted_by_servable.get((tenant, servable), 0)
+
+    def tenant_admissions(self, servable: str) -> dict[str, int]:
+        """Per-tenant cumulative admissions for one servable."""
+        return {
+            tenant: count
+            for (tenant, s), count in self._admitted_by_servable.items()
+            if s == servable and count
+        }
+
+    def latencies(self, tenant: str) -> list[float]:
+        return list(self._latencies.get(tenant, ()))
+
+    def latency_summary(self, tenant: str) -> TimingSummary:
+        values = np.array(self._latencies.get(tenant, ()))
+        if values.size == 0:
+            raise KeyError(f"no completions recorded for tenant {tenant!r}")
+        return TimingSummary(
+            servable=tenant,
+            metric="e2e_latency",
+            count=int(values.size),
+            median=float(np.median(values)),
+            p5=float(np.percentile(values, 5)),
+            p95=float(np.percentile(values, 95)),
+            mean=float(values.mean()),
+        )
 
 
 class MetricsCollector:

@@ -177,14 +177,23 @@ class ServingRuntime:
         self.max_coalesce_delay_s = max_coalesce_delay_s
         self.stage_metrics = stage_metrics or StageLatencyCollector()
         self._hosts: dict[str, list[TaskManager]] = {}
+        #: Queue lanes seen per servable. Untagged requests ride the
+        #: default lane; tenant-tagged requests get their own lane, so
+        #: coalesced micro-batches are tenant-pure — a light tenant's
+        #: single request never pays the inference time of a hot
+        #: tenant's batchmates.
+        self._lanes: dict[str, set[str]] = {}
         self._specs: dict[str, PlacementSpec] = {}
         self._down: set[str] = set()
         self._pending: list[_PendingBatch] = []
         self._seq = itertools.count(1)
         self._controller = None
+        self._ingress = None
         self.batches_dispatched = 0
         self.items_served = 0
         self.memo_hits = 0
+        #: Memo entries copied onto freshly placed copies (cache warming).
+        self.memo_entries_warmed = 0
 
     # -- fleet membership ---------------------------------------------------------
     def worker(self, worker_name: str) -> TaskManager:
@@ -291,6 +300,8 @@ class ServingRuntime:
         The deployment cold start (image pull + container start on the
         worker's cluster) is charged to the worker's clock, so a
         concurrent worker is busy — not routable — until the copy is up.
+        The new copy's memo cache is warmed from an existing host, so
+        rebalancing keeps the ~1 ms memoized path (SS V-B5) hot.
         """
         spec = self.spec(servable_name)
         worker = self.worker(worker.name if isinstance(worker, TaskManager) else worker)
@@ -305,8 +316,42 @@ class ServingRuntime:
             executor_name=spec.executor_name,
             replicas=spec.replicas,
         )
+        self._warm_memo_cache(servable_name, hosts, worker)
         hosts.append(worker)
         return worker
+
+    def _warm_memo_cache(
+        self, servable_name: str, donors: list[TaskManager], target: TaskManager
+    ) -> int:
+        """Copy the richest donor's memo entries for ``servable_name``
+        onto ``target``.
+
+        Live donors are preferred, but a down worker's cache survived
+        its outage (see :meth:`revive`) and still warms a replacement —
+        that is exactly the migration case. No extra virtual time is
+        charged: the entries ship alongside the image pull the copy
+        already paid for. Returns the number of entries copied.
+        """
+        if not target.memoize:
+            return 0
+        best: list[tuple[bytes, object]] = []
+        best_rank: tuple[int, int] | None = None
+        for idx, donor in enumerate(donors):
+            if not donor.memoize:
+                continue
+            entries = donor.cache.export_entries(servable_name)
+            if not entries:
+                continue
+            # Rank live donors above down ones, then by entry count.
+            rank = (0 if self._is_live(donor) else 1, -len(entries))
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = entries
+        if not best:
+            return 0
+        copied = target.cache.absorb(best)
+        self.memo_entries_warmed += copied
+        return copied
 
     def remove_copy(self, servable_name: str, worker_name: str) -> None:
         """Unregister one copy; at least one copy must remain."""
@@ -383,10 +428,7 @@ class ServingRuntime:
                 name: tuple(w.name for w in hosts)
                 for name, hosts in self._hosts.items()
             },
-            queue_depths={
-                name: self.queue.ready_count(servable_topic(name))
-                for name in self._hosts
-            },
+            queue_depths={name: self.queue_depth(name) for name in self._hosts},
         )
 
     def _route(self, servable_name: str, now: float) -> tuple[TaskManager | None, float]:
@@ -414,9 +456,40 @@ class ServingRuntime:
         """
         self._controller = controller
 
+    def attach_ingress(self, ingress) -> None:
+        """Hook a request source (e.g. a serving gateway) into the loop.
+
+        The ingress must expose:
+
+        * ``on_tick(now)`` — inject any arrivals due at ``now`` (via
+          :meth:`submit`) and release throttled work;
+        * ``on_settled(results)`` — observe completed
+          :class:`RuntimeResult` items (frees dispatch slots, settles
+          per-tenant in-flight accounting);
+        * ``next_event() -> float`` — earliest future virtual time the
+          ingress needs the loop awake (``inf`` when it is idle);
+        * ``pending() -> int`` — work the ingress still holds; the loop
+          refuses to exit while this is non-zero.
+
+        This is how admission-controlled traffic reaches the runtime
+        without the runtime knowing about tenants: the gateway holds
+        requests in fair-queued lanes and meters them onto the servable
+        topics from ``on_tick``/``on_settled``.
+        """
+        self._ingress = ingress
+
+    def detach_ingress(self) -> None:
+        self._ingress = None
+
     # -- submission ---------------------------------------------------------------
     def submit(self, request: TaskRequest) -> QueuedMessage:
-        """Enqueue one single-item request on its servable's topic."""
+        """Enqueue one single-item request on its servable's topic.
+
+        Tenant-tagged requests (admitted through a gateway) ride a
+        per-tenant lane of the servable's topic; untagged requests keep
+        the default lane. Lanes coalesce independently, so micro-batches
+        never mix tenants.
+        """
         if request.is_batch:
             raise ServingRuntimeError(
                 "the runtime coalesces single-item requests; submit items "
@@ -425,7 +498,18 @@ class ServingRuntime:
         # Reject unplaced servables at the door: once enqueued they would
         # poison the serve loop for every other topic.
         self.hosts(request.servable_name)
-        return self.queue.put(request, topic=servable_topic(request.servable_name))
+        lane = "requests" if request.tenant is None else f"tenant-{request.tenant}"
+        self._lanes.setdefault(request.servable_name, {"requests"}).add(lane)
+        return self.queue.put(
+            request, topic=servable_topic(request.servable_name, lane=lane)
+        )
+
+    def queue_depth(self, servable_name: str) -> int:
+        """Ready requests for a servable across all of its queue lanes."""
+        return sum(
+            self.queue.ready_count(servable_topic(servable_name, lane=lane))
+            for lane in self._lanes.get(servable_name, {"requests"})
+        )
 
     # -- coalescing loop ----------------------------------------------------------
     def _flush_due(self, topic: str) -> float:
@@ -441,13 +525,18 @@ class ServingRuntime:
         return head.enqueued_at + self.max_coalesce_delay_s
 
     def _topics(self) -> list[str]:
-        """The topics this runtime owns: one per placed servable.
+        """The topics this runtime owns: one per placed servable per
+        lane it has seen (default lane plus any tenant lanes).
 
         The queue is shared with other consumers (e.g. the Management
         Service's sync lane) — the coalescing loop must never scan,
         claim, or flush traffic it doesn't own.
         """
-        return [servable_topic(name) for name in self._hosts]
+        return [
+            servable_topic(name, lane=lane)
+            for name in self._hosts
+            for lane in sorted(self._lanes.get(name, {"requests"}))
+        ]
 
     def _next_window(self, now: float) -> tuple[str | None, float]:
         """Returns ``(dispatchable_topic_or_None, earliest_future_event)``.
@@ -461,21 +550,26 @@ class ServingRuntime:
         due: tuple[float, str] | None = None
         next_event = math.inf
         for name in self._hosts:
-            topic = servable_topic(name)
-            if not self.queue.ready_count(topic):
-                continue
-            worker, earliest_free = self._route(name, now)
-            if worker is None and math.isinf(earliest_free):
-                continue
-            flush_at = self._flush_due(topic)
-            if flush_at <= now + _EPS:
-                if worker is not None:
-                    if due is None or (flush_at, topic) < due:
-                        due = (flush_at, topic)
+            routed = False  # routing is per servable, not per lane
+            worker, earliest_free = None, math.inf
+            for lane in sorted(self._lanes.get(name, {"requests"})):
+                topic = servable_topic(name, lane=lane)
+                if not self.queue.ready_count(topic):
+                    continue
+                if not routed:
+                    worker, earliest_free = self._route(name, now)
+                    routed = True
+                if worker is None and math.isinf(earliest_free):
+                    continue
+                flush_at = self._flush_due(topic)
+                if flush_at <= now + _EPS:
+                    if worker is not None:
+                        if due is None or (flush_at, topic) < due:
+                            due = (flush_at, topic)
+                    else:
+                        next_event = min(next_event, earliest_free)
                 else:
-                    next_event = min(next_event, earliest_free)
-            else:
-                next_event = min(next_event, flush_at)
+                    next_event = min(next_event, flush_at)
         return (due[1] if due else None), next_event
 
     def _split_batch(
@@ -565,10 +659,14 @@ class ServingRuntime:
         if len(requests) == 1:
             batch_result = worker.process(requests[0])
         else:
+            # A coalesced batch may mix identities/tenants; the envelope
+            # carries the head's tags, while per-item attribution rides
+            # the original requests (returned in each RuntimeResult).
             batch_request = TaskRequest(
                 servable_name=servable_name,
                 batch=[(req.args, req.kwargs) for req in requests],
                 identity_id=requests[0].identity_id,
+                tenant=requests[0].tenant,
             )
             batch_result = worker.process(batch_request)
         # Stage timing is captured before any failure-recovery re-serves
@@ -662,12 +760,18 @@ class ServingRuntime:
         arrival_times: dict[str, float] = {}
         results: list[RuntimeResult] = []
         i = 0
+        stalled_wakeups = 0
         while True:
             self.queue.expire_inflight()
             if self._controller is not None:
                 self._controller.on_tick()
             now = self.clock.now()
-            results.extend(self._settle(now, arrival_times))
+            settled = self._settle(now, arrival_times)
+            results.extend(settled)
+            if self._ingress is not None:
+                if settled:
+                    self._ingress.on_settled(settled)
+                self._ingress.on_tick(now)
             while i < len(schedule) and schedule[i][0] <= now + _EPS:
                 intended, request = schedule[i]
                 i += 1
@@ -675,6 +779,7 @@ class ServingRuntime:
                 self.submit(request)
             due_topic, next_event = self._next_window(now)
             if due_topic is not None:
+                stalled_wakeups = 0
                 self._dispatch_topic(due_topic)
                 continue
             next_arrival = schedule[i][0] if i < len(schedule) else math.inf
@@ -688,8 +793,30 @@ class ServingRuntime:
                 next_event = min(
                     next_event, min(p.completed_at for p in self._pending)
                 )
+            if self._ingress is not None:
+                next_event = min(next_event, self._ingress.next_event())
             target = min(next_arrival, next_event)
             if math.isinf(target):
+                if self._ingress is not None and self._ingress.pending():
+                    # Lanes hold work but no data-plane event will wake
+                    # the loop. An attached controller may still heal
+                    # the cause (e.g. migrate off a crashed sole host)
+                    # at its next reconcile — sleep to it and retry, a
+                    # bounded number of times so an unhealable fleet
+                    # fails loud instead of reconciling forever.
+                    if self._controller is not None and stalled_wakeups < 64:
+                        wake = self._controller.next_wakeup()
+                        if now < wake:
+                            stalled_wakeups += 1
+                            self.clock.advance_to(wake)
+                            continue
+                    # No controller, or it had its chances: a throttle/
+                    # placement bug — fail loud rather than silently
+                    # dropping admitted requests.
+                    raise ServingRuntimeError(
+                        f"ingress holds {self._ingress.pending()} pending "
+                        "request(s) but reports no next event"
+                    )
                 return results
             if self._controller is not None:
                 wake = self._controller.next_wakeup()

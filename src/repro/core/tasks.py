@@ -53,6 +53,11 @@ class TaskRequest:
     kwargs: dict = field(default_factory=dict)
     #: Owner identity id (authorization was performed at the MS).
     identity_id: str | None = None
+    #: Tenant the serving gateway resolved the caller to (None until the
+    #: request passes admission). Tags travel end-to-end: coalesced
+    #: micro-batches keep each item's original request, so per-item
+    #: tenant attribution survives batching.
+    tenant: str | None = None
     #: Batch of inputs (mutually exclusive with args for batched tasks).
     batch: list | None = None
     task_uuid: str = field(default_factory=lambda: str(uuid.uuid4()))

@@ -24,8 +24,10 @@ from repro.core.executors import (
 )
 from repro.core.management import ManagementService
 from repro.core.repository import ModelRepository
+from repro.core.runtime import ServingRuntime
 from repro.core.servable import Servable
 from repro.core.task_manager import TaskManager
+from repro.gateway import ServingGateway, TenantPolicy, TenantPolicyTable
 from repro.data.endpoint import Endpoint, EndpointACL
 from repro.data.store import ObjectStore
 from repro.search.index import SearchIndex, Visibility
@@ -106,6 +108,49 @@ class DLHubTestbed:
         )
         task_manager.add_executor("parsl", executor)
         return task_manager
+
+    def enable_gateway(
+        self,
+        policies: TenantPolicyTable | None = None,
+        workers: list[TaskManager] | None = None,
+        n_workers: int = 2,
+        max_batch_size: int = 16,
+        max_coalesce_delay_s: float = 0.005,
+        max_dispatch_slots: int | None = None,
+    ) -> ServingGateway:
+        """Stand up the gateway-fronted serving path and attach it.
+
+        Builds a :class:`ServingRuntime` over ``workers`` (concurrent
+        fleet workers ``gw-w0..`` are provisioned when omitted), wraps
+        it in a :class:`~repro.gateway.gateway.ServingGateway`, and
+        attaches the gateway to the Management Service — after which
+        every ``run``/``run_async``/``run_batch``/pipeline invocation
+        passes tenant admission and weighted fair queuing, and nothing
+        reaches a Task Manager except through the runtime.
+
+        With ``policies=None``, a permissive default tenant
+        (``"public"``, weight 1, no limits) is registered so single-user
+        flows keep working unmetered. Callers still must ``place``
+        servables on ``gateway.runtime``.
+        """
+        if policies is None:
+            policies = TenantPolicyTable()
+            policies.register(TenantPolicy(name="public"))
+            policies.set_default("public")
+        if workers is None:
+            workers = [self.add_fleet_worker(f"gw-w{i}") for i in range(n_workers)]
+        runtime = ServingRuntime(
+            self.clock,
+            self.management.queue,
+            workers,
+            max_batch_size=max_batch_size,
+            max_coalesce_delay_s=max_coalesce_delay_s,
+        )
+        gateway = ServingGateway(
+            self.auth, runtime, policies, max_dispatch_slots=max_dispatch_slots
+        )
+        self.management.attach_gateway(gateway)
+        return gateway
 
     def login(self, provider: str, username: str) -> str:
         """Authenticate an existing identity; returns a bearer token."""

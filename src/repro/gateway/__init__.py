@@ -1,0 +1,40 @@
+"""Multi-tenant serving gateway: admission control, weighted fair
+scheduling, and unified routing into the serving runtime.
+
+``client -> gateway -> WFQ lanes -> ServingRuntime -> fleet``
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionOutcome,
+)
+from repro.gateway.gateway import (
+    AdmissionRejected,
+    GatewayError,
+    GatewayResult,
+    ServingGateway,
+)
+from repro.gateway.policy import (
+    PolicyError,
+    TenantPolicy,
+    TenantPolicyTable,
+    TokenBucket,
+)
+from repro.gateway.scheduler import ScheduledItem, WeightedFairScheduler
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionOutcome",
+    "AdmissionRejected",
+    "GatewayError",
+    "GatewayResult",
+    "PolicyError",
+    "ScheduledItem",
+    "ServingGateway",
+    "TenantPolicy",
+    "TenantPolicyTable",
+    "TokenBucket",
+    "WeightedFairScheduler",
+]

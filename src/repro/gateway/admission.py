@@ -1,0 +1,230 @@
+"""Admission control: decide each request's fate at the gateway door.
+
+Every arrival is resolved against its tenant's
+:class:`~repro.gateway.policy.TenantPolicy` and receives a *typed*
+:class:`AdmissionDecision` — admitted into a scheduler lane, rejected
+(bad token, unknown tenant, rate limit, in-flight cap, servable quota),
+or shed (lane full under overload). Decisions are never exceptions at
+this layer: the gateway's open-loop serve path records them per tenant
+and keeps going, while the Management Service's synchronous path
+converts non-admitted decisions into a raised
+:class:`~repro.gateway.gateway.AdmissionRejected`.
+
+The controller also owns the in-flight ledger: a tenant's admitted
+requests count against ``max_in_flight`` (and any per-servable quota)
+until the gateway observes their completion and calls :meth:`release`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.metrics import TenantUsageCollector
+from repro.gateway.policy import TenantPolicy, TokenBucket
+from repro.sim.clock import VirtualClock
+
+
+class AdmissionOutcome(Enum):
+    """Typed fate of one arrival at the gateway."""
+
+    ADMITTED = "admitted"
+    #: The bearer token failed authentication/authorization.
+    REJECTED_AUTH = "rejected_auth"
+    #: The identity resolved to no registered tenant.
+    REJECTED_UNKNOWN_TENANT = "rejected_unknown_tenant"
+    #: The tenant's token bucket is empty.
+    REJECTED_RATE_LIMIT = "rejected_rate_limit"
+    #: The tenant is at its global in-flight cap.
+    REJECTED_MAX_IN_FLIGHT = "rejected_max_in_flight"
+    #: The tenant is at its per-servable in-flight quota.
+    REJECTED_SERVABLE_QUOTA = "rejected_servable_quota"
+    #: The tenant's gateway lane is full (overload backpressure).
+    SHED_LANE_FULL = "shed_lane_full"
+
+
+#: Outcomes that drop the request (everything except ADMITTED).
+REJECTION_OUTCOMES = tuple(
+    o for o in AdmissionOutcome if o is not AdmissionOutcome.ADMITTED
+)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What admission control decided for one arrival."""
+
+    outcome: AdmissionOutcome
+    tenant: str | None
+    servable: str
+    detail: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.outcome is AdmissionOutcome.ADMITTED
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus the in-flight ledger.
+
+    One instance guards one gateway. Buckets are created lazily per
+    tenant from its policy; in-flight counts are tracked globally and
+    per ``(tenant, servable)`` so both ``max_in_flight`` and
+    ``servable_quotas`` can bind independently.
+    """
+
+    def __init__(
+        self, clock: VirtualClock, metrics: TenantUsageCollector | None = None
+    ) -> None:
+        self.clock = clock
+        self.metrics = metrics or TenantUsageCollector()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._in_flight: dict[str, int] = {}
+        self._in_flight_by_servable: dict[tuple[str, str], int] = {}
+
+    # -- introspection ------------------------------------------------------------
+    def in_flight(self, tenant: str, servable: str | None = None) -> int:
+        if servable is not None:
+            return self._in_flight_by_servable.get((tenant, servable), 0)
+        return self._in_flight.get(tenant, 0)
+
+    def bucket(self, policy: TenantPolicy) -> TokenBucket | None:
+        """The tenant's token bucket (None when the tenant is unlimited)."""
+        if policy.rate_limit_rps is None:
+            return None
+        bucket = self._buckets.get(policy.name)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.clock, policy.rate_limit_rps, policy.effective_burst
+            )
+            self._buckets[policy.name] = bucket
+        return bucket
+
+    # -- the decision -------------------------------------------------------------
+    def admit(
+        self, policy: TenantPolicy, servable_name: str, lane_depth: int
+    ) -> AdmissionDecision:
+        """Decide one arrival; charges the ledger only when admitted.
+
+        Check order is cheapest-denial first: shed on lane overflow
+        (overload backpressure beats spending rate-limit tokens on a
+        request that cannot be queued), then the token bucket, then the
+        in-flight caps.
+        """
+        tenant = policy.name
+        if policy.max_queued is not None and lane_depth >= policy.max_queued:
+            return self._deny(
+                AdmissionOutcome.SHED_LANE_FULL,
+                tenant,
+                servable_name,
+                f"lane holds {lane_depth} >= max_queued={policy.max_queued}",
+            )
+        bucket = self.bucket(policy)
+        if bucket is not None and not bucket.try_take():
+            return self._deny(
+                AdmissionOutcome.REJECTED_RATE_LIMIT,
+                tenant,
+                servable_name,
+                f"bucket empty at {policy.rate_limit_rps:g} rps",
+            )
+        if (
+            policy.max_in_flight is not None
+            and self.in_flight(tenant) >= policy.max_in_flight
+        ):
+            return self._deny(
+                AdmissionOutcome.REJECTED_MAX_IN_FLIGHT,
+                tenant,
+                servable_name,
+                f"{self.in_flight(tenant)} in flight >= {policy.max_in_flight}",
+            )
+        quota = policy.servable_quota(servable_name)
+        if quota is not None and self.in_flight(tenant, servable_name) >= quota:
+            return self._deny(
+                AdmissionOutcome.REJECTED_SERVABLE_QUOTA,
+                tenant,
+                servable_name,
+                f"{self.in_flight(tenant, servable_name)} in flight on "
+                f"{servable_name!r} >= quota {quota}",
+            )
+        self._in_flight[tenant] = self.in_flight(tenant) + 1
+        key = (tenant, servable_name)
+        self._in_flight_by_servable[key] = self._in_flight_by_servable.get(key, 0) + 1
+        self.metrics.record_admitted(tenant, servable_name)
+        return AdmissionDecision(AdmissionOutcome.ADMITTED, tenant, servable_name)
+
+    def admit_many(
+        self, policy: TenantPolicy, servable_name: str, lane_depth: int, n: int
+    ) -> AdmissionDecision:
+        """All-or-nothing admission for ``n`` items of one servable.
+
+        The synchronous batch path needs atomicity: checking the whole
+        batch against the lane cap, bucket, and in-flight caps before
+        charging anything means a denial never strands half a batch in
+        a lane holding ledger charges it cannot settle.
+        """
+        if n < 1:
+            raise ValueError("admit_many requires n >= 1")
+        tenant = policy.name
+        if policy.max_queued is not None and lane_depth + n > policy.max_queued:
+            return self._deny(
+                AdmissionOutcome.SHED_LANE_FULL,
+                tenant,
+                servable_name,
+                f"lane holds {lane_depth} + batch {n} > "
+                f"max_queued={policy.max_queued}",
+            )
+        bucket = self.bucket(policy)
+        if bucket is not None and not bucket.try_take(n):
+            return self._deny(
+                AdmissionOutcome.REJECTED_RATE_LIMIT,
+                tenant,
+                servable_name,
+                f"bucket lacks {n} tokens at {policy.rate_limit_rps:g} rps",
+            )
+        if (
+            policy.max_in_flight is not None
+            and self.in_flight(tenant) + n > policy.max_in_flight
+        ):
+            return self._deny(
+                AdmissionOutcome.REJECTED_MAX_IN_FLIGHT,
+                tenant,
+                servable_name,
+                f"{self.in_flight(tenant)} + batch {n} in flight > "
+                f"{policy.max_in_flight}",
+            )
+        quota = policy.servable_quota(servable_name)
+        if quota is not None and self.in_flight(tenant, servable_name) + n > quota:
+            return self._deny(
+                AdmissionOutcome.REJECTED_SERVABLE_QUOTA,
+                tenant,
+                servable_name,
+                f"{self.in_flight(tenant, servable_name)} + batch {n} on "
+                f"{servable_name!r} > quota {quota}",
+            )
+        self._in_flight[tenant] = self.in_flight(tenant) + n
+        key = (tenant, servable_name)
+        self._in_flight_by_servable[key] = self._in_flight_by_servable.get(key, 0) + n
+        for _ in range(n):
+            self.metrics.record_admitted(tenant, servable_name)
+        return AdmissionDecision(AdmissionOutcome.ADMITTED, tenant, servable_name)
+
+    def _deny(
+        self,
+        outcome: AdmissionOutcome,
+        tenant: str,
+        servable_name: str,
+        detail: str,
+    ) -> AdmissionDecision:
+        self.metrics.record_denied(tenant, outcome.value)
+        return AdmissionDecision(outcome, tenant, servable_name, detail)
+
+    def release(self, tenant: str, servable_name: str) -> None:
+        """Settle one admitted request's in-flight charge."""
+        if self.in_flight(tenant) < 1:
+            raise ValueError(f"tenant {tenant!r} has nothing in flight")
+        self._in_flight[tenant] -= 1
+        key = (tenant, servable_name)
+        if self._in_flight_by_servable.get(key, 0) < 1:
+            raise ValueError(
+                f"tenant {tenant!r} has nothing in flight on {servable_name!r}"
+            )
+        self._in_flight_by_servable[key] -= 1

@@ -1,0 +1,502 @@
+"""The multi-tenant serving gateway: the single entry to the data plane.
+
+``client -> gateway -> WFQ lanes -> ServingRuntime -> fleet``
+
+The gateway sits between callers (the Management Service, the SDK
+client, open-loop benchmark drivers) and the
+:class:`~repro.core.runtime.ServingRuntime`:
+
+1. **authentication** — direct submissions present a bearer token,
+   validated against the existing Auth service (``dlhub:all`` scope);
+   Management-Service-fronted requests arrive pre-authorized and carry
+   their identity id;
+2. **tenant resolution** — the identity maps to a
+   :class:`~repro.gateway.policy.TenantPolicy` via the declarative
+   :class:`~repro.gateway.policy.TenantPolicyTable`;
+3. **admission control** — token-bucket rate limit, in-flight caps and
+   per-servable quotas produce a typed
+   :class:`~repro.gateway.admission.AdmissionDecision` (reject/shed,
+   never an untyped drop), with per-tenant metrics;
+4. **weighted fair scheduling** — admitted requests wait in per-tenant
+   lanes and are metered onto the runtime's per-servable queue topics
+   in WFQ order, bounded by ``max_dispatch_slots`` outstanding
+   requests, so a hot tenant's backlog cannot monopolize dispatch;
+5. **end-to-end tenant tagging** — every admitted
+   :class:`~repro.core.tasks.TaskRequest` carries its tenant through
+   coalescing into micro-batches, and per-tenant arrival rates are
+   surfaced to the fleet controller so scale-up respects tenant weight.
+
+The gateway registers itself as the runtime's *ingress* (see
+:meth:`ServingRuntime.attach_ingress`): the runtime's serve loop asks
+it for due arrivals and notifies it of settlements, which is when lanes
+drain, in-flight charges release, and per-tenant latency is recorded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.auth.identity import Identity, IdentityError
+from repro.auth.service import AuthorizationError, AuthService
+from repro.core.management import DLHUB_SCOPE
+from repro.core.metrics import TenantUsageCollector
+from repro.core.runtime import RuntimeResult, ServingRuntime
+from repro.core.tasks import TaskRequest, TaskResult
+from repro.gateway.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionOutcome,
+)
+from repro.gateway.policy import TenantPolicy, TenantPolicyTable
+from repro.gateway.scheduler import WeightedFairScheduler
+
+_EPS = 1e-12
+
+#: Pseudo-tenant labels for denials that happen before tenant resolution.
+UNAUTHENTICATED = "(unauthenticated)"
+UNKNOWN_TENANT = "(unknown-tenant)"
+
+
+class GatewayError(RuntimeError):
+    """Raised on invalid gateway configuration or usage."""
+
+
+class AdmissionRejected(GatewayError):
+    """Raised on the synchronous path when admission denies a request."""
+
+    def __init__(self, decision: AdmissionDecision) -> None:
+        super().__init__(
+            f"{decision.outcome.value} for tenant {decision.tenant!r} on "
+            f"{decision.servable!r}: {decision.detail}"
+        )
+        self.decision = decision
+
+
+@dataclass
+class GatewayResult:
+    """One request's fate as seen by the gateway.
+
+    Denied requests carry only the decision; admitted ones gain their
+    :class:`RuntimeResult` when the runtime settles them.
+    """
+
+    request: TaskRequest
+    decision: AdmissionDecision
+    #: When the request reached the gateway (intended arrival for
+    #: open-loop schedules) — the start of end-to-end latency.
+    arrived_at: float
+    runtime_result: RuntimeResult | None = field(default=None)
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision.admitted
+
+    @property
+    def completed(self) -> bool:
+        return self.runtime_result is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and self.runtime_result.result.ok
+
+    @property
+    def latency(self) -> float:
+        """Arrival at the gateway to completion — includes lane wait,
+        which :attr:`RuntimeResult.latency` cannot see."""
+        if self.runtime_result is None:
+            raise GatewayError("request has not completed")
+        return self.runtime_result.completed_at - self.arrived_at
+
+
+class ServingGateway:
+    """Admission-controlled, weighted-fair front door to the runtime.
+
+    Parameters
+    ----------
+    auth:
+        The Auth service used to validate direct (token-bearing)
+        submissions and resolve group-based tenant bindings.
+    runtime:
+        The data plane. The gateway attaches itself as the runtime's
+        ingress on construction.
+    policies:
+        The declarative tenant table.
+    max_dispatch_slots:
+        How many admitted requests may be outstanding in the runtime
+        (on queue topics or being served) at once. This is the knob
+        that makes fair queuing bite: lanes drain into the runtime only
+        as slots free, so dispatch order follows WFQ tags rather than
+        raw arrival order. The default sizes it to the fleet's
+        in-flight capacity plus the reserve
+        (``max_batch_size * workers + slot_reserve``): enough to keep
+        every worker pipelined, while a backlogged tenant cannot park a
+        released-but-unclaimed queue backlog whose older heads would
+        outrank other tenants' dispatch.
+    slot_reserve:
+        Slots an over-share tenant may never consume (default: an
+        eighth of the slot budget, at least 1). Work conservation lets
+        a lone backlogged tenant overflow its share, but the reserve
+        keeps instant headroom so another tenant's first request is
+        released at arrival instead of waiting for a settle.
+    """
+
+    def __init__(
+        self,
+        auth: AuthService,
+        runtime: ServingRuntime,
+        policies: TenantPolicyTable,
+        max_dispatch_slots: int | None = None,
+        slot_reserve: int | None = None,
+        metrics: TenantUsageCollector | None = None,
+    ) -> None:
+        if max_dispatch_slots is not None and max_dispatch_slots < 1:
+            raise GatewayError("max_dispatch_slots must be >= 1")
+        self.auth = auth
+        self.runtime = runtime
+        self.policies = policies
+        if max_dispatch_slots is None:
+            in_flight_capacity = runtime.max_batch_size * len(runtime.workers)
+            if slot_reserve is None:
+                slot_reserve = max(1, in_flight_capacity // 8)
+            max_dispatch_slots = in_flight_capacity + slot_reserve
+        elif slot_reserve is None:
+            # A derived reserve must leave at least one usable slot.
+            slot_reserve = min(max(1, max_dispatch_slots // 8), max_dispatch_slots - 1)
+        self.max_dispatch_slots = max_dispatch_slots
+        if not 0 <= slot_reserve < self.max_dispatch_slots:
+            raise GatewayError("slot_reserve must be in [0, max_dispatch_slots)")
+        self.slot_reserve = slot_reserve
+        self.metrics = metrics or TenantUsageCollector()
+        self.admission = AdmissionController(runtime.clock, self.metrics)
+        self.scheduler = WeightedFairScheduler()
+        self._open: dict[str, GatewayResult] = {}
+        self._outstanding = 0
+        self._outstanding_by_tenant: dict[str, int] = {}
+        self._queued_by_servable: dict[str, int] = {}
+        self._schedule: list[tuple[float, str, TaskRequest]] = []
+        self._sched_i = 0
+        self._serve_log: list[GatewayResult] = []
+        self._serving = False
+        runtime.attach_ingress(self)
+
+    # -- auth / tenant resolution -------------------------------------------------
+    def authenticate(self, token: str) -> Identity:
+        """Validate a bearer token (``dlhub:all`` scope), as the MS does."""
+        return self.auth.authorize(token, DLHUB_SCOPE)
+
+    def resolve_tenant(self, identity: Identity) -> TenantPolicy | None:
+        return self.policies.resolve(
+            identity, self.auth.principal_groups(identity)
+        )
+
+    # -- admission + lanes ---------------------------------------------------------
+    def offer(
+        self,
+        request: TaskRequest,
+        identity: Identity | None = None,
+        token: str | None = None,
+        arrived_at: float | None = None,
+    ) -> GatewayResult:
+        """Admit one single-item request into its tenant's lane.
+
+        Exactly one of ``identity`` (pre-authorized, the MS path) or
+        ``token`` (authenticated here) must identify the caller. The
+        returned :class:`GatewayResult` carries the typed decision;
+        denials are results, not exceptions (the open-loop path records
+        them and keeps serving).
+        """
+        now = self.runtime.clock.now()
+        arrived = now if arrived_at is None else arrived_at
+        servable = request.servable_name
+        if request.is_batch:
+            raise GatewayError(
+                "the gateway meters single-item requests; split batches "
+                "before offering (ManagementService.run_batch does)"
+            )
+        # Unplaced servables are a deployment bug, not a tenant's fault.
+        self.runtime.hosts(servable)
+        if token is not None:
+            try:
+                identity = self.authenticate(token)
+            except AuthorizationError as exc:
+                self.metrics.record_denied(
+                    UNAUTHENTICATED, AdmissionOutcome.REJECTED_AUTH.value
+                )
+                return GatewayResult(
+                    request=request,
+                    decision=AdmissionDecision(
+                        AdmissionOutcome.REJECTED_AUTH, None, servable, str(exc)
+                    ),
+                    arrived_at=arrived,
+                )
+        if identity is None:
+            raise GatewayError("offer() needs an identity or a token")
+        policy = self.resolve_tenant(identity)
+        if policy is None:
+            self.metrics.record_denied(
+                UNKNOWN_TENANT, AdmissionOutcome.REJECTED_UNKNOWN_TENANT.value
+            )
+            return GatewayResult(
+                request=request,
+                decision=AdmissionDecision(
+                    AdmissionOutcome.REJECTED_UNKNOWN_TENANT,
+                    None,
+                    servable,
+                    f"identity {identity.qualified_name} maps to no tenant",
+                ),
+                arrived_at=arrived,
+            )
+        decision = self.admission.admit(
+            policy, servable, self.scheduler.depth(policy.name)
+        )
+        result = GatewayResult(request=request, decision=decision, arrived_at=arrived)
+        if decision.admitted:
+            request.tenant = policy.name
+            request.identity_id = request.identity_id or identity.identity_id
+            self.scheduler.enqueue(policy.name, policy.weight, request)
+            self._queued_by_servable[servable] = (
+                self._queued_by_servable.get(servable, 0) + 1
+            )
+            self._open[request.task_uuid] = result
+            self._pump()
+        return result
+
+    def _slot_shares(self, contending: list[str]) -> dict[str, int]:
+        """Each contending tenant's weighted share of dispatch slots.
+
+        Every share is at least one (light tenants always have a slot
+        of headroom) and at most ``max_dispatch_slots - slot_reserve``:
+        even a tenant contending alone leaves the reserve free, so the
+        next tenant's first request never waits for a settle.
+        """
+        total_weight = sum(self.policies.policy(t).weight for t in contending)
+        cap = max(1, self.max_dispatch_slots - self.slot_reserve)
+        return {
+            tenant: min(
+                cap,
+                max(
+                    1,
+                    int(
+                        self.max_dispatch_slots
+                        * self.policies.policy(tenant).weight
+                        / total_weight
+                    ),
+                ),
+            )
+            for tenant in contending
+        }
+
+    def _pump(self) -> None:
+        """Drain lanes into the runtime while dispatch slots are free.
+
+        Two fairness mechanisms compose here: lanes drain in WFQ tag
+        order, and a tenant at or above its weighted *slot share* of
+        outstanding requests yields to tenants below theirs — so a hot
+        tenant can never occupy every dispatch slot while a light
+        tenant's request waits. When only over-share tenants have work
+        they still run (work conservation beats reservation), but never
+        into the last ``slot_reserve`` slots, so a newly active
+        tenant's first request always finds instant headroom.
+        """
+        while len(self.scheduler) and self._outstanding < self.max_dispatch_slots:
+            backlogged = self.scheduler.tenants()
+            contending = sorted(
+                set(backlogged)
+                | {t for t, n in self._outstanding_by_tenant.items() if n}
+            )
+            shares = self._slot_shares(contending)
+            below = {
+                tenant
+                for tenant in backlogged
+                if self._outstanding_by_tenant.get(tenant, 0) < shares[tenant]
+            }
+            if not below and (
+                self._outstanding
+                >= self.max_dispatch_slots - self.slot_reserve
+            ):
+                break
+            entry = self.scheduler.dequeue_from(below or set(backlogged))
+            request: TaskRequest = entry.item
+            self._queued_by_servable[request.servable_name] -= 1
+            self.runtime.submit(request)
+            self._outstanding += 1
+            self._outstanding_by_tenant[entry.tenant] = (
+                self._outstanding_by_tenant.get(entry.tenant, 0) + 1
+            )
+
+    # -- ingress protocol (driven by ServingRuntime.serve) --------------------------
+    def on_tick(self, now: float) -> None:
+        while (
+            self._sched_i < len(self._schedule)
+            and self._schedule[self._sched_i][0] <= now + _EPS
+        ):
+            arrived, token, request = self._schedule[self._sched_i]
+            self._sched_i += 1
+            self._serve_log.append(
+                self.offer(request, token=token, arrived_at=arrived)
+            )
+        self._pump()
+
+    def on_settled(self, settled: list[RuntimeResult]) -> None:
+        for runtime_result in settled:
+            uuid = runtime_result.request.task_uuid
+            open_result = self._open.pop(uuid, None)
+            if open_result is None:
+                continue  # submitted straight to the runtime, not ours
+            self._outstanding -= 1
+            open_result.runtime_result = runtime_result
+            tenant = runtime_result.request.tenant
+            self._outstanding_by_tenant[tenant] -= 1
+            self.admission.release(tenant, runtime_result.request.servable_name)
+            self.metrics.record_completion(
+                tenant,
+                runtime_result.completed_at - open_result.arrived_at,
+                ok=runtime_result.result.ok,
+            )
+        self._pump()
+
+    def next_event(self) -> float:
+        if self._sched_i < len(self._schedule):
+            return self._schedule[self._sched_i][0]
+        return math.inf
+
+    def pending(self) -> int:
+        """Arrivals not yet offered plus requests still waiting in lanes."""
+        return (len(self._schedule) - self._sched_i) + len(self.scheduler)
+
+    # -- serving entry points --------------------------------------------------------
+    def serve(
+        self, arrivals: list[tuple[float, str, TaskRequest]]
+    ) -> list[GatewayResult]:
+        """Serve an open-loop schedule of ``(offset_s, token, request)``.
+
+        Offsets are measured from the call, as in
+        :meth:`ServingRuntime.serve`. Every arrival is authenticated and
+        admitted at its due time; the returned results are in arrival
+        order and include typed denials (which never reach the runtime).
+        """
+        if self._serving:
+            raise GatewayError("gateway.serve is not reentrant")
+        start = self.runtime.clock.now()
+        self._schedule = sorted(
+            ((start + offset, token, request) for offset, token, request in arrivals),
+            key=lambda entry: entry[0],
+        )
+        self._sched_i = 0
+        self._serve_log = []
+        self._serving = True
+        try:
+            self.runtime.serve([])
+        finally:
+            self._serving = False
+            self._schedule = []
+            self._sched_i = 0
+        log, self._serve_log = self._serve_log, []
+        return log
+
+    def invoke_sync(
+        self, request: TaskRequest, identity: Identity | None = None
+    ) -> TaskResult:
+        """Admit, schedule, and fully serve one request (the MS sync path).
+
+        Raises :class:`AdmissionRejected` on any non-admitted decision —
+        the synchronous caller needs an error, not a log entry.
+        """
+        identity = identity or self._request_identity(request)
+        result = self.offer(request, identity=identity)
+        if not result.admitted:
+            raise AdmissionRejected(result.decision)
+        self.runtime.drain()
+        if result.runtime_result is None:  # pragma: no cover - drain settles all
+            raise GatewayError(f"request {request.task_uuid} did not complete")
+        return result.runtime_result.result
+
+    def invoke_sync_many(
+        self, requests: list[TaskRequest], identity: Identity | None = None
+    ) -> list[TaskResult]:
+        """Serve a pre-split batch synchronously, all-or-nothing.
+
+        Admission is checked for the whole batch up front (every item
+        charges the token bucket and in-flight ledger), so a denial
+        rejects the batch without stranding half of it in a lane. The
+        items land on one servable topic together and coalesce into
+        micro-batches downstream.
+        """
+        if not requests:
+            raise GatewayError("invoke_sync_many requires at least one request")
+        # Same deployment-bug guard as offer(): an unplaced servable
+        # must fail before admission charges the ledger, or the denial
+        # would strand lane entries and in-flight charges forever.
+        self.runtime.hosts(requests[0].servable_name)
+        identity = identity or self._request_identity(requests[0])
+        policy = self.resolve_tenant(identity)
+        if policy is None:
+            self.metrics.record_denied(
+                UNKNOWN_TENANT, AdmissionOutcome.REJECTED_UNKNOWN_TENANT.value
+            )
+            raise AdmissionRejected(
+                AdmissionDecision(
+                    AdmissionOutcome.REJECTED_UNKNOWN_TENANT,
+                    None,
+                    requests[0].servable_name,
+                    f"identity {identity.qualified_name} maps to no tenant",
+                )
+            )
+        servable = requests[0].servable_name
+        decision = self.admission.admit_many(
+            policy, servable, self.scheduler.depth(policy.name), len(requests)
+        )
+        if not decision.admitted:
+            raise AdmissionRejected(decision)
+        results: list[GatewayResult] = []
+        for request in requests:
+            request.tenant = policy.name
+            request.identity_id = request.identity_id or identity.identity_id
+            self.scheduler.enqueue(policy.name, policy.weight, request)
+            self._queued_by_servable[servable] = (
+                self._queued_by_servable.get(servable, 0) + 1
+            )
+            gateway_result = GatewayResult(
+                request=request,
+                decision=decision,
+                arrived_at=self.runtime.clock.now(),
+            )
+            self._open[request.task_uuid] = gateway_result
+            results.append(gateway_result)
+        self._pump()
+        self.runtime.drain()
+        return [r.runtime_result.result for r in results]
+
+    def _request_identity(self, request: TaskRequest) -> Identity:
+        if request.identity_id is None:
+            raise GatewayError("request carries no identity and none was given")
+        try:
+            return self.auth.identities.get(request.identity_id)
+        except IdentityError as exc:
+            raise GatewayError(str(exc)) from exc
+
+    # -- fleet-controller surface ----------------------------------------------------
+    def admitted_count(self, servable_name: str) -> int:
+        """Cumulative admitted arrivals for a servable (monotonic) —
+        the post-policy demand signal a fleet controller should scale
+        on, instead of the topic enqueue counter the WFQ throttle sits
+        in front of."""
+        return sum(self.metrics.tenant_admissions(servable_name).values())
+
+    def tenant_admissions(self, servable_name: str) -> dict[str, int]:
+        """Per-tenant cumulative admitted arrivals for a servable."""
+        return self.metrics.tenant_admissions(servable_name)
+
+    def queued_count(self, servable_name: str) -> int:
+        """Requests for ``servable_name`` still waiting in tenant lanes
+        (backlog the runtime's queue depths cannot see)."""
+        return self._queued_by_servable.get(servable_name, 0)
+
+    def tenant_weight(self, tenant_name: str) -> float:
+        return self.policies.policy(tenant_name).weight
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted requests currently inside the runtime."""
+        return self._outstanding

@@ -31,7 +31,11 @@ from repro.ml.layers import (
     InceptionBlock,
 )
 from repro.ml.serialization import save_weights, load_weights
-from repro.ml.sklearn_like import DecisionTreeRegressor, RandomForestRegressor, RandomForestClassifier
+from repro.ml.sklearn_like import (
+    DecisionTreeRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
 
 __all__ = [
     "Sequential",

@@ -231,7 +231,11 @@ class Conv2D(Layer):
             raise LayerError("kernel_size and stride must be >= 1")
         rng = rng or np.random.default_rng(0)
         fan_in = kernel_size * kernel_size * in_channels
-        self.W = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(kernel_size, kernel_size, in_channels, out_channels))
+        self.W = rng.normal(
+            0.0,
+            np.sqrt(2.0 / fan_in),
+            size=(kernel_size, kernel_size, in_channels, out_channels),
+        )
         self.b = np.zeros(out_channels)
         self.stride = stride
         self.padding = padding

@@ -86,8 +86,84 @@ class VirtualClock:
         """Create a :class:`Stopwatch` bound to this clock, started now."""
         return Stopwatch(self)
 
+    def concurrent(self) -> "ConcurrentRegion":
+        """Open a region whose branches charge ``max``, not ``sum``.
+
+        Code that models N activities happening *in parallel* (e.g. a
+        kubelet starting N pods) still runs serially here, and each
+        activity charges this clock. Wrapping each activity in a
+        :meth:`ConcurrentRegion.branch` makes the region's total
+        virtual-time charge the longest single branch::
+
+            with clock.concurrent() as region:
+                for _ in range(n):
+                    with region.branch():
+                        start_pod()   # charges the clock as usual
+
+        Within a branch, time flows normally from the region's start, so
+        timestamps taken inside (``busy_until``, ``started_at``) land in
+        the branch's own window. To outside observers the clock never
+        moves backwards: it reads the region's start until the region
+        closes at ``start + max(branch durations)``.
+        """
+        return ConcurrentRegion(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VirtualClock(now={self._now:.6f}s)"
+
+
+class ConcurrentRegion:
+    """Context manager converting serial charges into parallel ones.
+
+    Created by :meth:`VirtualClock.concurrent`. Each :meth:`branch`
+    rewinds the clock (privately — the public API stays monotonic) to
+    the region's start before its body runs and records where the body
+    ended; closing the region advances the clock to the latest branch
+    end. A region with no branches charges nothing.
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._base: float | None = None
+        self._max_end: float | None = None
+        self._in_branch = False
+
+    def __enter__(self) -> "ConcurrentRegion":
+        self._base = self._clock.now()
+        self._max_end = self._base
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # On exception the failed branch's partial charge is already
+        # folded into _max_end by _Branch.__exit__; close monotonically.
+        end = max(self._max_end if self._max_end is not None else 0.0, self._clock.now())
+        self._clock._now = end
+        self._clock._advances += 1
+
+    def branch(self) -> "_Branch":
+        if self._base is None:
+            raise ClockError("branch() outside an open concurrent region")
+        if self._in_branch:
+            raise ClockError("concurrent branches cannot nest")
+        return _Branch(self)
+
+
+class _Branch:
+    def __init__(self, region: ConcurrentRegion) -> None:
+        self._region = region
+
+    def __enter__(self) -> "_Branch":
+        region = self._region
+        region._in_branch = True
+        # Rewind to the region's start: this branch runs concurrently
+        # with its siblings, not after them.
+        region._clock._now = region._base
+        return self
+
+    def __exit__(self, *exc) -> None:
+        region = self._region
+        region._in_branch = False
+        region._max_end = max(region._max_end, region._clock.now())
 
 
 class Stopwatch:

@@ -1,0 +1,120 @@
+"""Parallel pod scale-up: N replicas cost max, not sum, of cold starts.
+
+Real kubelets start pods concurrently; ``Deployment.scale`` models that
+with :meth:`VirtualClock.concurrent`, so an N-replica scale-up charges
+the longest single pod start to the clock instead of N serial starts —
+the ROADMAP item that previously restricted the fleet controller's
+replica scaling to idle workers.
+"""
+
+import pytest
+
+from repro.cluster.cluster import KubernetesCluster
+from repro.containers.image import Image, Layer
+from repro.containers.registry import ContainerRegistry
+from repro.sim import calibration as cal
+from repro.sim.clock import ClockError, VirtualClock
+
+
+class TestConcurrentRegion:
+    def test_charges_max_of_branches(self):
+        clock = VirtualClock()
+        with clock.concurrent() as region:
+            for cost in (0.5, 2.0, 1.0):
+                with region.branch():
+                    clock.advance(cost)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_empty_region_charges_nothing(self):
+        clock = VirtualClock()
+        with clock.concurrent():
+            pass
+        assert clock.now() == 0.0
+
+    def test_timestamps_inside_branches_start_at_region_base(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        stamps = []
+        with clock.concurrent() as region:
+            for cost in (1.0, 3.0):
+                with region.branch():
+                    clock.advance(cost)
+                    stamps.append(clock.now())
+        assert stamps == [pytest.approx(11.0), pytest.approx(13.0)]
+        assert clock.now() == pytest.approx(13.0)
+
+    def test_branch_outside_region_and_nesting_are_errors(self):
+        clock = VirtualClock()
+        region = clock.concurrent()
+        with pytest.raises(ClockError):
+            with region.branch():
+                pass
+        with region:
+            with region.branch():
+                with pytest.raises(ClockError):
+                    with region.branch():
+                        pass
+
+    def test_exception_in_branch_keeps_clock_monotonic(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        with pytest.raises(RuntimeError):
+            with clock.concurrent() as region:
+                with region.branch():
+                    clock.advance(1.0)
+                    raise RuntimeError("pod failed")
+        assert clock.now() >= 5.0
+
+
+class TestDeploymentScale:
+    def build_deployment(self, replicas=1):
+        clock = VirtualClock()
+        registry = ContainerRegistry()
+        image = Image(
+            repository="dlhub/m",
+            tag="v1",
+            layers=[Layer("l", extra_bytes=50_000_000)],
+            handler=lambda: "ok",
+        )
+        registry.push(image)
+        cluster = KubernetesCluster(name="test", clock=clock, registry=registry)
+        for i in range(8):
+            cluster.add_node(f"n{i}", 16000, 2**40)
+        deployment = cluster.create_deployment("m", image, replicas=replicas)
+        return clock, deployment
+
+    def test_scale_up_charges_one_cold_start_not_n(self):
+        clock, deployment = self.build_deployment(replicas=1)
+        start = clock.now()
+        deployment.scale(5)
+        elapsed_parallel = clock.now() - start
+        assert len(deployment.ready_pods()) == 5
+
+        clock2, deployment2 = self.build_deployment(replicas=1)
+        start2 = clock2.now()
+        for n in (2, 3, 4, 5):  # one-at-a-time = serial scale-up
+            deployment2.scale(n)
+        elapsed_serial = clock2.now() - start2
+        assert len(deployment2.ready_pods()) == 5
+        # Concurrent start: the 4 added pods cost ~one pod start; the
+        # serial baseline costs ~4. (Layer cache warmth differs per
+        # node, so compare against a loose 2x bound.)
+        assert elapsed_parallel < elapsed_serial / 2
+        # And no less than a single pod's schedule + container start.
+        assert elapsed_parallel >= cal.POD_SCHEDULE_S + cal.CONTAINER_START_S
+
+    def test_scale_down_and_mixed_paths_unchanged(self):
+        clock, deployment = self.build_deployment(replicas=4)
+        before = clock.now()
+        deployment.scale(2)
+        assert len(deployment.ready_pods()) == 2
+        assert clock.now() == before  # termination is free, as before
+
+    def test_single_replica_add_cost_matches_pre_parallel_behaviour(self):
+        """A 1-pod scale-up is degenerate concurrency: identical cost to
+        the old serial path (bit-for-bit reproducibility)."""
+        clock, deployment = self.build_deployment(replicas=1)
+        start = clock.now()
+        deployment.scale(2)
+        one_pod = clock.now() - start
+        assert one_pod >= cal.POD_SCHEDULE_S + cal.CONTAINER_START_S

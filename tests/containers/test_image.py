@@ -96,7 +96,8 @@ class TestImageBuilder:
             ImageBuilder().build(self._dockerfile(), {})
 
     def test_handler_attached(self):
-        handler = lambda x: x + 1
+        def handler(x):
+            return x + 1
         image = ImageBuilder().build(
             self._dockerfile(), {"components/x": b""}, handler=handler
         )

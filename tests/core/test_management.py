@@ -6,7 +6,7 @@ import pytest
 from repro.auth.service import AuthorizationError
 from repro.core.pipeline import Pipeline, PipelineError
 from repro.core.tasks import TaskStatus
-from repro.core.zoo import build_zoo, sample_input
+from repro.core.zoo import build_zoo
 from repro.search.index import Visibility
 
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.runtime import ServingRuntime, ServingRuntimeError
 from repro.core.tasks import TaskRequest
-from repro.core.zoo import build_zoo, sample_input
+from repro.core.zoo import build_zoo
 from repro.messaging.queue import servable_topic
 
 

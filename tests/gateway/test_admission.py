@@ -1,0 +1,112 @@
+"""Unit tests: admission control decisions and the in-flight ledger."""
+
+import pytest
+
+from repro.gateway.admission import AdmissionController, AdmissionOutcome
+from repro.gateway.policy import TenantPolicy
+from repro.sim.clock import VirtualClock
+
+
+def controller():
+    return AdmissionController(VirtualClock())
+
+
+class TestAdmit:
+    def test_unlimited_policy_always_admits(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t")
+        for _ in range(100):
+            assert ctrl.admit(policy, "noop", lane_depth=0).admitted
+        assert ctrl.in_flight("t") == 100
+        assert ctrl.metrics.counters("t").admitted == 100
+
+    def test_rate_limit_denial_is_typed_and_metered(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", rate_limit_rps=10.0, burst=2)
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert ctrl.admit(policy, "noop", 0).admitted
+        decision = ctrl.admit(policy, "noop", 0)
+        assert decision.outcome is AdmissionOutcome.REJECTED_RATE_LIMIT
+        assert not decision.admitted
+        # Denials charge nothing: the ledger holds only the two admits.
+        assert ctrl.in_flight("t") == 2
+        assert ctrl.metrics.counters("t").denied == {"rejected_rate_limit": 1}
+
+    def test_rate_limit_refills_on_virtual_time(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", rate_limit_rps=10.0, burst=1)
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert not ctrl.admit(policy, "noop", 0).admitted
+        ctrl.clock.advance(0.1)
+        assert ctrl.admit(policy, "noop", 0).admitted
+
+    def test_max_in_flight_binds_until_release(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", max_in_flight=2)
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert ctrl.admit(policy, "noop", 0).admitted
+        decision = ctrl.admit(policy, "noop", 0)
+        assert decision.outcome is AdmissionOutcome.REJECTED_MAX_IN_FLIGHT
+        ctrl.release("t", "noop")
+        assert ctrl.admit(policy, "noop", 0).admitted
+
+    def test_per_servable_quota_is_independent_of_global_cap(self):
+        ctrl = controller()
+        policy = TenantPolicy(
+            name="t", max_in_flight=10, servable_quotas={"cifar10": 1}
+        )
+        assert ctrl.admit(policy, "cifar10", 0).admitted
+        quota_denial = ctrl.admit(policy, "cifar10", 0)
+        assert quota_denial.outcome is AdmissionOutcome.REJECTED_SERVABLE_QUOTA
+        # Other servables are unaffected by the cifar10 quota.
+        assert ctrl.admit(policy, "noop", 0).admitted
+        ctrl.release("t", "cifar10")
+        assert ctrl.admit(policy, "cifar10", 0).admitted
+
+    def test_lane_full_sheds_before_spending_tokens(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", rate_limit_rps=1.0, burst=1, max_queued=3)
+        decision = ctrl.admit(policy, "noop", lane_depth=3)
+        assert decision.outcome is AdmissionOutcome.SHED_LANE_FULL
+        # The shed request did not consume the single token.
+        assert ctrl.admit(policy, "noop", lane_depth=0).admitted
+
+    def test_release_underflow_is_an_error(self):
+        ctrl = controller()
+        with pytest.raises(ValueError):
+            ctrl.release("t", "noop")
+
+
+class TestAdmitMany:
+    def test_all_or_nothing_against_every_cap(self):
+        ctrl = controller()
+        policy = TenantPolicy(
+            name="t",
+            rate_limit_rps=100.0,
+            burst=10,
+            max_in_flight=8,
+            max_queued=8,
+            servable_quotas={"noop": 5},
+        )
+        assert ctrl.admit_many(policy, "noop", lane_depth=0, n=5).admitted
+        assert ctrl.in_flight("t", "noop") == 5
+        # Quota: 5 in flight + 1 > 5.
+        decision = ctrl.admit_many(policy, "noop", 0, 1)
+        assert decision.outcome is AdmissionOutcome.REJECTED_SERVABLE_QUOTA
+        # Nothing was charged by the denial.
+        assert ctrl.in_flight("t") == 5
+
+    def test_batch_larger_than_bucket_rejected_atomically(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", rate_limit_rps=1.0, burst=3)
+        decision = ctrl.admit_many(policy, "noop", 0, 4)
+        assert decision.outcome is AdmissionOutcome.REJECTED_RATE_LIMIT
+        # All three tokens are still there for a fitting batch.
+        assert ctrl.admit_many(policy, "noop", 0, 3).admitted
+
+    def test_lane_headroom_counts_the_whole_batch(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", max_queued=4)
+        decision = ctrl.admit_many(policy, "noop", lane_depth=2, n=3)
+        assert decision.outcome is AdmissionOutcome.SHED_LANE_FULL
+        assert ctrl.admit_many(policy, "noop", lane_depth=2, n=2).admitted

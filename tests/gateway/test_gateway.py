@@ -1,0 +1,360 @@
+"""Behavior tests for the ServingGateway: admission failure paths,
+work conservation, fairness under skew, and tenant tagging through
+micro-batch coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import TaskRequest
+from repro.core.zoo import build_zoo, sample_input
+from repro.gateway import (
+    AdmissionOutcome,
+    AdmissionRejected,
+    GatewayError,
+    ServingGateway,
+    TenantPolicy,
+    TenantPolicyTable,
+)
+
+
+def build_gateway(tenant_policies, n_workers=2, max_batch_size=8, **gateway_kwargs):
+    """Testbed + placed 'noop'/'matminer_util' + gateway with bound users.
+
+    ``tenant_policies`` maps username -> TenantPolicy; returns
+    (testbed, gateway, {username: token}).
+    """
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False, memoize_tm=False)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    policies = TenantPolicyTable()
+    tokens = {}
+    identities = {}
+    for username, policy in tenant_policies.items():
+        policies.register(policy)
+        identity, token = testbed.new_user(username)
+        policies.bind_identity(identity, policy.name)
+        tokens[username] = token
+        identities[username] = identity
+    workers = [testbed.add_fleet_worker(f"w{i}") for i in range(n_workers)]
+    from repro.core.runtime import ServingRuntime
+
+    runtime = ServingRuntime(
+        testbed.clock,
+        testbed.management.queue,
+        workers,
+        max_batch_size=max_batch_size,
+        max_coalesce_delay_s=0.005,
+    )
+    for name in ("noop", "matminer_util"):
+        published = testbed.management.publish(testbed.token, zoo[name])
+        runtime.place(zoo[name], published.build.image, copies=n_workers)
+    gateway = ServingGateway(testbed.auth, runtime, policies, **gateway_kwargs)
+    testbed._identities = identities  # convenience for tests
+    return testbed, gateway, tokens
+
+
+def requests_at(rate_rps, duration_s, token, servable="noop", args=(1,)):
+    return [
+        (i / rate_rps, token, TaskRequest(servable, args=args))
+        for i in range(int(rate_rps * duration_s))
+    ]
+
+
+class TestAdmissionFailurePaths:
+    def test_invalid_token_is_a_typed_outcome_not_an_exception(self):
+        testbed, gateway, tokens = build_gateway({"u": TenantPolicy(name="t")})
+        results = gateway.serve(
+            [(0.0, "not-a-token", TaskRequest("noop", args=(1,)))]
+        )
+        assert len(results) == 1
+        assert results[0].decision.outcome is AdmissionOutcome.REJECTED_AUTH
+        assert not results[0].admitted
+        assert gateway.runtime.items_served == 0
+
+    def test_expired_token_rejected_at_admission(self):
+        testbed, gateway, tokens = build_gateway({"u": TenantPolicy(name="t")})
+        expiring = testbed.auth.tokens.issue(
+            testbed._identities["u"], ["dlhub:all"], lifetime_s=1.0
+        )
+        testbed.clock.advance(2.0)
+        results = gateway.serve(
+            [(0.0, expiring.token, TaskRequest("noop", args=(1,)))]
+        )
+        assert results[0].decision.outcome is AdmissionOutcome.REJECTED_AUTH
+        assert "expired" in results[0].decision.detail
+
+    def test_unknown_tenant_rejected(self):
+        testbed, gateway, tokens = build_gateway({"u": TenantPolicy(name="t")})
+        _, stranger_token = testbed.new_user("stranger")  # no binding, no default
+        results = gateway.serve(
+            [(0.0, stranger_token, TaskRequest("noop", args=(1,)))]
+        )
+        assert (
+            results[0].decision.outcome
+            is AdmissionOutcome.REJECTED_UNKNOWN_TENANT
+        )
+
+    def test_sync_path_raises_typed_rejection(self):
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t", rate_limit_rps=1.0, burst=1)}
+        )
+        identity = testbed._identities["u"]
+        assert gateway.invoke_sync(
+            TaskRequest("noop", args=(1,)), identity=identity
+        ).ok
+        with pytest.raises(AdmissionRejected) as excinfo:
+            gateway.invoke_sync(TaskRequest("noop", args=(2,)), identity=identity)
+        assert (
+            excinfo.value.decision.outcome
+            is AdmissionOutcome.REJECTED_RATE_LIMIT
+        )
+
+    def test_shed_when_lane_full(self):
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t", max_queued=2)},
+            max_dispatch_slots=1,
+            slot_reserve=0,
+        )
+        # Burst of 10 at one instant: 1 released to the runtime, 2 lane
+        # slots, the rest shed with a typed outcome.
+        results = gateway.serve(
+            [(0.0, tokens["u"], TaskRequest("noop", args=(i,))) for i in range(10)]
+        )
+        outcomes = [r.decision.outcome for r in results]
+        assert outcomes.count(AdmissionOutcome.ADMITTED) == 3
+        assert outcomes.count(AdmissionOutcome.SHED_LANE_FULL) == 7
+        shed = gateway.metrics.counters("t").denied
+        assert shed == {"shed_lane_full": 7}
+
+    def test_unplaced_servable_is_a_gateway_error(self):
+        testbed, gateway, tokens = build_gateway({"u": TenantPolicy(name="t")})
+        with pytest.raises(Exception):
+            gateway.offer(
+                TaskRequest("missing", args=(1,)),
+                identity=testbed._identities["u"],
+            )
+
+    def test_unplaced_servable_batch_charges_nothing(self):
+        """invoke_sync_many must fail the placement guard *before*
+        admission, or the denial would strand in-flight charges and
+        lane entries forever (regression)."""
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t", max_in_flight=8)}
+        )
+        identity = testbed._identities["u"]
+        with pytest.raises(Exception):
+            gateway.invoke_sync_many(
+                [TaskRequest("missing", args=(i,)) for i in range(3)],
+                identity=identity,
+            )
+        assert gateway.admission.in_flight("t") == 0
+        assert gateway.pending() == 0
+        # The gateway is still fully usable afterwards.
+        assert gateway.invoke_sync(
+            TaskRequest("noop", args=(1,)), identity=identity
+        ).ok
+
+    def test_minimal_slot_budget_constructs(self):
+        """max_dispatch_slots=1 must not trip the derived-reserve
+        validation (regression)."""
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t")}, max_dispatch_slots=1
+        )
+        assert gateway.slot_reserve == 0
+        results = gateway.serve(
+            [(0.0, tokens["u"], TaskRequest("noop", args=(i,))) for i in range(3)]
+        )
+        assert all(r.admitted and r.ok for r in results)
+
+
+class TestWorkConservationAndQuotas:
+    def test_over_quota_tenant_while_others_idle_is_work_conserving(self):
+        """A quota-capped tenant's denials never idle the fleet for the
+        others — and an idle fleet still serves the capped tenant up to
+        its cap."""
+        testbed, gateway, tokens = build_gateway(
+            {
+                "capped": TenantPolicy(
+                    name="capped", rate_limit_rps=10.0, burst=5
+                ),
+                "free": TenantPolicy(name="free"),
+            }
+        )
+        arrivals = requests_at(200.0, 0.5, tokens["capped"]) + requests_at(
+            100.0, 0.5, tokens["free"], args=(2,)
+        )
+        results = gateway.serve(sorted(arrivals, key=lambda a: a[0]))
+        capped = [r for r in results if r.decision.tenant == "capped"]
+        free = [r for r in results if r.decision.tenant == "free"]
+        # The free tenant is untouched by its neighbour's denials.
+        assert all(r.admitted and r.ok for r in free)
+        # The capped tenant got its bucket's worth (burst + refill), and
+        # every denial is the rate-limit outcome.
+        admitted_capped = [r for r in capped if r.admitted]
+        assert 5 <= len(admitted_capped) <= 12
+        assert all(
+            r.decision.outcome is AdmissionOutcome.REJECTED_RATE_LIMIT
+            for r in capped
+            if not r.admitted
+        )
+        assert all(r.ok for r in admitted_capped)
+
+    def test_lone_backlogged_tenant_overflows_its_share(self):
+        """Work conservation: with no competition, one tenant may use
+        (almost) all dispatch slots, not just its weighted share."""
+        testbed, gateway, tokens = build_gateway(
+            {"solo": TenantPolicy(name="solo"), "ghost": TenantPolicy(name="ghost")},
+            max_dispatch_slots=16,
+            slot_reserve=2,
+        )
+        results = gateway.serve(
+            [
+                (0.0, tokens["solo"], TaskRequest("noop", args=(i,)))
+                for i in range(14)
+            ]
+        )
+        assert all(r.admitted and r.ok for r in results)
+        # At some point the solo tenant's outstanding exceeded its
+        # 50% share (8) — the fallback released beyond it.
+        assert gateway.runtime.items_served == 14
+
+    def test_slot_reserve_keeps_headroom_for_new_tenant(self):
+        testbed, gateway, tokens = build_gateway(
+            {"hog": TenantPolicy(name="hog"), "late": TenantPolicy(name="late")},
+            max_dispatch_slots=8,
+            slot_reserve=2,
+        )
+        hog_burst = [
+            (0.0, tokens["hog"], TaskRequest("matminer_util", args=sample_input("matminer_util")))
+            for _ in range(30)
+        ]
+        late_one = [(0.010, tokens["late"], TaskRequest("noop", args=(1,)))]
+        results = gateway.serve(sorted(hog_burst + late_one, key=lambda a: a[0]))
+        late = [r for r in results if r.decision.tenant == "late"]
+        assert late[0].admitted and late[0].ok
+        # The late arrival was released immediately (reserve headroom),
+        # not parked behind the hog's 30-deep burst.
+        late_runtime = late[0].runtime_result
+        assert late_runtime.enqueued_at - late[0].arrived_at < 1e-9
+
+
+class TestFairnessUnderSkew:
+    def test_10_to_1_skew_protects_the_light_tenant(self):
+        testbed, gateway, tokens = build_gateway(
+            {"hot": TenantPolicy(name="hot"), "light": TenantPolicy(name="light")},
+            n_workers=2,
+            max_batch_size=8,
+        )
+        fixed = sample_input("matminer_util")
+        arrivals = sorted(
+            requests_at(400.0, 1.0, tokens["hot"], "matminer_util", fixed)
+            + requests_at(40.0, 1.0, tokens["light"], "matminer_util", fixed),
+            key=lambda a: a[0],
+        )
+        results = gateway.serve(arrivals)
+        assert all(r.admitted and r.ok for r in results)
+        lat = {
+            tenant: np.array(
+                [r.latency for r in results if r.request.tenant == tenant]
+            )
+            for tenant in ("hot", "light")
+        }
+        light_p95 = float(np.percentile(lat["light"], 95))
+        hot_p95 = float(np.percentile(lat["hot"], 95))
+        # The hot tenant eats its own backlog; the light tenant doesn't.
+        assert light_p95 < hot_p95 / 3
+        # And the light tenant's tail stays in the tens of milliseconds
+        # even though the fleet is saturated.
+        assert light_p95 < 0.120
+
+    def test_weights_divide_dispatch_bandwidth(self):
+        testbed, gateway, tokens = build_gateway(
+            {
+                "paid": TenantPolicy(name="paid", weight=3.0),
+                "free": TenantPolicy(name="free", weight=1.0),
+            },
+            n_workers=2,
+            max_batch_size=4,
+        )
+        fixed = sample_input("matminer_util")
+        arrivals = sorted(
+            requests_at(300.0, 1.0, tokens["paid"], "matminer_util", fixed)
+            + requests_at(300.0, 1.0, tokens["free"], "matminer_util", fixed),
+            key=lambda a: a[0],
+        )
+        results = gateway.serve(arrivals)
+        lat = {
+            tenant: np.median(
+                [r.latency for r in results if r.request.tenant == tenant]
+            )
+            for tenant in ("paid", "free")
+        }
+        # Equal offered load, 3:1 weights: the paid tenant's backlog
+        # drains ~3x faster, so its median latency sits well below.
+        assert lat["paid"] < 0.6 * lat["free"]
+
+
+class TestTenantTagging:
+    def test_tags_survive_micro_batch_coalescing(self):
+        testbed, gateway, tokens = build_gateway(
+            {"a": TenantPolicy(name="a"), "b": TenantPolicy(name="b")},
+            n_workers=2,
+            max_batch_size=8,
+        )
+        fixed = sample_input("matminer_util")
+        arrivals = sorted(
+            requests_at(500.0, 0.4, tokens["a"], "matminer_util", fixed)
+            + requests_at(500.0, 0.4, tokens["b"], "matminer_util", fixed),
+            key=lambda a: a[0],
+        )
+        results = gateway.serve(arrivals)
+        assert all(r.admitted and r.ok for r in results)
+        coalesced = [r for r in results if r.runtime_result.batch_size > 1]
+        assert coalesced, "the burst must have produced real micro-batches"
+        # Every item kept its tenant through batching...
+        for result in results:
+            assert result.request.tenant == result.decision.tenant
+        # ...and lanes are tenant-pure: checking any coalesced batch's
+        # members (same worker + completion) agree on tenant.
+        by_batch = {}
+        for r in results:
+            key = (r.runtime_result.worker, r.runtime_result.completed_at)
+            by_batch.setdefault(key, set()).add(r.request.tenant)
+        assert all(len(tenants) == 1 for tenants in by_batch.values())
+
+    def test_in_flight_ledger_settles_after_serve(self):
+        testbed, gateway, tokens = build_gateway(
+            {"t": TenantPolicy(name="t", max_in_flight=64)}
+        )
+        results = gateway.serve(requests_at(200.0, 0.5, tokens["t"]))
+        assert all(r.admitted for r in results)
+        assert gateway.admission.in_flight("t") == 0
+        assert gateway.outstanding == 0
+        assert gateway.pending() == 0
+        counters = gateway.metrics.counters("t")
+        assert counters.admitted == counters.completed == len(results)
+
+
+class TestServeGuards:
+    def test_serve_is_not_reentrant(self):
+        testbed, gateway, tokens = build_gateway({"t": TenantPolicy(name="t")})
+        gateway._serving = True
+        try:
+            with pytest.raises(GatewayError):
+                gateway.serve([])
+        finally:
+            gateway._serving = False
+
+    def test_offer_requires_identity_or_token(self):
+        testbed, gateway, tokens = build_gateway({"t": TenantPolicy(name="t")})
+        with pytest.raises(GatewayError):
+            gateway.offer(TaskRequest("noop", args=(1,)))
+
+    def test_batch_requests_must_be_split(self):
+        testbed, gateway, tokens = build_gateway({"t": TenantPolicy(name="t")})
+        with pytest.raises(GatewayError):
+            gateway.offer(
+                TaskRequest("noop", batch=[1, 2]),
+                identity=testbed._identities["t"],
+            )

@@ -10,7 +10,6 @@ here with reduced work via their module mains only if fast.
 import runpy
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
@@ -63,3 +62,13 @@ class TestExamplesRun:
         assert "worker_down" in out
         assert "the crashed worker served none" in out
         assert "worker_revived" in out
+
+    def test_multi_tenant_gateway(self, capsys):
+        out = run_example("multi_tenant_gateway.py", capsys)
+        # The legacy round-robin TM serves nothing behind the gateway.
+        assert "legacy round-robin TM tasks processed: 0" in out
+        # The guest's over-limit burst got typed rate-limit denials.
+        assert "rejected_rate_limit" in out
+        # Both tenants' latency tables printed (fairness section ran).
+        assert "astro" in out and "chem" in out
+        assert "admitted per tenant" in out

@@ -9,7 +9,7 @@ gracefully (failed tasks become FAILED results, never lost work).
 import pytest
 
 from repro.core.tasks import TaskRequest, TaskStatus
-from repro.core.zoo import build_zoo, sample_input
+from repro.core.zoo import build_zoo
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ timeout lapses and the requests are redelivered to a *different* Task
 Manager; poisoned work dead-letters after ``max_deliveries``.
 """
 
-import pytest
 
 from repro.core.runtime import ServingRuntime
 from repro.core.task_manager import TaskManager

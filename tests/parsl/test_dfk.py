@@ -58,14 +58,16 @@ class TestMemoization:
         assert dfk.memo_hits == 1 and dfk.memo_misses == 1
 
     def test_different_args_miss(self, dfk):
-        f = lambda x: x
+        def f(x):
+            return x
         dfk.submit(f, (1,), cache=True).result()
         dfk.submit(f, (2,), cache=True).result()
         assert dfk.memo_hits == 0
 
     def test_no_cache_by_default(self, dfk):
         calls = []
-        f = lambda: calls.append(1)
+        def f():
+            calls.append(1)
         dfk.submit(f).result()
         dfk.submit(f).result()
         assert len(calls) == 2

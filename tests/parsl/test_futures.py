@@ -83,7 +83,7 @@ class TestDependencies:
         a = dfk.submit(source)
         left = dfk.submit(lambda x: x + 1, (a,))
         right = dfk.submit(lambda x: x * 2, (a,))
-        total = dfk.submit(lambda l, r: l + r, (left, right))
+        total = dfk.submit(lambda a, b: a + b, (left, right))
         assert total.result() == 16
         assert len(calls) == 1
 

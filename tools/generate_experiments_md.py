@@ -63,9 +63,11 @@ def main() -> None:
     )
     r3 = fig3_servables.run_experiment(n_requests=100)
     code_block(fig3_servables.format_report(r3))
-    gap = lambda n: (
-        r3[n]["request_time"]["median_ms"] - r3[n]["invocation_time"]["median_ms"]
-    )
+    def gap(n):
+        return (
+            r3[n]["request_time"]["median_ms"]
+            - r3[n]["invocation_time"]["median_ms"]
+        )
     print(
         f"\nShape check: noop invocation {r3['noop']['invocation_time']['median_ms']:.1f} ms"
         f" (< 20 ✓); inception invocation"

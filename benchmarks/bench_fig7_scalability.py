@@ -3,14 +3,20 @@
 Asserts the paper's shape: throughput scales with replicas then
 saturates; Inception (heaviest) keeps scaling to ~15 replicas while
 lighter servables saturate earlier because serial task dispatch comes to
-dominate. Includes the dispatch-cost ablation from DESIGN.md.
+dominate. Includes the dispatch-cost ablation from DESIGN.md and a
+fast-marked smoke of replica scaling on the *coalesced* serving-runtime
+path (replica-aware ``invoke_batch``), so replica-speedup regressions
+on the micro-batch hot path fail CI.
 """
 
+import pytest
 from conftest import run_once
 
 from repro.bench.fig7_scalability import (
     ablation_dispatch_costs,
+    format_coalesced_report,
     format_report,
+    run_coalesced_replicas,
     run_experiment,
 )
 
@@ -36,6 +42,20 @@ def test_fig7_replica_scaling(benchmark):
     # Lighter servables saturate at roughly the same dispatch-bound peak.
     peaks = {n: d["peak_throughput_rps"] for n, d in results.items()}
     assert abs(peaks["cifar10"] - peaks["matminer_featurize"]) / peaks["cifar10"] < 0.2
+
+
+@pytest.mark.fast
+def test_fig7_coalesced_replica_speedup(benchmark):
+    """Replicas must matter on the coalesced path: a batch-heavy workload
+    at 4 replicas sustains >= 2x the single-replica throughput, because
+    the replica-aware ``invoke_batch`` shards each micro-batch across
+    pods instead of serializing it on one."""
+    results = run_once(benchmark, run_coalesced_replicas, (1, 4))
+    print("\n" + format_coalesced_report(results))
+    assert results["speedup"][4] >= 2.0, results["speedup"]
+    # Batching itself is intact: the backlog coalesced into full-ish
+    # micro-batches in both arms.
+    assert min(results["mean_batch_size"].values()) > 8.0
 
 
 def test_fig7_dispatch_ablation(benchmark):

@@ -3,9 +3,14 @@
 Runs :mod:`repro.bench.multi_tenant_fairness`: a light tenant and a
 10x-hotter tenant share one servable on a saturated fleet, served three
 ways — the light tenant alone (isolated baseline), both tenants behind
-the serving gateway (admission + WFQ lanes + slot shares), and both
-tenants straight onto the runtime's FIFO topic (the pre-gateway status
-quo).
+the serving gateway (admission + WFQ lanes + slot shares + WFQ-tagged
+dispatch arbitration), and both tenants straight onto the runtime's
+FIFO topic (the pre-gateway status quo).
+
+The gateway arm leaves ``max_dispatch_slots`` unset — the budget is
+derived live from fleet capacity — and grows the fleet by two workers
+mid-run, so the bench also guards the budget re-derivation: fairness
+must hold through a scale-up, with no slot tuning.
 
 Expected: behind the gateway the light tenant's p95 end-to-end latency
 stays within 2x of its isolated baseline while the ungated arm degrades
@@ -38,8 +43,18 @@ def test_ablation_multi_tenant_fairness(benchmark):
     assert fair_hot["served"] == params["offered_hot"]
     assert raw_light["served"] == params["offered_light"]
 
-    # The acceptance bar: under a 10:1 skew the gateway holds the light
-    # tenant's p95 within 2x of its isolated-run p95...
+    # The slot budget is live: the mid-run scale-up (two joining
+    # workers) must have re-derived it upward, with no manual sizing.
+    budget = arms["gateway"]["slot_budget"]
+    workers = arms["gateway"]["workers"]
+    assert workers["final"] == workers["initial"] + len(workers["added"])
+    assert len(workers["added"]) == 2
+    assert budget["final"] > budget["initial"]
+
+    # The acceptance bar: under a 10:1 skew — and through the mid-run
+    # fleet scale-up, with the dispatch-slot budget derived live — the
+    # gateway holds the light tenant's p95 within 2x of its isolated-run
+    # p95...
     assert fair_light["p95_ms"] < 2.0 * isolated["p95_ms"]
     # ...while the ungated FIFO path degrades it by an order of
     # magnitude (and unboundedly in offered load — the backlog grows

@@ -18,7 +18,10 @@ saturation point is dispatch-bound (the DESIGN.md ablation).
 from __future__ import annotations
 
 from repro.bench.workloads import ExperimentContext, build_context
-from repro.core.zoo import sample_input
+from repro.core.runtime import ServingRuntime
+from repro.core.tasks import TaskRequest
+from repro.core.testbed import build_testbed
+from repro.core.zoo import build_zoo, sample_input
 
 SERVABLES = ("inception", "cifar10", "matminer_featurize")
 REPLICA_COUNTS = (1, 2, 5, 10, 15, 20, 25)
@@ -85,6 +88,75 @@ def ablation_dispatch_costs(
             "saturation_replicas": saturation,
         }
     return results
+
+
+def run_coalesced_replicas(
+    replica_counts: tuple[int, ...] = (1, 4),
+    n_requests: int = 256,
+    servable: str = "cifar10",
+    max_batch_size: int = 32,
+    seed: int = 0,
+) -> dict:
+    """Replica scaling on the *coalesced* (server-batching) hot path.
+
+    The streaming experiment above shows replicas scaling the Fig. 7
+    dispatch loop; this one shows them scaling the serving runtime's
+    micro-batch path: a batch-heavy backlog (all arrivals at t=0) is
+    coalesced into full micro-batches on one worker whose deployment
+    runs ``replicas`` pods, and the replica-aware ``invoke_batch``
+    shards each batch across them. Throughput at R replicas vs 1 is the
+    speedup replica scaling now buys coalesced traffic — before the
+    replica-aware dispatch it was exactly 1x (the whole batch ran on a
+    single pod).
+    """
+    results: dict = {"throughput_rps": {}, "makespan_s": {}, "mean_batch_size": {}}
+    for replicas in replica_counts:
+        testbed = build_testbed(seed=seed, jitter=False, memoize_tm=False)
+        zoo = build_zoo(seed=seed, oqmd_entries=50, n_estimators=4)
+        worker = testbed.add_fleet_worker("fig7-w0")
+        runtime = ServingRuntime(
+            testbed.clock,
+            testbed.management.queue,
+            [worker],
+            max_batch_size=max_batch_size,
+            max_coalesce_delay_s=0.002,
+        )
+        published = testbed.management.publish(testbed.token, zoo[servable])
+        runtime.place(zoo[servable], published.build.image, replicas=replicas)
+        fixed = sample_input(servable)
+        arrivals = [
+            (0.0, TaskRequest(servable, args=fixed)) for _ in range(n_requests)
+        ]
+        start = testbed.clock.now()
+        served = runtime.serve(arrivals)
+        makespan = testbed.clock.now() - start
+        assert len(served) == n_requests
+        assert all(r.result.ok for r in served)
+        results["makespan_s"][replicas] = makespan
+        results["throughput_rps"][replicas] = n_requests / makespan
+        results["mean_batch_size"][replicas] = runtime.mean_batch_size
+    base = results["throughput_rps"][min(replica_counts)]
+    results["speedup"] = {
+        r: results["throughput_rps"][r] / base for r in replica_counts
+    }
+    results["servable"] = servable
+    results["n_requests"] = n_requests
+    return results
+
+
+def format_coalesced_report(results: dict) -> str:
+    lines = [
+        f"Coalesced-path replica scaling ({results['servable']}, "
+        f"{results['n_requests']} requests, full micro-batches)",
+        f"{'replicas':>9} {'makespan_s':>12} {'throughput_rps':>15} {'speedup':>8}",
+    ]
+    for replicas in sorted(results["throughput_rps"]):
+        lines.append(
+            f"{replicas:>9} {results['makespan_s'][replicas]:>12.3f} "
+            f"{results['throughput_rps'][replicas]:>15.1f} "
+            f"{results['speedup'][replicas]:>8.2f}"
+        )
+    return "\n".join(lines)
 
 
 def format_report(results: dict) -> str:

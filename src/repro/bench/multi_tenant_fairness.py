@@ -18,12 +18,24 @@ control + weighted fair queuing buy under a 10:1 offered-load skew:
   tenant's latency degrades toward the hot tenant's, growing with the
   backlog (unbounded in offered load).
 
+``max_dispatch_slots`` is deliberately left **unset**: the gateway
+derives its outstanding-dispatch budget live from fleet capacity, and
+the contended arm grows the fleet mid-run (two workers join while
+traffic flows) — the budget must track the scale-up, and the light
+tenant's protection must hold through it. That protection now lives in
+the dispatch decision itself (WFQ virtual-finish tags break ties in
+``ServingRuntime._next_window``), so it no longer depends on sizing the
+slot budget tightly against ``max_batch_size * workers``.
+
 Both tenants get equal weights — the fairness here is *isolation from
 someone else's backlog*, not priority. Memoization is off so repeated
 fixed inputs measure dispatch, not the cache (as in the other benches).
 """
 
 from __future__ import annotations
+
+import math
+from collections import deque
 
 import numpy as np
 
@@ -43,14 +55,9 @@ DURATION_S = 3.0
 N_WORKERS = 4
 MAX_BATCH_SIZE = 8
 COALESCE_DELAY_S = 0.005
-#: Outstanding bound sized just above the fleet's in-flight capacity
-#: (4 workers x 8-item batches = 32): the hot tenant can keep every
-#: worker pipelined, but cannot build a released-but-unclaimed backlog
-#: whose older queue heads would outrank the light tenant's dispatch.
-MAX_DISPATCH_SLOTS = 40
-#: Slots over-share overflow may never consume, so a light arrival is
-#: released the moment it is admitted rather than at the next settle.
-SLOT_RESERVE = 8
+#: When the contended arm's fleet grows mid-run (virtual seconds after
+#: serving starts). Each join re-derives the live slot budget.
+SCALE_UP_AT_S = (0.6, 1.2)
 
 
 def _arrivals(rate_rps: float, duration_s: float) -> list[float]:
@@ -85,13 +92,46 @@ def _gateway_over(
     for tenant, token in tokens.items():
         identity = testbed.auth.tokens.introspect(token).identity
         policies.bind_identity(identity, tenant)
-    return ServingGateway(
-        testbed.auth,
-        runtime,
-        policies,
-        max_dispatch_slots=MAX_DISPATCH_SLOTS,
-        slot_reserve=SLOT_RESERVE,
-    )
+    # max_dispatch_slots left unset: the budget is derived live from
+    # fleet capacity and re-derived as workers join mid-run.
+    return ServingGateway(testbed.auth, runtime, policies)
+
+
+class _MidRunScaleUp:
+    """Serve-loop controller that grows the fleet while traffic flows.
+
+    The control-plane action the live slot budget must track: each
+    joining worker re-derives the gateway's outstanding-dispatch budget
+    (via the runtime's fleet-change notification) and gains a servable
+    copy, becoming routable once its deployment cold start completes.
+    """
+
+    def __init__(
+        self,
+        testbed: DLHubTestbed,
+        runtime: ServingRuntime,
+        servable_name: str,
+        at_offsets: tuple[float, ...],
+    ) -> None:
+        self.testbed = testbed
+        self.runtime = runtime
+        self.servable_name = servable_name
+        base = testbed.clock.now()
+        self._plan = deque(
+            (base + offset, i) for i, offset in enumerate(at_offsets)
+        )
+        self.added: list[str] = []
+
+    def next_wakeup(self) -> float:
+        return self._plan[0][0] if self._plan else math.inf
+
+    def on_tick(self) -> None:
+        while self._plan and self._plan[0][0] <= self.testbed.clock.now() + 1e-12:
+            _, i = self._plan.popleft()
+            worker = self.testbed.add_fleet_worker(f"scale-w{i}")
+            self.runtime.add_worker(worker)
+            self.runtime.add_copy(self.servable_name, worker)
+            self.added.append(worker.name)
 
 
 def _tenant_row(latencies: list[float]) -> dict:
@@ -103,9 +143,14 @@ def _tenant_row(latencies: list[float]) -> dict:
     }
 
 
-def _run_gateway_arm(seed: int, include_hot: bool) -> dict:
+def _run_gateway_arm(seed: int, include_hot: bool, scale_up: bool = False) -> dict:
     testbed, runtime, tokens = _fresh_fleet(seed)
     gateway = _gateway_over(testbed, runtime, tokens)
+    initial_slots = gateway.max_dispatch_slots
+    scaler = None
+    if scale_up:
+        scaler = _MidRunScaleUp(testbed, runtime, SERVABLE, SCALE_UP_AT_S)
+        runtime.attach_controller(scaler)
     fixed = sample_input(SERVABLE)
     arrivals = [
         (offset, tokens["light"], TaskRequest(SERVABLE, args=fixed))
@@ -128,6 +173,15 @@ def _run_gateway_arm(seed: int, include_hot: bool) -> dict:
         "mean_batch_size": runtime.mean_batch_size,
         "admitted": {
             t: gateway.metrics.counters(t).admitted for t in by_tenant
+        },
+        "slot_budget": {
+            "initial": initial_slots,
+            "final": gateway.max_dispatch_slots,
+        },
+        "workers": {
+            "initial": N_WORKERS,
+            "final": len(runtime.workers),
+            "added": list(scaler.added) if scaler is not None else [],
         },
     }
     return row
@@ -162,7 +216,7 @@ def _run_ungated_arm(seed: int) -> dict:
 
 def run_experiment(seed: int = 11) -> dict:
     isolated = _run_gateway_arm(seed, include_hot=False)
-    gateway = _run_gateway_arm(seed, include_hot=True)
+    gateway = _run_gateway_arm(seed, include_hot=True, scale_up=True)
     ungated = _run_ungated_arm(seed)
     return {
         "params": {
@@ -172,7 +226,7 @@ def run_experiment(seed: int = 11) -> dict:
             "duration_s": DURATION_S,
             "workers": N_WORKERS,
             "max_batch_size": MAX_BATCH_SIZE,
-            "max_dispatch_slots": MAX_DISPATCH_SLOTS,
+            "scale_up_at_s": list(SCALE_UP_AT_S),
             "offered_light": len(_arrivals(LIGHT_RATE_RPS, DURATION_S)),
             "offered_hot": len(_arrivals(HOT_RATE_RPS, DURATION_S)),
         },
@@ -186,12 +240,14 @@ def run_experiment(seed: int = 11) -> dict:
 
 def format_report(report: dict) -> str:
     params = report["params"]
+    budget = report["arms"]["gateway"]["slot_budget"]
     lines = [
         "Multi-tenant fairness under a 10:1 hot-tenant skew",
         f"  servable={params['servable']}  light={params['light_rate_rps']:g} rps"
         f"  hot={params['hot_rate_rps']:g} rps  duration={params['duration_s']:g} s"
         f"  fleet={params['workers']} workers"
-        f"  dispatch_slots={params['max_dispatch_slots']}",
+        f" (+{len(report['arms']['gateway']['workers']['added'])} mid-run)"
+        f"  live slot budget {budget['initial']} -> {budget['final']}",
         f"  {'arm':<16} {'tenant':<7} {'served':>6} {'median ms':>10} {'p95 ms':>10}",
     ]
     for arm_name, arm in report["arms"].items():

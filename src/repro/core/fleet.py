@@ -52,18 +52,23 @@ DEFAULT_WORKER_IMAGE_BYTES = BASE_IMAGE_SIZES["dlhub/base:latest"]
 
 
 def per_copy_capacity_rps(
-    inference_cost_s: float, max_batch_size: int
+    inference_cost_s: float, max_batch_size: int, replicas: int = 1
 ) -> float:
     """Sustainable single-copy throughput under full micro-batches.
 
     One coalesced batch pays the serial per-batch overheads (Task
     Manager handling/routing, Parsl dispatch/collect, servable shim)
     once, plus the calibrated marginal cost per item — the same
-    amortization model as SS V-B3. Controllers use this as the capacity
-    a placement copy contributes.
+    amortization model as SS V-B3. With ``replicas`` pods behind the
+    copy, the batch body shards across them (replica-aware
+    ``invoke_batch``), so the per-batch execution time is the largest
+    chunk's — ``ceil(B / replicas)`` items — not the whole batch's.
+    Controllers use this as the capacity a placement copy contributes.
     """
     if max_batch_size < 1:
         raise ValueError("max_batch_size must be >= 1")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
     serial = (
         cal.TASK_MANAGER_HANDLING_S
         + cal.TASK_MANAGER_ROUTING_S
@@ -72,7 +77,8 @@ def per_copy_capacity_rps(
         + cal.PARSL_COLLECT_S
     )
     per_item = inference_cost_s + cal.BATCH_ITEM_MARGINAL_S
-    return max_batch_size / (serial + max_batch_size * per_item)
+    largest_chunk = math.ceil(max_batch_size / replicas)
+    return max_batch_size / (serial + largest_chunk * per_item)
 
 
 # ---------------------------------------------------------------------------
@@ -521,7 +527,9 @@ class FleetController:
                         if host.name in alive
                     ),
                     per_copy_capacity_rps=per_copy_capacity_rps(
-                        spec.servable.inference_cost_s, self.runtime.max_batch_size
+                        spec.servable.inference_cost_s,
+                        self.runtime.max_batch_size,
+                        replicas=spec.replicas,
                     ),
                     recent_p95_queue_wait_s=(
                         float(np.percentile(fresh, 95.0)) if fresh else None

@@ -464,10 +464,20 @@ class ManagementService:
             raise PipelineError(f"unknown pipeline {pipeline_name!r}")
         # The whole chain ships server-side as one task; intermediates
         # flow pod-to-pod over the intra-cluster link. With a gateway
-        # attached, each step passes admission + WFQ into the runtime
-        # (tenant caps apply per step); otherwise the legacy direct
-        # Task Manager executes the chain.
+        # attached, the *whole chain* is admitted up front (cost = number
+        # of steps), so a rate-limited tenant is denied before step 1
+        # instead of burning steps 1..k-1 and failing at step k; each
+        # step then rides WFQ into the runtime pre-admitted. Without a
+        # gateway the legacy direct Task Manager executes the chain.
         tm = self._pick_task_manager() if self._gateway is None else None
+        step_names = [
+            self.repository.resolve(step.servable_name).servable.name
+            for step in pipeline.steps
+        ]
+        policy = None
+        if self._gateway is not None:
+            # Raises AdmissionRejected before anything executes.
+            policy = self._gateway.admit_chain(identity, step_names)
         payload = self.serializer.dumps((pipeline.step_names, args))
         self.clock.advance(cal.MANAGEMENT_ENQUEUE_S)
         self.latency.management_to_task_manager.charge_send(self.clock, len(payload))
@@ -475,7 +485,7 @@ class ManagementService:
         value: Any = args
         inference_total = 0.0
         for i, step in enumerate(pipeline.steps):
-            step_name = self.repository.resolve(step.servable_name).servable.name
+            step_name = step_names[i]
             step_args = value if isinstance(value, tuple) else (value,)
             request = TaskRequest(
                 servable_name=step_name,
@@ -485,8 +495,11 @@ class ManagementService:
             if tm is not None:
                 result = tm.process(request)
             else:
-                result = self._gateway.invoke_sync(request, identity=identity)
+                result = self._gateway.invoke_sync_admitted(request, policy)
             if not result.ok:
+                if policy is not None:
+                    # Refund the unexecuted tail's in-flight charges.
+                    self._gateway.release_chain(policy.name, step_names[i + 1 :])
                 result.request_time = self.clock.now() - start
                 self._record(pipeline_name, result)
                 return result

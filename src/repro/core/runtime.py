@@ -150,6 +150,16 @@ class ServingRuntime:
     stage_metrics:
         Optional collector for per-stage latencies; a fresh
         :class:`StageLatencyCollector` is created if omitted.
+    lane_idle_ttl_s:
+        How long (virtual time) a tenant lane may sit empty and idle
+        before it is garbage-collected from the per-servable topic scan.
+        Thousands of churning tenants would otherwise grow
+        ``_lanes`` — and every ``_next_window`` scan — forever.
+    max_lanes_per_servable:
+        Soft bound on tracked lanes per servable: when a submit would
+        exceed it, an immediate GC pass reclaims idle lanes first. The
+        bound is advisory (live lanes are never dropped), but it keeps
+        the per-servable topic scan proportional to *active* tenants.
     """
 
     def __init__(
@@ -160,6 +170,8 @@ class ServingRuntime:
         max_batch_size: int = 32,
         max_coalesce_delay_s: float = 0.010,
         stage_metrics: StageLatencyCollector | None = None,
+        lane_idle_ttl_s: float = 5.0,
+        max_lanes_per_servable: int = 64,
     ) -> None:
         if not workers:
             raise ServingRuntimeError("at least one worker is required")
@@ -170,6 +182,10 @@ class ServingRuntime:
             raise ServingRuntimeError("max_batch_size must be >= 1")
         if max_coalesce_delay_s < 0:
             raise ServingRuntimeError("max_coalesce_delay_s must be >= 0")
+        if lane_idle_ttl_s <= 0:
+            raise ServingRuntimeError("lane_idle_ttl_s must be > 0")
+        if max_lanes_per_servable < 1:
+            raise ServingRuntimeError("max_lanes_per_servable must be >= 1")
         self.clock = clock
         self.queue = queue
         self.workers = list(workers)
@@ -183,6 +199,16 @@ class ServingRuntime:
         #: single request never pays the inference time of a hot
         #: tenant's batchmates.
         self._lanes: dict[str, set[str]] = {}
+        self.lane_idle_ttl_s = lane_idle_ttl_s
+        self.max_lanes_per_servable = max_lanes_per_servable
+        #: Last submit/claim activity per (servable, lane) — the idle
+        #: clock that lane GC reads.
+        self._lane_active: dict[tuple[str, str], float] = {}
+        self._next_lane_gc = clock.now() + lane_idle_ttl_s
+        self.lanes_collected = 0
+        #: Per worker: the virtual time its last provisioning/placement
+        #: cold start completes (see :meth:`is_warming`).
+        self._warm_at: dict[str, float] = {}
         self._specs: dict[str, PlacementSpec] = {}
         self._down: set[str] = set()
         self._pending: list[_PendingBatch] = []
@@ -211,6 +237,11 @@ class ServingRuntime:
                 f"worker {worker.name!r} does not consume this runtime's queue"
             )
         self.workers.append(worker)
+        # A provisioned worker may join with a cold start already
+        # charged to its clock (container pull + start); it is warming
+        # until global time catches up.
+        self._warm_at[worker.name] = worker.clock.now()
+        self._notify_fleet_change()
         return worker
 
     def remove_worker(self, worker_name: str) -> TaskManager:
@@ -225,7 +256,33 @@ class ServingRuntime:
             )
         self.workers.remove(worker)
         self._down.discard(worker_name)
+        self._warm_at.pop(worker_name, None)
+        self._notify_fleet_change()
         return worker
+
+    def is_warming(self, worker: TaskManager) -> bool:
+        """Whether the worker is still paying a provisioning or
+        placement cold start (container pull + pod start charged to its
+        clock by :meth:`add_worker` / :meth:`add_copy` / :meth:`place`).
+
+        A warming worker becomes routable the moment its clock is
+        reached, but capacity planners (the gateway's live slot budget)
+        should not count it until then — unlike a worker merely busy
+        serving, whose clock lead is bounded by one micro-batch and
+        represents work actually flowing.
+        """
+        return self._warm_at.get(worker.name, 0.0) > self.clock.now() + _EPS
+
+    def _notify_fleet_change(self) -> None:
+        """Tell the attached ingress the fleet's capacity moved.
+
+        A gateway sizing its dispatch-slot budget off live capacity
+        re-derives the budget (and reserve) here, so worker add/remove
+        and liveness flips show up in admission headroom immediately
+        instead of at the next settle.
+        """
+        if self._ingress is not None and hasattr(self._ingress, "on_fleet_change"):
+            self._ingress.on_fleet_change()
 
     def free_at(self, worker: TaskManager) -> float:
         """When ``worker`` can accept its next batch.
@@ -278,6 +335,7 @@ class ServingRuntime:
             worker.register_servable(
                 servable, image, executor_name=executor_name, replicas=replicas
             )
+            self._mark_warming(worker)
         self._hosts[servable.name] = chosen
         self._specs[servable.name] = PlacementSpec(
             servable=servable,
@@ -316,9 +374,20 @@ class ServingRuntime:
             executor_name=spec.executor_name,
             replicas=spec.replicas,
         )
+        self._mark_warming(worker)
         self._warm_memo_cache(servable_name, hosts, worker)
         hosts.append(worker)
         return worker
+
+    def _mark_warming(self, worker: TaskManager) -> None:
+        """Record the deployment cold start just charged to ``worker``'s
+        clock; capacity planners exclude it until global time catches
+        up (:meth:`is_warming`), and the budget re-derives now so the
+        exclusion takes effect immediately."""
+        self._warm_at[worker.name] = max(
+            self._warm_at.get(worker.name, 0.0), worker.clock.now()
+        )
+        self._notify_fleet_change()
 
     def _warm_memo_cache(
         self, servable_name: str, donors: list[TaskManager], target: TaskManager
@@ -385,9 +454,11 @@ class ServingRuntime:
         """Take a worker out of routing (crash / maintenance / draining)."""
         self.worker(worker_name)
         self._down.add(worker_name)
+        self._notify_fleet_change()
 
     def mark_up(self, worker_name: str) -> None:
         self._down.discard(worker_name)
+        self._notify_fleet_change()
 
     def revive(self, worker_name: str) -> TaskManager:
         """Bring a down worker back into routing (its registrations and
@@ -397,6 +468,7 @@ class ServingRuntime:
         if worker_name not in self._down:
             raise ServingRuntimeError(f"worker {worker_name!r} is not down")
         self._down.discard(worker_name)
+        self._notify_fleet_change()
         return worker
 
     def _is_live(self, worker: TaskManager) -> bool:
@@ -498,11 +570,60 @@ class ServingRuntime:
         # Reject unplaced servables at the door: once enqueued they would
         # poison the serve loop for every other topic.
         self.hosts(request.servable_name)
+        name = request.servable_name
         lane = "requests" if request.tenant is None else f"tenant-{request.tenant}"
-        self._lanes.setdefault(request.servable_name, {"requests"}).add(lane)
-        return self.queue.put(
-            request, topic=servable_topic(request.servable_name, lane=lane)
+        lanes = self._lanes.setdefault(name, {"requests"})
+        if lane not in lanes and len(lanes) >= self.max_lanes_per_servable:
+            # Over the scan bound: reclaim idle lanes before tracking a
+            # new one (live lanes are never dropped — the bound is soft).
+            self._gc_servable_lanes(name, self.clock.now(), self._pending_topics())
+        lanes.add(lane)
+        self._lane_active[(name, lane)] = self.clock.now()
+        return self.queue.put(request, topic=servable_topic(name, lane=lane))
+
+    # -- tenant lane lifecycle ------------------------------------------------------
+    def gc_lanes(self, now: float | None = None) -> int:
+        """Drop tenant lanes that are empty, settled, and idle past TTL.
+
+        A lane is collectable when its topic holds no ready messages,
+        nothing claimed off it is still in flight (queued or parked on
+        the pending list), and its last submit/claim activity is older
+        than ``lane_idle_ttl_s``. The default ``"requests"`` lane is
+        never collected. Returns the number of lanes dropped.
+        """
+        now = self.clock.now() if now is None else now
+        pending_topics = self._pending_topics()
+        return sum(
+            self._gc_servable_lanes(name, now, pending_topics)
+            for name in list(self._lanes)
         )
+
+    def _pending_topics(self) -> set[str]:
+        """Topics with messages parked on the in-flight pending list."""
+        return {m.topic for batch in self._pending for m in batch.messages}
+
+    def _gc_servable_lanes(
+        self, name: str, now: float, pending_topics: set[str]
+    ) -> int:
+        lanes = self._lanes.get(name)
+        if not lanes:
+            return 0
+        dropped = 0
+        for lane in sorted(lanes):
+            if lane == "requests":
+                continue
+            topic = servable_topic(name, lane=lane)
+            if self.queue.ready_count(topic):
+                continue
+            if topic in pending_topics or self.queue.inflight_count_for(topic):
+                continue
+            if now - self._lane_active.get((name, lane), now) < self.lane_idle_ttl_s:
+                continue
+            lanes.discard(lane)
+            self._lane_active.pop((name, lane), None)
+            dropped += 1
+        self.lanes_collected += dropped
+        return dropped
 
     def queue_depth(self, servable_name: str) -> int:
         """Ready requests for a servable across all of its queue lanes."""
@@ -546,15 +667,25 @@ class ServingRuntime:
         earliest host-free time to the future-event horizon; a topic with
         no live host at all is skipped (the work is not lost — a later
         serve() after mark_up/revive picks it up).
+
+        When several windows are due at once, arbitration is the
+        dispatch-level fairness decision: heads carrying a gateway WFQ
+        virtual-finish tag (:attr:`TaskRequest.dispatch_tag`) dispatch
+        in tag order, so a light tenant's fresh request outranks a hot
+        tenant's older backlog without the gateway having to starve its
+        own slot budget. Untagged heads keep the legacy
+        oldest-window-first order (and outrank tagged ones, so a
+        gateway-less deployment is bit-for-bit unchanged).
         """
-        due: tuple[float, str] | None = None
+        due: tuple[float, float, str] | None = None
         next_event = math.inf
         for name in self._hosts:
             routed = False  # routing is per servable, not per lane
             worker, earliest_free = None, math.inf
             for lane in sorted(self._lanes.get(name, {"requests"})):
                 topic = servable_topic(name, lane=lane)
-                if not self.queue.ready_count(topic):
+                head = self.queue.oldest_ready(topic)
+                if head is None:
                     continue
                 if not routed:
                     worker, earliest_free = self._route(name, now)
@@ -564,13 +695,19 @@ class ServingRuntime:
                 flush_at = self._flush_due(topic)
                 if flush_at <= now + _EPS:
                     if worker is not None:
-                        if due is None or (flush_at, topic) < due:
-                            due = (flush_at, topic)
+                        tag = getattr(head.body, "dispatch_tag", None)
+                        rank = (
+                            (-math.inf) if tag is None else tag,
+                            flush_at,
+                            topic,
+                        )
+                        if due is None or rank < due:
+                            due = rank
                     else:
                         next_event = min(next_event, earliest_free)
                 else:
                     next_event = min(next_event, flush_at)
-        return (due[1] if due else None), next_event
+        return (due[2] if due else None), next_event
 
     def _split_batch(
         self,
@@ -581,19 +718,27 @@ class ServingRuntime:
         """Fan a batch TaskResult back out to per-item results.
 
         Memo-hit items keep their per-item identity (``cache_hit=True``,
-        zero inference); the batch's inference time is shared equally
-        across the dispatched misses (items of one servable cost the
-        same per the calibrated model). ``invocation_time`` is the whole
-        batch's trip — items in a batch complete together.
+        zero inference). Dispatched misses are attributed their replica
+        chunk's inference share (``chunk.inference_time / chunk items``)
+        when the executor reported chunk metadata, falling back to an
+        equal split of the batch's inference otherwise (items of one
+        servable cost the same per the calibrated model).
+        ``invocation_time`` is the whole batch's trip — items in a batch
+        complete together.
+
+        Failure recovery is per chunk: a batch whose chunks partially
+        failed settles surviving chunks and memo hits normally and
+        FAILs only the dead chunk's items. A batch that failed before
+        any chunk dispatched (routing error, no ready pods, every chunk
+        dead) dooms all misses, while memo-hit items are re-served as
+        single requests (a ~1 ms cache hit at the worker).
         """
-        if not batch_result.ok:
-            # A failed dispatch only dooms the misses: items the memo
-            # cache answered are still recoverable — re-serve each as a
-            # single request (a ~1 ms cache hit at the worker).
-            recoverable = set(batch_result.batch_hits)
+        hit_set = set(batch_result.batch_hits)
+        if not batch_result.ok and not batch_result.batch_chunks:
+            # Pre-dispatch (or total) failure: only memo hits survive.
             return [
                 worker.process(req)
-                if i in recoverable
+                if i in hit_set
                 else TaskResult(
                     task_uuid=req.task_uuid,
                     status=TaskStatus.FAILED,
@@ -602,22 +747,47 @@ class ServingRuntime:
                 )
                 for i, req in enumerate(requests)
             ]
-        hit_set = set(batch_result.batch_hits)
-        n_misses = len(requests) - len(hit_set)
-        inference_share = (
-            batch_result.inference_time / n_misses if n_misses else 0.0
-        )
-        return [
-            TaskResult(
-                task_uuid=req.task_uuid,
-                status=TaskStatus.SUCCEEDED,
-                value=value,
-                inference_time=0.0 if i in hit_set else inference_share,
-                invocation_time=batch_result.invocation_time,
-                cache_hit=i in hit_set,
+        shares: dict[int, float] = {}
+        chunk_errors: dict[int, str] = {}
+        for chunk in batch_result.batch_chunks:
+            if chunk.error is not None:
+                for i in chunk.items:
+                    chunk_errors[i] = chunk.error
+                continue
+            per_item = chunk.inference_time / len(chunk.items) if chunk.items else 0.0
+            for i in chunk.items:
+                shares[i] = per_item
+        if not batch_result.batch_chunks:
+            # Executor without chunk metadata: equal split, as before.
+            n_misses = len(requests) - len(hit_set)
+            equal = batch_result.inference_time / n_misses if n_misses else 0.0
+            shares = {
+                i: equal for i in range(len(requests)) if i not in hit_set
+            }
+        values = batch_result.value or [None] * len(requests)
+        results = []
+        for i, req in enumerate(requests):
+            if i in chunk_errors:
+                results.append(
+                    TaskResult(
+                        task_uuid=req.task_uuid,
+                        status=TaskStatus.FAILED,
+                        error=chunk_errors[i],
+                        invocation_time=batch_result.invocation_time,
+                    )
+                )
+                continue
+            results.append(
+                TaskResult(
+                    task_uuid=req.task_uuid,
+                    status=TaskStatus.SUCCEEDED,
+                    value=values[i],
+                    inference_time=0.0 if i in hit_set else shares.get(i, 0.0),
+                    invocation_time=batch_result.invocation_time,
+                    cache_hit=i in hit_set,
+                )
             )
-            for i, (req, value) in enumerate(zip(requests, batch_result.value))
-        ]
+        return results
 
     def _dispatch_topic(self, topic: str) -> None:
         """Claim a micro-batch off ``topic`` and dispatch it to a free host.
@@ -632,6 +802,8 @@ class ServingRuntime:
         assert head is not None
         servable_name = head.body.servable_name
         now = self.clock.now()
+        # Claiming is lane activity: an active tenant's lane never GCs.
+        self._lane_active[(servable_name, topic.split("/", 2)[1])] = now
         # Resolve routing before claiming so a routing failure leaves the
         # messages ready (not stranded in flight awaiting expiry).
         worker, _ = self._route(servable_name, now)
@@ -766,6 +938,11 @@ class ServingRuntime:
             if self._controller is not None:
                 self._controller.on_tick()
             now = self.clock.now()
+            if now >= self._next_lane_gc:
+                # Amortized: one full lane sweep per half-TTL keeps the
+                # per-servable topic scan bounded by *active* tenants.
+                self.gc_lanes(now)
+                self._next_lane_gc = now + self.lane_idle_ttl_s / 2
             settled = self._settle(now, arrival_times)
             results.extend(settled)
             if self._ingress is not None:

@@ -15,7 +15,7 @@ from typing import Any
 from repro.core.executors import DLHubExecutor
 from repro.core.memo import MemoCache
 from repro.core.servable import Servable
-from repro.core.tasks import TaskRequest, TaskResult, TaskStatus
+from repro.core.tasks import BatchChunk, TaskRequest, TaskResult, TaskStatus
 from repro.messaging.queue import QueueEmpty, TaskQueue
 from repro.sim import calibration as cal
 from repro.sim.clock import VirtualClock
@@ -252,10 +252,46 @@ class TaskManager:
                     batch_hits=hit_indices,
                 )
             inference_time = outcome.inference_time
+            # Rebase the executor's chunk map (indices into the miss
+            # list) onto the original batch items, so downstream fan-out
+            # can attribute per-chunk shares and per-chunk failures.
+            chunks = tuple(
+                BatchChunk(
+                    items=tuple(misses[j] for j in chunk.items),
+                    pod=chunk.pod,
+                    inference_time=chunk.inference_time,
+                    error=chunk.error,
+                )
+                for chunk in outcome.chunks
+            )
+            failed_items = {i for c in chunks if c.error for i in c.items}
             for i, value in zip(misses, outcome.value):
+                if i in failed_items:
+                    continue  # a failed chunk produced no usable value
                 values[i] = value
                 if signatures[i] is not None:
                     self.cache.store(signatures[i], value)
+            if failed_items:
+                # Some replica chunks died while siblings finished: the
+                # batch envelope is FAILED, but per-chunk metadata lets
+                # the serving runtime settle surviving chunks (and memo
+                # hits) normally — only the failed chunk's items are
+                # doomed.
+                first_error = next(c.error for c in chunks if c.error)
+                self.tasks_processed += 1
+                return TaskResult(
+                    task_uuid=request.task_uuid,
+                    status=TaskStatus.FAILED,
+                    value=values,
+                    error=first_error,
+                    inference_time=inference_time,
+                    invocation_time=self.clock.now() - invoke_start,
+                    batch_cache_hits=hits,
+                    batch_hits=hit_indices,
+                    batch_chunks=chunks,
+                )
+        else:
+            chunks = ()
         self.tasks_processed += 1
         return TaskResult(
             task_uuid=request.task_uuid,
@@ -266,6 +302,7 @@ class TaskManager:
             cache_hit=bool(items) and not misses,
             batch_cache_hits=hits,
             batch_hits=hit_indices,
+            batch_chunks=chunks,
         )
 
     # -- queue loop ---------------------------------------------------------------------------

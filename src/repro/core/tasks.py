@@ -58,6 +58,14 @@ class TaskRequest:
     #: micro-batches keep each item's original request, so per-item
     #: tenant attribution survives batching.
     tenant: str | None = None
+    #: WFQ virtual-finish tag stamped by the gateway when the request is
+    #: released into the runtime. The serving runtime's dispatch
+    #: arbitration (`ServingRuntime._next_window`) breaks ties between
+    #: due coalescing windows by this tag, so cross-lane fairness holds
+    #: at the dispatch decision itself rather than only at release time.
+    #: ``None`` for untagged (gateway-less) traffic, which keeps the
+    #: legacy oldest-head-first order.
+    dispatch_tag: float | None = None
     #: Batch of inputs (mutually exclusive with args for batched tasks).
     batch: list | None = None
     task_uuid: str = field(default_factory=lambda: str(uuid.uuid4()))
@@ -81,6 +89,32 @@ class TaskRequest:
         return (self.servable_name, args, tuple(sorted(kwargs.items())))
 
 
+@dataclass(frozen=True)
+class BatchChunk:
+    """One replica-chunk of a dispatched batch.
+
+    A replica-aware executor shards a batch across ready pods; each
+    chunk runs concurrently on one pod and succeeds or fails on its
+    own. ``items`` indexes into the batch the chunk was cut from — the
+    executor reports indices into the dispatched (miss) list, and the
+    Task Manager rebases them onto the original batch items so callers
+    fanning results back out (``ServingRuntime._split_batch``) can
+    charge per-chunk inference shares and fail only the chunk that
+    actually failed.
+    """
+
+    items: tuple[int, ...]
+    #: Name of the replica pod that served (or dropped) the chunk.
+    pod: str
+    #: The chunk's own busy time (queue wait at the pod + execution).
+    inference_time: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
 @dataclass
 class TaskResult:
     """The outcome of one task, with its timing decomposition."""
@@ -101,6 +135,11 @@ class TaskResult:
     batch_cache_hits: int = 0
     #: For batch tasks: the indices of the memo-hit items.
     batch_hits: tuple[int, ...] = ()
+    #: For batch tasks: how the dispatched misses were sharded across
+    #: replica pods, with per-chunk timing and per-chunk failures
+    #: (indices are into the original batch items). Empty when nothing
+    #: was dispatched or the executor predates replica-aware batching.
+    batch_chunks: tuple[BatchChunk, ...] = ()
 
     @property
     def ok(self) -> bool:

@@ -157,9 +157,11 @@ class AdmissionController:
         """All-or-nothing admission for ``n`` items of one servable.
 
         The synchronous batch path needs atomicity: checking the whole
-        batch against the lane cap, bucket, and in-flight caps before
+        batch against the lane cap, in-flight caps, and bucket before
         charging anything means a denial never strands half a batch in
-        a lane holding ledger charges it cannot settle.
+        a lane holding ledger charges it cannot settle. The bucket is
+        charged last (after the free checks), so a batch denied by an
+        in-flight cap burns no rate-limit tokens.
         """
         if n < 1:
             raise ValueError("admit_many requires n >= 1")
@@ -171,14 +173,6 @@ class AdmissionController:
                 servable_name,
                 f"lane holds {lane_depth} + batch {n} > "
                 f"max_queued={policy.max_queued}",
-            )
-        bucket = self.bucket(policy)
-        if bucket is not None and not bucket.try_take(n):
-            return self._deny(
-                AdmissionOutcome.REJECTED_RATE_LIMIT,
-                tenant,
-                servable_name,
-                f"bucket lacks {n} tokens at {policy.rate_limit_rps:g} rps",
             )
         if (
             policy.max_in_flight is not None
@@ -200,12 +194,99 @@ class AdmissionController:
                 f"{self.in_flight(tenant, servable_name)} + batch {n} on "
                 f"{servable_name!r} > quota {quota}",
             )
+        bucket = self.bucket(policy)
+        if bucket is not None and not bucket.try_take(n):
+            return self._deny(
+                AdmissionOutcome.REJECTED_RATE_LIMIT,
+                tenant,
+                servable_name,
+                f"bucket lacks {n} tokens at {policy.rate_limit_rps:g} rps",
+            )
         self._in_flight[tenant] = self.in_flight(tenant) + n
         key = (tenant, servable_name)
         self._in_flight_by_servable[key] = self._in_flight_by_servable.get(key, 0) + n
         for _ in range(n):
             self.metrics.record_admitted(tenant, servable_name)
         return AdmissionDecision(AdmissionOutcome.ADMITTED, tenant, servable_name)
+
+    def admit_chain(
+        self, policy: TenantPolicy, servable_names: list[str], lane_depth: int
+    ) -> AdmissionDecision:
+        """All-or-nothing admission for a pipeline chain.
+
+        A chain executes its steps sequentially, so admitting each step
+        separately lets a rate-limited tenant burn steps ``1..k-1``
+        only to be denied at step ``k``. Here the whole chain is
+        checked — and its ledger charges taken — up front: the token
+        bucket pays one token per step, ``max_in_flight`` must absorb
+        every step, and per-servable quotas are checked with each
+        servable's multiplicity in the chain. On denial nothing is
+        charged — the free checks run first and the bucket is charged
+        last, so a chain denied by an in-flight cap burns no tokens. A
+        chain longer than the tenant's burst is payable whenever the
+        bucket is full (it goes into debt and refills at the sustained
+        rate — see :meth:`TokenBucket.try_take`), so whole-chain
+        admission never turns a slow-but-working pipeline into a
+        permanent denial. On admission the caller must settle each
+        step's charge (steps release as they complete; an aborted
+        chain's unexecuted steps are refunded via :meth:`release`).
+
+        Only one step occupies the tenant's gateway lane at a time, so
+        the ``max_queued`` shed check stays per-request.
+        """
+        if not servable_names:
+            raise ValueError("admit_chain requires at least one step")
+        tenant = policy.name
+        n = len(servable_names)
+        label = f"chain {servable_names}"
+        if policy.max_queued is not None and lane_depth >= policy.max_queued:
+            return self._deny(
+                AdmissionOutcome.SHED_LANE_FULL,
+                tenant,
+                servable_names[0],
+                f"lane holds {lane_depth} >= max_queued={policy.max_queued}",
+            )
+        if (
+            policy.max_in_flight is not None
+            and self.in_flight(tenant) + n > policy.max_in_flight
+        ):
+            return self._deny(
+                AdmissionOutcome.REJECTED_MAX_IN_FLIGHT,
+                tenant,
+                servable_names[0],
+                f"{self.in_flight(tenant)} + {label} in flight > "
+                f"{policy.max_in_flight}",
+            )
+        multiplicity: dict[str, int] = {}
+        for name in servable_names:
+            multiplicity[name] = multiplicity.get(name, 0) + 1
+        for name, count in multiplicity.items():
+            quota = policy.servable_quota(name)
+            if quota is not None and self.in_flight(tenant, name) + count > quota:
+                return self._deny(
+                    AdmissionOutcome.REJECTED_SERVABLE_QUOTA,
+                    tenant,
+                    name,
+                    f"{self.in_flight(tenant, name)} + {count} chain step(s) "
+                    f"on {name!r} > quota {quota}",
+                )
+        bucket = self.bucket(policy)
+        if bucket is not None and not bucket.try_take(n, allow_debt=True):
+            return self._deny(
+                AdmissionOutcome.REJECTED_RATE_LIMIT,
+                tenant,
+                servable_names[0],
+                f"bucket lacks {n} tokens for {label} at "
+                f"{policy.rate_limit_rps:g} rps",
+            )
+        self._in_flight[tenant] = self.in_flight(tenant) + n
+        for name in servable_names:
+            key = (tenant, name)
+            self._in_flight_by_servable[key] = (
+                self._in_flight_by_servable.get(key, 0) + 1
+            )
+            self.metrics.record_admitted(tenant, name)
+        return AdmissionDecision(AdmissionOutcome.ADMITTED, tenant, servable_names[0])
 
     def _deny(
         self,

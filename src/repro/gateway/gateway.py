@@ -127,18 +127,28 @@ class ServingGateway:
         (on queue topics or being served) at once. This is the knob
         that makes fair queuing bite: lanes drain into the runtime only
         as slots free, so dispatch order follows WFQ tags rather than
-        raw arrival order. The default sizes it to the fleet's
-        in-flight capacity plus the reserve
-        (``max_batch_size * workers + slot_reserve``): enough to keep
-        every worker pipelined, while a backlogged tenant cannot park a
-        released-but-unclaimed queue backlog whose older heads would
-        outrank other tenants' dispatch.
+        raw arrival order. Left unset (the default), the budget is
+        *live*: it tracks the fleet's in-flight capacity plus the
+        reserve (``max_batch_size * routable_workers + slot_reserve``)
+        and is re-derived whenever the runtime's fleet changes (worker
+        add/remove, liveness flips) — so a controller scaling the fleet
+        grows admission headroom with it instead of serving new workers
+        under a stale budget. An explicit integer pins the budget.
     slot_reserve:
         Slots an over-share tenant may never consume (default: an
         eighth of the slot budget, at least 1). Work conservation lets
         a lone backlogged tenant overflow its share, but the reserve
         keeps instant headroom so another tenant's first request is
         released at arrival instead of waiting for a settle.
+    capacity_hint:
+        Optional ``() -> int`` returning the number of routable workers
+        the live budget should be sized to. Defaults to counting the
+        runtime's alive workers that are not *warming* (still paying a
+        provisioning/placement cold start — ``runtime.is_warming``);
+        counting those would let a hot tenant park a backlog against
+        capacity that cannot serve for seconds. A fleet controller can
+        substitute its own view (e.g. excluding draining workers it is
+        about to retire).
     """
 
     def __init__(
@@ -149,24 +159,32 @@ class ServingGateway:
         max_dispatch_slots: int | None = None,
         slot_reserve: int | None = None,
         metrics: TenantUsageCollector | None = None,
+        capacity_hint=None,
     ) -> None:
         if max_dispatch_slots is not None and max_dispatch_slots < 1:
             raise GatewayError("max_dispatch_slots must be >= 1")
         self.auth = auth
         self.runtime = runtime
         self.policies = policies
-        if max_dispatch_slots is None:
-            in_flight_capacity = runtime.max_batch_size * len(runtime.workers)
+        self.capacity_hint = capacity_hint
+        self._dynamic_slots = max_dispatch_slots is None
+        self._reserve_spec = slot_reserve
+        if self._dynamic_slots:
+            if slot_reserve is not None and slot_reserve < 0:
+                raise GatewayError("slot_reserve must be >= 0")
+            self.max_dispatch_slots = 1  # placeholder; derived just below
+            self.slot_reserve = 0
+            self._derive_budget()
+        else:
             if slot_reserve is None:
-                slot_reserve = max(1, in_flight_capacity // 8)
-            max_dispatch_slots = in_flight_capacity + slot_reserve
-        elif slot_reserve is None:
-            # A derived reserve must leave at least one usable slot.
-            slot_reserve = min(max(1, max_dispatch_slots // 8), max_dispatch_slots - 1)
-        self.max_dispatch_slots = max_dispatch_slots
-        if not 0 <= slot_reserve < self.max_dispatch_slots:
-            raise GatewayError("slot_reserve must be in [0, max_dispatch_slots)")
-        self.slot_reserve = slot_reserve
+                # A derived reserve must leave at least one usable slot.
+                slot_reserve = min(
+                    max(1, max_dispatch_slots // 8), max_dispatch_slots - 1
+                )
+            self.max_dispatch_slots = max_dispatch_slots
+            if not 0 <= slot_reserve < self.max_dispatch_slots:
+                raise GatewayError("slot_reserve must be in [0, max_dispatch_slots)")
+            self.slot_reserve = slot_reserve
         self.metrics = metrics or TenantUsageCollector()
         self.admission = AdmissionController(runtime.clock, self.metrics)
         self.scheduler = WeightedFairScheduler()
@@ -179,6 +197,50 @@ class ServingGateway:
         self._serve_log: list[GatewayResult] = []
         self._serving = False
         runtime.attach_ingress(self)
+
+    # -- live slot budget -----------------------------------------------------------
+    def _derive_budget(self) -> None:
+        """Re-derive the slot budget and reserve from live fleet capacity.
+
+        ``max_batch_size * warm_routable_workers`` keeps every worker
+        that can actually serve pipelined; the reserve rides on top. A
+        worker still paying a provisioning/placement cold start
+        (``runtime.is_warming``) is excluded until it warms — its slots
+        arrive when it can use them — while a worker merely busy with a
+        micro-batch stays counted, however heavy the batch. A fleet
+        with zero countable workers keeps a one-worker budget so
+        admitted work can park in the runtime's queue while the
+        controller heals the fleet.
+        """
+        if self.capacity_hint is not None:
+            workers = self.capacity_hint()
+        else:
+            workers = sum(
+                1
+                for w in self.runtime.alive_workers()
+                if not self.runtime.is_warming(w)
+            )
+        in_flight_capacity = self.runtime.max_batch_size * max(1, workers)
+        reserve = (
+            max(1, in_flight_capacity // 8)
+            if self._reserve_spec is None
+            else self._reserve_spec
+        )
+        self.max_dispatch_slots = in_flight_capacity + max(reserve, 0)
+        self.slot_reserve = min(max(reserve, 0), self.max_dispatch_slots - 1)
+
+    def on_fleet_change(self) -> None:
+        """Runtime hook: the worker fleet changed (add/remove/liveness).
+
+        With a live budget, re-derive it and pump immediately — capacity
+        added mid-run starts admitting queued lane work right away. A
+        shrink never cancels outstanding work; the pump simply stays
+        closed until settles bring ``outstanding`` under the new budget.
+        """
+        if not self._dynamic_slots:
+            return
+        self._derive_budget()
+        self._pump()
 
     # -- auth / tenant resolution -------------------------------------------------
     def authenticate(self, token: str) -> Identity:
@@ -319,6 +381,12 @@ class ServingGateway:
             entry = self.scheduler.dequeue_from(below or set(backlogged))
             request: TaskRequest = entry.item
             self._queued_by_servable[request.servable_name] -= 1
+            # Carry the WFQ virtual-finish tag into the runtime: when
+            # several coalescing windows are due at once, dispatch
+            # arbitration follows these tags instead of oldest-head
+            # order, so fairness no longer depends on sizing the slot
+            # budget tightly against the fleet's in-flight capacity.
+            request.dispatch_tag = entry.finish_tag
             self.runtime.submit(request)
             self._outstanding += 1
             self._outstanding_by_tenant[entry.tenant] = (
@@ -327,6 +395,10 @@ class ServingGateway:
 
     # -- ingress protocol (driven by ServingRuntime.serve) --------------------------
     def on_tick(self, now: float) -> None:
+        if self._dynamic_slots:
+            # Cold-started workers warm up between fleet-change events;
+            # tracking them per tick keeps the budget honest both ways.
+            self._derive_budget()
         while (
             self._sched_i < len(self._schedule)
             and self._schedule[self._sched_i][0] <= now + _EPS
@@ -467,6 +539,84 @@ class ServingGateway:
         self._pump()
         self.runtime.drain()
         return [r.runtime_result.result for r in results]
+
+    # -- pipeline chains --------------------------------------------------------------
+    def admit_chain(
+        self, identity: Identity, servable_names: list[str]
+    ) -> TenantPolicy:
+        """Admit a whole pipeline chain up front (cost = number of steps).
+
+        Raises :class:`AdmissionRejected` if any step would be denied —
+        *before* anything executes, so a rate-limited tenant's chain can
+        no longer burn steps ``1..k-1`` and then fail at step ``k``.
+        Returns the resolved policy; the caller runs each step through
+        :meth:`invoke_sync_admitted` and must :meth:`release_chain` the
+        unexecuted tail if a step fails mid-chain.
+        """
+        if not servable_names:
+            raise GatewayError("admit_chain requires at least one step")
+        for name in servable_names:
+            # Unplaced steps are deployment bugs; fail before charging.
+            self.runtime.hosts(name)
+        policy = self.resolve_tenant(identity)
+        if policy is None:
+            self.metrics.record_denied(
+                UNKNOWN_TENANT, AdmissionOutcome.REJECTED_UNKNOWN_TENANT.value
+            )
+            raise AdmissionRejected(
+                AdmissionDecision(
+                    AdmissionOutcome.REJECTED_UNKNOWN_TENANT,
+                    None,
+                    servable_names[0],
+                    f"identity {identity.qualified_name} maps to no tenant",
+                )
+            )
+        decision = self.admission.admit_chain(
+            policy, list(servable_names), self.scheduler.depth(policy.name)
+        )
+        if not decision.admitted:
+            raise AdmissionRejected(decision)
+        return policy
+
+    def invoke_sync_admitted(
+        self, request: TaskRequest, policy: TenantPolicy
+    ) -> TaskResult:
+        """Serve one pre-admitted chain step synchronously.
+
+        Admission (and its ledger charge) already happened in
+        :meth:`admit_chain`; this only schedules, pumps, and drains.
+        The step's in-flight charge releases through the normal
+        settlement path (:meth:`on_settled`).
+        """
+        request.tenant = policy.name
+        self.scheduler.enqueue(policy.name, policy.weight, request)
+        self._queued_by_servable[request.servable_name] = (
+            self._queued_by_servable.get(request.servable_name, 0) + 1
+        )
+        result = GatewayResult(
+            request=request,
+            decision=AdmissionDecision(
+                AdmissionOutcome.ADMITTED, policy.name, request.servable_name
+            ),
+            arrived_at=self.runtime.clock.now(),
+        )
+        self._open[request.task_uuid] = result
+        self._pump()
+        self.runtime.drain()
+        if result.runtime_result is None:  # pragma: no cover - drain settles all
+            raise GatewayError(f"request {request.task_uuid} did not complete")
+        return result.runtime_result.result
+
+    def release_chain(self, tenant: str, servable_names: list[str]) -> None:
+        """Refund the in-flight charges of a chain's unexecuted steps.
+
+        Called when a step fails mid-chain: steps ``k+1..n`` were
+        admitted (and charged) up front but will never run, so their
+        ledger charges must not leak. Rate-limit tokens are *not*
+        refunded — the tenant spent its budget on a chain that failed.
+        """
+        for name in servable_names:
+            self.admission.release(tenant, name)
 
     def _request_identity(self, request: TaskRequest) -> Identity:
         if request.identity_id is None:

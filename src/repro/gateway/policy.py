@@ -127,11 +127,22 @@ class TokenBucket:
         self._refill()
         return self._tokens
 
-    def try_take(self, n: float = 1.0) -> bool:
-        """Take ``n`` tokens if available; False (no debt) otherwise."""
+    def try_take(self, n: float = 1.0, allow_debt: bool = False) -> bool:
+        """Take ``n`` tokens if available; False (no debt) otherwise.
+
+        With ``allow_debt=True``, a charge larger than the bucket's
+        capacity is allowed when the bucket is *full*: the balance goes
+        negative and must refill past zero before the next take
+        succeeds. This keeps atomic multi-token charges (pipeline
+        chains admitted whole, cost = steps) payable at the sustained
+        rate even when the chain is longer than the burst — without it
+        such a chain would be denied forever, a regression from
+        admitting its steps one token at a time.
+        """
         self._refill()
         if self._tokens + 1e-12 < n:
-            return False
+            if not (allow_debt and n > self.burst and self._tokens + 1e-12 >= self.burst):
+                return False
         self._tokens -= n
         return True
 

@@ -224,6 +224,16 @@ class TaskQueue:
     def inflight_count(self) -> int:
         return len(self._inflight)
 
+    def inflight_count_for(self, topic: str) -> int:
+        """Claimed-but-unsettled messages on one topic.
+
+        Lane lifecycle management uses this: a lane whose topic still
+        has claims outstanding (a consumer crashed mid-batch and the
+        visibility timeout hasn't lapsed) must not be garbage-collected,
+        or the redelivered messages would land on an unscanned topic.
+        """
+        return sum(1 for msg in self._inflight.values() if msg.topic == topic)
+
     @property
     def dead_letters(self) -> list[QueuedMessage]:
         return list(self._dead)

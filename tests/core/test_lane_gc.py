@@ -1,0 +1,106 @@
+"""Tenant lane lifecycle: idle lanes GC out of the topic scan.
+
+Per-tenant sub-topics used to accumulate in ``ServingRuntime._lanes``
+forever; with thousands of churning tenants every ``_next_window`` scan
+(and ``queue_depth``) paid for all of history. A lane is collected once
+its topic is empty, nothing claimed from it is still in flight, and the
+tenant has been idle past ``lane_idle_ttl_s``.
+"""
+
+from repro.core.runtime import ServingRuntime
+from repro.core.tasks import TaskRequest
+from repro.core.zoo import build_zoo
+from repro.messaging.queue import servable_topic
+
+
+def build_runtime(**kwargs):
+    from repro.core.testbed import build_testbed
+
+    testbed = build_testbed(jitter=False, memoize_tm=False)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    runtime = ServingRuntime(
+        testbed.clock,
+        testbed.management.queue,
+        [testbed.task_manager],
+        max_batch_size=4,
+        **kwargs,
+    )
+    published = testbed.management.publish(testbed.token, zoo["noop"])
+    runtime.place(zoo["noop"], published.build.image)
+    return testbed, runtime
+
+
+def lanes_of(runtime, servable="noop"):
+    return set(runtime._lanes.get(servable, set()))
+
+
+class TestLaneGC:
+    def test_idle_tenant_lane_is_collected(self):
+        testbed, runtime = build_runtime(lane_idle_ttl_s=1.0)
+        runtime.submit(TaskRequest("noop", tenant="ephemeral"))
+        runtime.drain()
+        assert "tenant-ephemeral" in lanes_of(runtime)
+
+        # Not yet idle long enough.
+        testbed.clock.advance(0.5)
+        assert runtime.gc_lanes() == 0
+        testbed.clock.advance(1.0)
+        assert runtime.gc_lanes() == 1
+        assert lanes_of(runtime) == {"requests"}
+        assert runtime.lanes_collected == 1
+
+    def test_default_lane_never_collected(self):
+        testbed, runtime = build_runtime(lane_idle_ttl_s=0.1)
+        runtime.submit(TaskRequest("noop"))
+        runtime.drain()
+        testbed.clock.advance(10.0)
+        assert runtime.gc_lanes() == 0
+        assert lanes_of(runtime) == {"requests"}
+
+    def test_lane_with_ready_work_survives(self):
+        testbed, runtime = build_runtime(lane_idle_ttl_s=0.1)
+        runtime.submit(TaskRequest("noop", tenant="parked"))
+        testbed.clock.advance(10.0)
+        assert runtime.gc_lanes() == 0
+        assert "tenant-parked" in lanes_of(runtime)
+        # Once served and idle again, it goes.
+        runtime.drain()
+        testbed.clock.advance(10.0)
+        assert runtime.gc_lanes() == 1
+
+    def test_lane_with_inflight_claim_survives(self):
+        testbed, runtime = build_runtime(lane_idle_ttl_s=0.1)
+        runtime.submit(TaskRequest("noop", tenant="ghost"))
+        topic = servable_topic("noop", lane="tenant-ghost")
+        # A consumer claims and dies: the message is in flight, not
+        # ready — the lane must survive so redelivery lands on a
+        # scanned topic.
+        runtime.queue.claim(topic)
+        testbed.clock.advance(10.0)
+        assert runtime.gc_lanes() == 0
+        assert "tenant-ghost" in lanes_of(runtime)
+
+    def test_serve_loop_runs_gc(self):
+        testbed, runtime = build_runtime(lane_idle_ttl_s=0.05)
+        runtime.submit(TaskRequest("noop", tenant="bursty"))
+        runtime.drain()
+        # A later schedule advances the clock past the TTL; the loop's
+        # periodic sweep collects the idle lane without an explicit call.
+        results = runtime.serve([(0.5, TaskRequest("noop"))])
+        assert len(results) == 1
+        assert lanes_of(runtime) == {"requests"}
+
+    def test_submit_bounds_tracked_lanes(self):
+        testbed, runtime = build_runtime(
+            lane_idle_ttl_s=0.1, max_lanes_per_servable=4
+        )
+        # Churn more tenants than the bound; each round drains and goes
+        # idle before the next submit arrives.
+        for i in range(12):
+            runtime.submit(TaskRequest("noop", tenant=f"t{i}"))
+            runtime.drain()
+            testbed.clock.advance(0.2)
+        # The soft bound forced opportunistic GC on the way: tracked
+        # lanes stayed near the bound instead of growing to 13.
+        assert len(lanes_of(runtime)) <= 5
+        assert runtime.lanes_collected >= 8

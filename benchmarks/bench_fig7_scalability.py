@@ -56,6 +56,17 @@ def test_fig7_coalesced_replica_speedup(benchmark):
     # Batching itself is intact: the backlog coalesced into full-ish
     # micro-batches in both arms.
     assert min(results["mean_batch_size"].values()) > 8.0
+    # The shared capacity model (per_copy_capacity_rps, ceil(B/R)
+    # sharding) predicts the measured coalesced throughput — the
+    # entitlement for the fleet controller and the unified Autoscaler
+    # to size replicas from the model instead of live profiling.
+    for replicas, measured in results["throughput_rps"].items():
+        predicted = results["predicted_rps"][replicas]
+        assert abs(measured - predicted) / predicted < 0.10, (
+            replicas,
+            measured,
+            predicted,
+        )
 
 
 def test_fig7_dispatch_ablation(benchmark):

@@ -1,13 +1,17 @@
 """An elastic serving fleet run by the control plane.
 
-One Task Manager and a :class:`FleetController` front two servables.
-When a traffic spike arrives, the controller detects it from queue
-depth and arrival-rate estimates, provisions workers (paying container
-cold starts), re-shards the hot servable, and tunes per-host replica
-counts with the Fig. 7 cost model; after the spike it drains back down.
-Then a worker crashes: health tracking spots it, a replacement is
-provisioned, placements migrate, and the crashed worker rejoins once it
-recovers.
+One Task Manager and a :class:`FleetController` front two servables,
+driven by a *predictive* policy: :class:`PredictiveScaling` wraps the
+queue-wait SLO policy and projects each servable's arrival rate one
+provisioning lead time ahead (trend extrapolation via
+:class:`ArrivalForecaster`), so the spike's rising edge triggers
+scale-up before the reactive estimate catches up — every pre-provision
+decision lands in the event log as ``demand_forecast``. The controller
+provisions workers (paying container cold starts), re-shards the hot
+servable, and tunes per-host replica counts with the shared capacity
+model; after the spike it drains back down. Then a worker crashes:
+health tracking spots it, a replacement is provisioned, placements
+migrate, and the crashed worker rejoins once it recovers.
 
 Run with::
 
@@ -19,7 +23,11 @@ from __future__ import annotations
 from collections import Counter
 
 from repro import build_testbed, build_zoo, sample_input
-from repro.core.fleet import FleetController, QueueLatencySLOPolicy
+from repro.core.fleet import (
+    FleetController,
+    PredictiveScaling,
+    QueueLatencySLOPolicy,
+)
 from repro.core.runtime import ServingRuntime
 from repro.core.tasks import TaskRequest
 
@@ -66,7 +74,12 @@ def main() -> None:
     controller = FleetController(
         runtime,
         provision_worker=testbed.add_fleet_worker,
-        policy=QueueLatencySLOPolicy(slo_s=0.080),
+        # Predictive wrapper: plan on demand projected one provisioning
+        # lead time ahead, so capacity lands before the spike peaks.
+        policy=PredictiveScaling(
+            QueueLatencySLOPolicy(slo_s=0.080),
+            reconcile_interval_s=INTERVAL_S,
+        ),
         interval_s=INTERVAL_S,
         min_workers=1,
         max_workers=3,

@@ -18,10 +18,12 @@ saturation point is dispatch-bound (the DESIGN.md ablation).
 from __future__ import annotations
 
 from repro.bench.workloads import ExperimentContext, build_context
+from repro.core.adaptive import per_copy_capacity_rps
 from repro.core.runtime import ServingRuntime
 from repro.core.tasks import TaskRequest
 from repro.core.testbed import build_testbed
 from repro.core.zoo import build_zoo, sample_input
+from repro.sim import calibration as cal
 
 SERVABLES = ("inception", "cifar10", "matminer_featurize")
 REPLICA_COUNTS = (1, 2, 5, 10, 15, 20, 25)
@@ -108,8 +110,21 @@ def run_coalesced_replicas(
     speedup replica scaling now buys coalesced traffic — before the
     replica-aware dispatch it was exactly 1x (the whole batch ran on a
     single pod).
+
+    Each row also carries the *shared capacity model's* prediction
+    (:func:`~repro.core.adaptive.per_copy_capacity_rps` at the same
+    batch size and replica count) — the figure the fleet controller
+    and the unified :class:`~repro.core.adaptive.Autoscaler` plan
+    from. Measured and predicted throughput tracking each other is
+    what entitles the control plane to size replicas from the model
+    instead of live profiling.
     """
-    results: dict = {"throughput_rps": {}, "makespan_s": {}, "mean_batch_size": {}}
+    results: dict = {
+        "throughput_rps": {},
+        "predicted_rps": {},
+        "makespan_s": {},
+        "mean_batch_size": {},
+    }
     for replicas in replica_counts:
         testbed = build_testbed(seed=seed, jitter=False, memoize_tm=False)
         zoo = build_zoo(seed=seed, oqmd_entries=50, n_estimators=4)
@@ -134,6 +149,9 @@ def run_coalesced_replicas(
         assert all(r.result.ok for r in served)
         results["makespan_s"][replicas] = makespan
         results["throughput_rps"][replicas] = n_requests / makespan
+        results["predicted_rps"][replicas] = per_copy_capacity_rps(
+            cal.inference_cost(servable), max_batch_size, replicas
+        )
         results["mean_batch_size"][replicas] = runtime.mean_batch_size
     base = results["throughput_rps"][min(replica_counts)]
     results["speedup"] = {
@@ -145,21 +163,29 @@ def run_coalesced_replicas(
 
 
 def format_coalesced_report(results: dict) -> str:
+    """Render measured vs shared-capacity-model throughput per replica count."""
     lines = [
         f"Coalesced-path replica scaling ({results['servable']}, "
         f"{results['n_requests']} requests, full micro-batches)",
-        f"{'replicas':>9} {'makespan_s':>12} {'throughput_rps':>15} {'speedup':>8}",
+        f"{'replicas':>9} {'makespan_s':>12} {'throughput_rps':>15} "
+        f"{'model_rps':>10} {'speedup':>8}",
     ]
     for replicas in sorted(results["throughput_rps"]):
         lines.append(
             f"{replicas:>9} {results['makespan_s'][replicas]:>12.3f} "
             f"{results['throughput_rps'][replicas]:>15.1f} "
+            f"{results['predicted_rps'][replicas]:>10.1f} "
             f"{results['speedup'][replicas]:>8.2f}"
         )
+    lines.append(
+        "model_rps = per_copy_capacity_rps(...): the shared capacity model "
+        "the fleet controller and unified Autoscaler size replicas from"
+    )
     return "\n".join(lines)
 
 
 def format_report(results: dict) -> str:
+    """Render the per-servable makespan/throughput tables."""
     lines = ["Fig. 7 reproduction: makespan of 5000 inferences vs replica count"]
     for name, data in results.items():
         lines.append(
@@ -177,6 +203,7 @@ def format_report(results: dict) -> str:
 
 
 def main() -> None:  # pragma: no cover
+    """Print the Fig. 7 report (module entry point)."""
     print(format_report(run_experiment()))
 
 

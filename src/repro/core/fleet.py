@@ -29,18 +29,38 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
 from repro.containers.image import BASE_IMAGE_SIZES
 from repro.containers.runtime import cold_start_cost_s
-from repro.core.adaptive import Autoscaler, ProfileError
+from repro.core.adaptive import (
+    ArrivalForecaster,
+    Autoscaler,
+    Forecast,
+    ProfileError,
+    per_copy_capacity_rps,
+)
 from repro.core.runtime import ServingRuntime
 from repro.core.task_manager import TaskManager, TaskManagerError
 from repro.messaging.queue import servable_topic
-from repro.sim import calibration as cal
+
+__all__ = [
+    "FleetController",
+    "FleetControllerError",
+    "FleetEvent",
+    "FleetObservation",
+    "FleetPlan",
+    "FleetPolicy",
+    "PredictiveScaling",
+    "QueueLatencySLOPolicy",
+    "ServableDemand",
+    "TargetUtilizationPolicy",
+    "WorkerHealth",
+    "per_copy_capacity_rps",
+]
 
 
 class FleetControllerError(RuntimeError):
@@ -49,36 +69,6 @@ class FleetControllerError(RuntimeError):
 
 #: Image a freshly provisioned Task Manager must pull before joining.
 DEFAULT_WORKER_IMAGE_BYTES = BASE_IMAGE_SIZES["dlhub/base:latest"]
-
-
-def per_copy_capacity_rps(
-    inference_cost_s: float, max_batch_size: int, replicas: int = 1
-) -> float:
-    """Sustainable single-copy throughput under full micro-batches.
-
-    One coalesced batch pays the serial per-batch overheads (Task
-    Manager handling/routing, Parsl dispatch/collect, servable shim)
-    once, plus the calibrated marginal cost per item — the same
-    amortization model as SS V-B3. With ``replicas`` pods behind the
-    copy, the batch body shards across them (replica-aware
-    ``invoke_batch``), so the per-batch execution time is the largest
-    chunk's — ``ceil(B / replicas)`` items — not the whole batch's.
-    Controllers use this as the capacity a placement copy contributes.
-    """
-    if max_batch_size < 1:
-        raise ValueError("max_batch_size must be >= 1")
-    if replicas < 1:
-        raise ValueError("replicas must be >= 1")
-    serial = (
-        cal.TASK_MANAGER_HANDLING_S
-        + cal.TASK_MANAGER_ROUTING_S
-        + cal.PARSL_DISPATCH_S
-        + cal.SERVABLE_SHIM_S
-        + cal.PARSL_COLLECT_S
-    )
-    per_item = inference_cost_s + cal.BATCH_ITEM_MARGINAL_S
-    largest_chunk = math.ceil(max_batch_size / replicas)
-    return max_batch_size / (serial + largest_chunk * per_item)
 
 
 # ---------------------------------------------------------------------------
@@ -171,6 +161,7 @@ class FleetPolicy:
     name = "base"
 
     def plan(self, observation: FleetObservation) -> FleetPlan:
+        """Derive the desired fleet state from one observation."""
         raise NotImplementedError
 
     @staticmethod
@@ -212,6 +203,7 @@ class TargetUtilizationPolicy(FleetPolicy):
         self.backlog_horizon_s = backlog_horizon_s
 
     def plan(self, observation: FleetObservation) -> FleetPlan:
+        """Derive the desired fleet state from one observation."""
         copies: dict[str, int] = {}
         for demand in observation.demands:
             pressure = (
@@ -263,6 +255,7 @@ class QueueLatencySLOPolicy(FleetPolicy):
         self.safety = safety
 
     def plan(self, observation: FleetObservation) -> FleetPlan:
+        """Derive the desired fleet state from one observation."""
         copies: dict[str, int] = {}
         for demand in observation.demands:
             capacity = self.safety * demand.per_copy_capacity_rps
@@ -293,6 +286,98 @@ class QueueLatencySLOPolicy(FleetPolicy):
         return FleetPlan(
             target_workers=self._fleet_size(copies, observation), copies=copies
         )
+
+
+class PredictiveScaling(FleetPolicy):
+    """Plan against *forecast* demand so capacity lands before the spike.
+
+    Reactive policies see a spike only after it arrives, which means
+    every scale-up pays the full provisioning cold start (~2 s for the
+    default worker image) while the backlog compounds. This policy
+    wraps any base policy and feeds it demand projected one
+    *provisioning lead time* ahead: each reconcile it
+
+    1. feeds the observation's per-servable effective arrival rate into
+       an :class:`~repro.core.adaptive.ArrivalForecaster` (trend +
+       optional seasonality),
+    2. projects the rate at ``observation.time + lead_time_s``, and
+    3. re-plans the observation with each demand's rate raised to
+       ``max(current, forecast)`` before delegating to the base policy.
+
+    The ``max`` keeps the policy conservative: flat traffic forecasts
+    flat (no over-provisioning versus the base policy), while a rising
+    edge extrapolates ahead of the EWMA so workers are provisioned one
+    or more reconciles earlier — enough to hide most of the cold start.
+    Scale-*down* decisions are untouched: a decaying forecast below the
+    current rate defers to the base policy's own hysteresis.
+
+    Parameters
+    ----------
+    base:
+        The reactive policy to wrap (default
+        :class:`TargetUtilizationPolicy`).
+    forecaster:
+        The projection engine; supply a seasonal one
+        (``ArrivalForecaster(seasonal_period_s=...)``) when traffic has
+        a known cycle.
+    lead_time_s:
+        How far ahead to project. Defaults to the provisioning cold
+        start of ``worker_image_bytes`` plus ``reconcile_interval_s`` —
+        the soonest newly ordered capacity could possibly serve.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        base: FleetPolicy | None = None,
+        forecaster: ArrivalForecaster | None = None,
+        lead_time_s: float | None = None,
+        worker_image_bytes: int = DEFAULT_WORKER_IMAGE_BYTES,
+        reconcile_interval_s: float = 0.25,
+    ) -> None:
+        if lead_time_s is None:
+            lead_time_s = cold_start_cost_s(worker_image_bytes) + reconcile_interval_s
+        if lead_time_s <= 0:
+            raise ValueError("lead_time_s must be > 0")
+        self.base = base or TargetUtilizationPolicy()
+        self.forecaster = forecaster or ArrivalForecaster()
+        self.lead_time_s = lead_time_s
+        #: Most recent per-servable projections (read by the controller
+        #: for ``demand_forecast`` events).
+        self.last_forecasts: dict[str, Forecast] = {}
+        #: Rates the base policy actually planned on —
+        #: ``max(current, forecast)`` — also used for replica sizing.
+        self.last_planning_rates: dict[str, float] = {}
+
+    def plan(self, observation: FleetObservation) -> FleetPlan:
+        """Feed the forecaster, project ahead, and delegate to ``base``."""
+        self.last_forecasts = {}
+        self.last_planning_rates = {}
+        projected = []
+        for demand in observation.demands:
+            rate = demand.effective_rate_rps
+            self.forecaster.observe(demand.name, observation.time, rate)
+            forecast = self.forecaster.forecast(
+                demand.name, observation.time + self.lead_time_s
+            )
+            planning_rate = max(rate, forecast.rate_rps)
+            self.last_forecasts[demand.name] = forecast
+            self.last_planning_rates[demand.name] = planning_rate
+            projected.append(
+                replace(
+                    demand,
+                    arrival_rate_rps=planning_rate,
+                    # effective_rate_rps prefers the weighted figure, so
+                    # the boost must land there when tenancy is known.
+                    weighted_arrival_rate_rps=(
+                        planning_rate
+                        if demand.weighted_arrival_rate_rps is not None
+                        else None
+                    ),
+                )
+            )
+        return self.base.plan(replace(observation, demands=tuple(projected)))
 
 
 # ---------------------------------------------------------------------------
@@ -390,6 +475,10 @@ class FleetController:
         self._downed: set[str] = set()
         self._provisioned: set[str] = set()
         self._autoscalers: dict[tuple[str, str], Autoscaler] = {}
+        #: Last-seen cumulative per-pod busy totals, so replica-scaling
+        #: events report imbalance over the *recent* window rather than
+        #: a since-start ratio an early straggler would skew forever.
+        self._pod_busy_seen: dict[tuple[str, str], float] = {}
         self._names = itertools.count(1)
         self._next_at = runtime.clock.now()
         runtime.attach_controller(self)
@@ -406,6 +495,7 @@ class FleetController:
 
     # -- event log ----------------------------------------------------------------
     def events_of(self, *kinds: str) -> list[FleetEvent]:
+        """Events whose kind is one of ``kinds``, in log order."""
         return [e for e in self.events if e.kind in kinds]
 
     def _record(self, kind: str, subject: str, **detail) -> None:
@@ -557,6 +647,7 @@ class FleetController:
         self._check_health(now)
         observation = self.observe(now)
         plan = self.policy.plan(observation)
+        self._record_forecasts(observation)
         self._scale_workers(plan, now)
         self._rebalance(plan, now)
         if self.autoscale_replicas:
@@ -565,6 +656,34 @@ class FleetController:
             self.peak_routable_workers, len(self.runtime.alive_workers())
         )
         return plan
+
+    def _record_forecasts(self, observation: FleetObservation) -> None:
+        """Log scale-ahead signals from a forecasting policy.
+
+        A :class:`PredictiveScaling` policy (or any policy exposing
+        ``last_forecasts``) plans on projected demand; whenever the
+        projection meaningfully exceeds the observed rate — i.e. the
+        plan just pre-provisioned for demand that has not arrived yet —
+        a ``demand_forecast`` event records both figures, so operators
+        can audit every pre-provision decision against what the
+        forecaster believed at the time.
+        """
+        forecasts = getattr(self.policy, "last_forecasts", None)
+        if not forecasts:
+            return
+        lead = getattr(self.policy, "lead_time_s", 0.0)
+        current = {d.name: d.effective_rate_rps for d in observation.demands}
+        for name, forecast in sorted(forecasts.items()):
+            rate = current.get(name, 0.0)
+            if forecast.rate_rps > rate * 1.05 + 1e-9:
+                self._record(
+                    "demand_forecast",
+                    name,
+                    rate_rps=round(rate, 3),
+                    forecast_rps=round(forecast.rate_rps, 3),
+                    trend_rps_per_s=round(forecast.trend_per_s, 3),
+                    lead_time_s=round(lead, 3),
+                )
 
     # -- health -------------------------------------------------------------------
     def _check_health(self, now: float) -> None:
@@ -811,9 +930,21 @@ class FleetController:
 
     # -- replica scaling ----------------------------------------------------------
     def _scale_replicas(self, observation: FleetObservation, now: float) -> None:
+        """Size each hosted copy's replica pods from the shared model.
+
+        Per-host :class:`Autoscaler` instances are built with the
+        runtime's ``max_batch_size``, so replica sizing inverts the
+        same :func:`per_copy_capacity_rps` model the policies plan
+        copies from — the coalesced data plane and the replica layer
+        can no longer disagree about capacity. A forecasting policy's
+        planning rates (which already include the projection) drive
+        replica counts too, so pods pre-provision alongside workers.
+        """
+        planning_rates = getattr(self.policy, "last_planning_rates", {})
         for demand in observation.demands:
             hosts = self.runtime.placement().get(demand.name, ())
-            per_copy_rate = demand.arrival_rate_rps / max(demand.live_copies, 1)
+            rate = planning_rates.get(demand.name, demand.effective_rate_rps)
+            per_copy_rate = rate / max(demand.live_copies, 1)
             for worker in self.runtime.alive_workers():
                 if worker.name not in hosts:
                     continue
@@ -832,7 +963,11 @@ class FleetController:
                     continue
                 scaler = self._autoscalers.setdefault(
                     (worker.name, executor.label),
-                    Autoscaler(executor, max_replicas=self.max_replicas_per_host),
+                    Autoscaler(
+                        executor,
+                        max_replicas=self.max_replicas_per_host,
+                        max_batch_size=self.runtime.max_batch_size,
+                    ),
                 )
                 try:
                     want = scaler.recommend(demand.name, per_copy_rate)
@@ -841,10 +976,38 @@ class FleetController:
                     continue
                 if want != have:
                     scaler.autoscale(demand.name, per_copy_rate)
+                    imbalance = self.runtime.stage_metrics.pod_imbalance(
+                        demand.name,
+                        busy=self._pod_busy_window(demand.name, worker.name),
+                    )
                     self._record(
                         "replicas_scaled",
                         demand.name,
                         worker=worker.name,
                         replicas=want,
                         previous=have,
+                        **(
+                            {"chunk_imbalance": round(imbalance, 3)}
+                            if imbalance is not None
+                            else {}
+                        ),
                     )
+
+    def _pod_busy_window(self, servable: str, worker_name: str) -> dict[str, float]:
+        """Per-pod busy-time deltas since this method last sampled.
+
+        Consumes the cumulative :meth:`StageLatencyCollector.pod_busy`
+        gauge and returns only the growth since the previous call for
+        ``(servable, worker)`` — the windowed view
+        :meth:`~repro.core.metrics.StageLatencyCollector.pod_imbalance`
+        should judge live chunk imbalance from.
+        """
+        window: dict[str, float] = {}
+        totals = self.runtime.stage_metrics.pod_busy(
+            servable, prefix=f"{worker_name}/"
+        )
+        for pod, total in totals.items():
+            seen = self._pod_busy_seen.get((servable, pod), 0.0)
+            window[pod] = max(total - seen, 0.0)
+            self._pod_busy_seen[(servable, pod)] = total
+        return window

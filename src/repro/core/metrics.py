@@ -46,6 +46,7 @@ class TimingSummary:
     mean: float
 
     def as_ms(self) -> dict:
+        """The summary as a flat dict in milliseconds (report-ready)."""
         return {
             "servable": self.servable,
             "metric": self.metric,
@@ -79,13 +80,33 @@ class StageLatencyCollector:
             raise ValueError("at least one stage is required")
         self.stages = tuple(stages)
         self._samples: dict[tuple[str, str], list[float]] = defaultdict(list)
+        #: Sparse per-sample timestamps: sample index -> virtual time,
+        #: populated only for samples recorded with an ``at`` anchor —
+        #: stages that never use windows cost nothing extra.
+        self._times: dict[tuple[str, str], dict[int, float]] = defaultdict(dict)
+        #: Cumulative busy seconds per (servable, pod) — the chunk-level
+        #: utilization gauge replica autoscalers read for imbalance.
+        self._pod_busy: dict[tuple[str, str], float] = defaultdict(float)
+        self._pod_chunks: dict[tuple[str, str], int] = defaultdict(int)
 
-    def record(self, stage: str, servable: str, seconds: float) -> None:
+    def record(
+        self, stage: str, servable: str, seconds: float, at: float | None = None
+    ) -> None:
+        """Append one stage sample, optionally timestamped.
+
+        ``at`` anchors the sample on the virtual clock (the serving
+        runtime stamps queue waits with the request's *enqueue* time),
+        which is what windowed reads (:meth:`samples_in_window`) key on;
+        untimestamped samples simply fall outside every window.
+        """
         if stage not in self.stages:
             raise ValueError(f"unknown stage {stage!r}; choose from {self.stages}")
         if seconds < 0:
             raise ValueError(f"stage {stage!r} sample must be >= 0")
-        self._samples[(stage, servable)].append(float(seconds))
+        samples = self._samples[(stage, servable)]
+        samples.append(float(seconds))
+        if at is not None:
+            self._times[(stage, servable)][len(samples) - 1] = float(at)
 
     def samples(self, stage: str, servable: str | None = None) -> list[float]:
         """All samples for a stage, optionally restricted to one servable."""
@@ -112,10 +133,96 @@ class StageLatencyCollector:
             raise ValueError("index must be >= 0")
         return list(self._samples.get((stage, servable), ())[index:])
 
+    def samples_in_window(
+        self, stage: str, servable: str, start: float, end: float
+    ) -> list[float]:
+        """Samples whose timestamp lands in ``[start, end)``.
+
+        Only samples recorded with an ``at`` anchor participate — this
+        is how benchmarks isolate e.g. the queue waits of requests that
+        *arrived during a spike phase* from the surrounding warm-up and
+        cool-down traffic.
+        """
+        if stage not in self.stages:
+            raise ValueError(f"unknown stage {stage!r}; choose from {self.stages}")
+        values = self._samples.get((stage, servable), ())
+        times = self._times.get((stage, servable), {})
+        return [
+            values[index]
+            for index, at in times.items()  # insertion order = record order
+            if start <= at < end
+        ]
+
+    # -- per-pod utilization gauge ---------------------------------------------------
+    def record_pod_share(self, servable: str, pod: str, seconds: float) -> None:
+        """Accumulate one replica chunk's busy time onto its pod's gauge.
+
+        ``pod`` should be globally unique (the runtime uses
+        ``"worker/pod"``), so one servable sharded across workers keeps
+        per-pod gauges distinct. The gauge is what lets a replica
+        autoscaler see *imbalance between chunks* — a straggler pod —
+        rather than only the aggregate inference rate.
+        """
+        if seconds < 0:
+            raise ValueError("pod share must be >= 0")
+        self._pod_busy[(servable, pod)] += float(seconds)
+        self._pod_chunks[(servable, pod)] += 1
+
+    def pod_busy(self, servable: str, prefix: str | None = None) -> dict[str, float]:
+        """Cumulative busy seconds per pod for one servable.
+
+        ``prefix`` restricts to pods whose name starts with it — pass
+        ``"worker-name/"`` to read one host's replica set.
+        """
+        return {
+            pod: busy
+            for (s, pod), busy in sorted(self._pod_busy.items())
+            if s == servable and (prefix is None or pod.startswith(prefix))
+        }
+
+    def pod_chunk_counts(self, servable: str) -> dict[str, int]:
+        """Chunks served per pod for one servable."""
+        return {
+            pod: count
+            for (s, pod), count in sorted(self._pod_chunks.items())
+            if s == servable
+        }
+
+    def pod_imbalance(
+        self,
+        servable: str,
+        prefix: str | None = None,
+        busy: dict[str, float] | None = None,
+    ) -> float | None:
+        """Max-over-mean pod busy time (1.0 = perfectly even).
+
+        ``None`` until at least one chunk landed. A value well above 1
+        means some pods are stragglers while siblings idle — capacity
+        the aggregate arrival rate says exists but the critical path
+        cannot use, which is the signal that should damp a scale-down.
+
+        Without ``busy`` the ratio is over *cumulative-since-start*
+        totals, which an early transient can skew forever; consumers
+        watching live imbalance (the fleet controller) should pass a
+        windowed ``busy`` map — per-pod deltas between two
+        :meth:`pod_busy` snapshots — so the gauge describes the recent
+        interval, not ancient history.
+        """
+        if busy is None:
+            busy = self.pod_busy(servable, prefix=prefix)
+        if not busy:
+            return None
+        mean = sum(busy.values()) / len(busy)
+        if mean <= 0:
+            return 1.0
+        return max(busy.values()) / mean
+
     def servables(self) -> list[str]:
+        """Servable names that have at least one stage sample."""
         return sorted({servable for _, servable in self._samples})
 
     def count(self, stage: str | None = None, servable: str | None = None) -> int:
+        """Number of records, optionally restricted to one servable."""
         return sum(
             len(values)
             for (s, sv), values in self._samples.items()
@@ -147,7 +254,11 @@ class StageLatencyCollector:
         ]
 
     def clear(self) -> None:
+        """Drop all samples, timestamps, and pod gauges."""
         self._samples.clear()
+        self._times.clear()
+        self._pod_busy.clear()
+        self._pod_chunks.clear()
 
 
 @dataclass
@@ -163,6 +274,7 @@ class TenantCounters:
 
     @property
     def denied_total(self) -> int:
+        """Denials across every typed outcome."""
         return sum(self.denied.values())
 
     @property
@@ -192,16 +304,19 @@ class TenantUsageCollector:
         return counter
 
     def record_admitted(self, tenant: str, servable: str) -> None:
+        """Count one admission for ``tenant`` on ``servable``."""
         self._counter(tenant).admitted += 1
         self._admitted_by_servable[(tenant, servable)] += 1
 
     def record_denied(self, tenant: str, outcome: str) -> None:
+        """Count one denial for ``tenant`` keyed by typed ``outcome``."""
         denied = self._counter(tenant).denied
         denied[outcome] = denied.get(outcome, 0) + 1
 
     def record_completion(
         self, tenant: str, latency_s: float, ok: bool = True
     ) -> None:
+        """Record one completion (or failure) and its end-to-end latency."""
         if latency_s < 0:
             raise ValueError("latency_s must be >= 0")
         counter = self._counter(tenant)
@@ -213,9 +328,11 @@ class TenantUsageCollector:
 
     # -- reads --------------------------------------------------------------------
     def tenants(self) -> list[str]:
+        """Tenant names with recorded activity, sorted."""
         return sorted(self._counters)
 
     def counters(self, tenant: str) -> TenantCounters:
+        """One tenant's cumulative counters; raises ``KeyError`` if unseen."""
         counter = self._counters.get(tenant)
         if counter is None:
             raise KeyError(f"no usage recorded for tenant {tenant!r}")
@@ -235,9 +352,11 @@ class TenantUsageCollector:
         }
 
     def latencies(self, tenant: str) -> list[float]:
+        """All end-to-end latency samples recorded for ``tenant``."""
         return list(self._latencies.get(tenant, ()))
 
     def latency_summary(self, tenant: str) -> TimingSummary:
+        """Percentile summary of a tenant's end-to-end latencies."""
         values = np.array(self._latencies.get(tenant, ()))
         if values.size == 0:
             raise KeyError(f"no completions recorded for tenant {tenant!r}")
@@ -261,20 +380,25 @@ class MetricsCollector:
         self._records: dict[str, list[TimingRecord]] = defaultdict(list)
 
     def record(self, record: TimingRecord) -> None:
+        """Append one timing record."""
         self._records[record.servable].append(record)
 
     def records(self, servable: str) -> list[TimingRecord]:
+        """All records for one servable."""
         return list(self._records.get(servable, ()))
 
     def servables(self) -> list[str]:
+        """Servable names with at least one record, sorted."""
         return sorted(self._records)
 
     def count(self, servable: str | None = None) -> int:
+        """Number of records, optionally restricted to one servable."""
         if servable is not None:
             return len(self._records.get(servable, ()))
         return sum(len(v) for v in self._records.values())
 
     def summarize(self, servable: str, metric: str) -> TimingSummary:
+        """Percentile summary of one metric for one servable."""
         if metric not in self.METRICS:
             raise ValueError(f"unknown metric {metric!r}; choose from {self.METRICS}")
         records = self._records.get(servable)
@@ -300,4 +424,5 @@ class MetricsCollector:
         ]
 
     def clear(self) -> None:
+        """Drop every record."""
         self._records.clear()

@@ -98,6 +98,13 @@ class WorkerStat:
     #: Virtual time at which the worker can accept its next batch.
     free_at: float
     tasks_processed: int
+    #: Still paying a provisioning/placement cold start: capacity that
+    #: was ordered (pre-provisioned) but has not landed yet. Dashboards
+    #: and controllers read this to see in-flight scale-ahead decisions.
+    warming: bool = False
+    #: Virtual time the worker's latest cold start completes (equals
+    #: ``free_at`` history; 0.0 when the worker never paid one).
+    warm_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,7 @@ class FleetStats:
 
     @property
     def routable_workers(self) -> tuple[str, ...]:
+        """Names of workers currently in routing."""
         return tuple(w.name for w in self.workers if not w.down)
 
 
@@ -223,6 +231,7 @@ class ServingRuntime:
 
     # -- fleet membership ---------------------------------------------------------
     def worker(self, worker_name: str) -> TaskManager:
+        """The fleet member named ``worker_name``; raises if unknown."""
         for worker in self.workers:
             if worker.name == worker_name:
                 return worker
@@ -444,6 +453,7 @@ class ServingRuntime:
         return {name: [w.name for w in hosts] for name, hosts in self._hosts.items()}
 
     def hosts(self, servable_name: str) -> list[TaskManager]:
+        """The workers hosting ``servable_name`` (copy order preserved)."""
         hosts = self._hosts.get(servable_name)
         if hosts is None:
             raise ServingRuntimeError(f"servable {servable_name!r} is not placed")
@@ -457,6 +467,7 @@ class ServingRuntime:
         self._notify_fleet_change()
 
     def mark_up(self, worker_name: str) -> None:
+        """Return a worker to routing (inverse of :meth:`mark_down`)."""
         self._down.discard(worker_name)
         self._notify_fleet_change()
 
@@ -475,6 +486,7 @@ class ServingRuntime:
         return worker.name not in self._down and worker.probe()
 
     def alive_workers(self) -> list[TaskManager]:
+        """Workers that are in routing and answer their probe."""
         return [w for w in self.workers if self._is_live(w)]
 
     def fleet_stats(self) -> FleetStats:
@@ -492,6 +504,8 @@ class ServingRuntime:
                     down=not self._is_live(w),
                     free_at=self.free_at(w),
                     tasks_processed=w.tasks_processed,
+                    warming=self.is_warming(w),
+                    warm_at=self._warm_at.get(w.name, 0.0),
                 )
                 for w in self.workers
             ),
@@ -551,16 +565,21 @@ class ServingRuntime:
         self._ingress = ingress
 
     def detach_ingress(self) -> None:
+        """Unhook the request source from the serve loop."""
         self._ingress = None
 
     # -- submission ---------------------------------------------------------------
-    def submit(self, request: TaskRequest) -> QueuedMessage:
+    def submit(
+        self, request: TaskRequest, enqueued_at: float | None = None
+    ) -> QueuedMessage:
         """Enqueue one single-item request on its servable's topic.
 
         Tenant-tagged requests (admitted through a gateway) ride a
         per-tenant lane of the servable's topic; untagged requests keep
         the default lane. Lanes coalesce independently, so micro-batches
-        never mix tenants.
+        never mix tenants. ``enqueued_at`` back-dates the queue entry —
+        a gateway re-releasing work it reclaimed passes the original
+        enqueue time so queue-wait metrics keep the request's true age.
         """
         if request.is_batch:
             raise ServingRuntimeError(
@@ -579,7 +598,9 @@ class ServingRuntime:
             self._gc_servable_lanes(name, self.clock.now(), self._pending_topics())
         lanes.add(lane)
         self._lane_active[(name, lane)] = self.clock.now()
-        return self.queue.put(request, topic=servable_topic(name, lane=lane))
+        return self.queue.put(
+            request, topic=servable_topic(name, lane=lane), enqueued_at=enqueued_at
+        )
 
     # -- tenant lane lifecycle ------------------------------------------------------
     def gc_lanes(self, now: float | None = None) -> int:
@@ -814,8 +835,13 @@ class ServingRuntime:
         messages = self.queue.claim_many(topic, self.max_batch_size)
         requests: list[TaskRequest] = [m.body for m in messages]
         for message in messages:
+            # Anchored on the *enqueue* time so windowed reads answer
+            # "how long did requests arriving during phase X wait".
             self.stage_metrics.record(
-                "queue_wait", servable_name, now - message.enqueued_at
+                "queue_wait",
+                servable_name,
+                now - message.enqueued_at,
+                at=message.enqueued_at,
             )
         # How long the window was held open: the head waited longest.
         self.stage_metrics.record(
@@ -852,6 +878,14 @@ class ServingRuntime:
         self.stage_metrics.record(
             "inference", servable_name, batch_result.inference_time
         )
+        # Per-pod utilization: each surviving replica chunk's busy time
+        # lands on its pod's gauge, so the replica autoscaler can see
+        # chunk imbalance instead of only the aggregate inference rate.
+        for chunk in batch_result.batch_chunks:
+            if chunk.ok:
+                self.stage_metrics.record_pod_share(
+                    servable_name, f"{worker.name}/{chunk.pod}", chunk.inference_time
+                )
         if len(requests) == 1:
             item_results = [batch_result]
         else:
@@ -1009,6 +1043,7 @@ class ServingRuntime:
     # -- introspection ------------------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
+        """Average items per dispatched micro-batch (0.0 before any)."""
         if not self.batches_dispatched:
             return 0.0
         return self.items_served / self.batches_dispatched

@@ -90,14 +90,17 @@ class GatewayResult:
 
     @property
     def admitted(self) -> bool:
+        """Whether admission let the request through."""
         return self.decision.admitted
 
     @property
     def completed(self) -> bool:
+        """Whether the runtime has settled the request."""
         return self.runtime_result is not None
 
     @property
     def ok(self) -> bool:
+        """Completed with a successful task result."""
         return self.completed and self.runtime_result.result.ok
 
     @property
@@ -149,6 +152,18 @@ class ServingGateway:
         capacity that cannot serve for seconds. A fleet controller can
         substitute its own view (e.g. excluding draining workers it is
         about to retire).
+    drain_deadline_s:
+        How long (virtual time) the gateway tolerates being
+        *over-committed* — ``outstanding`` above a freshly shrunk live
+        budget — before it starts reclaiming released-but-unclaimed
+        requests from the runtime's queue back into its fair lanes
+        (newest-released first, via
+        :meth:`~repro.messaging.queue.TaskQueue.withdraw_newest`).
+        Without the deadline a hard fleet downsize would close the
+        release pump until settles caught up, leaving the downsized
+        fleet's queue over-stuffed and WFQ fairness suspended for
+        arbitrarily long. ``None`` disables reclamation (the pre-PR-5
+        behaviour). Already-claimed work is never clawed back.
     """
 
     def __init__(
@@ -160,13 +175,25 @@ class ServingGateway:
         slot_reserve: int | None = None,
         metrics: TenantUsageCollector | None = None,
         capacity_hint=None,
+        drain_deadline_s: float | None = 2.0,
     ) -> None:
         if max_dispatch_slots is not None and max_dispatch_slots < 1:
             raise GatewayError("max_dispatch_slots must be >= 1")
+        if drain_deadline_s is not None and drain_deadline_s <= 0:
+            raise GatewayError("drain_deadline_s must be > 0 (or None)")
         self.auth = auth
         self.runtime = runtime
         self.policies = policies
         self.capacity_hint = capacity_hint
+        self.drain_deadline_s = drain_deadline_s
+        self._over_budget_since: float | None = None
+        #: Requests pulled back from the runtime queue into lanes after
+        #: a budget shrink outlasted the drain deadline.
+        self.requests_reclaimed = 0
+        #: Original queue timestamps of reclaimed requests, so their
+        #: re-release keeps the true enqueue age (queue-wait metrics
+        #: would otherwise under-report every reclaimed request).
+        self._reclaimed_at: dict[str, float] = {}
         self._dynamic_slots = max_dispatch_slots is None
         self._reserve_spec = slot_reserve
         if self._dynamic_slots:
@@ -234,13 +261,113 @@ class ServingGateway:
 
         With a live budget, re-derive it and pump immediately — capacity
         added mid-run starts admitting queued lane work right away. A
-        shrink never cancels outstanding work; the pump simply stays
-        closed until settles bring ``outstanding`` under the new budget.
+        shrink never cancels claimed work; the pump stays closed while
+        ``outstanding`` exceeds the new budget, but only up to
+        ``drain_deadline_s`` — past that, still-unclaimed releases are
+        reclaimed into lanes (:meth:`_check_overcommit`).
         """
         if not self._dynamic_slots:
             return
         self._derive_budget()
+        self._check_overcommit(self.runtime.clock.now())
         self._pump()
+
+    # -- over-commit drain deadline --------------------------------------------------
+    def _check_overcommit(self, now: float) -> None:
+        """Arm, fire, or clear the over-commit drain deadline.
+
+        Over-committed means the live budget shrank below the requests
+        already released into the runtime. Settles fix that organically;
+        the deadline bounds how long fairness may stay suspended when
+        they don't (a hard downsize over a deep queue). On firing,
+        :meth:`_reclaim_overcommit` claws unclaimed releases back into
+        WFQ lanes and the timer re-arms for whatever excess remains
+        (e.g. requests already claimed into in-flight micro-batches).
+        """
+        if self.drain_deadline_s is None:
+            return
+        if self._outstanding <= self.max_dispatch_slots:
+            self._over_budget_since = None
+            return
+        if self._over_budget_since is None:
+            self._over_budget_since = now
+            return
+        if now - self._over_budget_since + _EPS >= self.drain_deadline_s:
+            self._reclaim_overcommit()
+            self._over_budget_since = (
+                now if self._outstanding > self.max_dispatch_slots else None
+            )
+
+    def _reclaim_overcommit(self) -> int:
+        """Pull released-but-unclaimed requests back into their lanes.
+
+        Withdraws newest-released first (oldest releases are nearest
+        the coalescing head and may dispatch any moment), one request
+        per tenant lane per sweep — round-robin, so no tenant's queue
+        positions are sacrificed wholesale while another's survive —
+        until ``outstanding`` fits the budget or nothing ready remains.
+        Reclaimed requests keep their admission (the ledger charge
+        stands — they *are* still in the system) and their original
+        enqueue timestamp, and re-enter their tenant's lane to be
+        re-released in WFQ order when capacity returns.
+        """
+        from repro.messaging.queue import servable_topic
+
+        excess = self._outstanding - self.max_dispatch_slots
+        reclaimed = 0
+        if excess <= 0:
+            return 0
+        lanes = [
+            (servable, tenant)
+            for servable in sorted(self.runtime.placement())
+            for tenant in sorted(self._outstanding_by_tenant)
+        ]
+        progressed = True
+        while excess > 0 and progressed:
+            progressed = False
+            for servable, tenant in lanes:
+                if excess <= 0:
+                    break
+                if self._outstanding_by_tenant.get(tenant, 0) <= 0:
+                    continue
+                topic = servable_topic(servable, lane=f"tenant-{tenant}")
+                # Dig past messages that are not ours (submitted straight
+                # to the runtime with a hand-set tenant tag): holding
+                # them aside while scanning deeper keeps them from
+                # shielding the gateway's own releases beneath them.
+                message = None
+                held = []
+                while True:
+                    withdrawn = self.runtime.queue.withdraw_newest(topic, 1)
+                    if not withdrawn:
+                        break
+                    if withdrawn[0].body.task_uuid in self._open:
+                        message = withdrawn[0]
+                        break
+                    held.append(withdrawn[0])
+                # Restore foreign messages in reverse withdrawal order,
+                # reconstructing their original tail order exactly.
+                for foreign in reversed(held):
+                    self.runtime.queue.restore(foreign)
+                if message is None:
+                    continue
+                request: TaskRequest = message.body
+                request.dispatch_tag = None
+                self._reclaimed_at[request.task_uuid] = message.enqueued_at
+                # Front of the lane, original WFQ charge: the reclaimed
+                # request is the tenant's oldest in-system work and must
+                # re-release before younger lane-mates, not behind them.
+                self.scheduler.requeue_front(tenant, request)
+                self._queued_by_servable[servable] = (
+                    self._queued_by_servable.get(servable, 0) + 1
+                )
+                self._outstanding -= 1
+                self._outstanding_by_tenant[tenant] -= 1
+                excess -= 1
+                reclaimed += 1
+                progressed = True
+        self.requests_reclaimed += reclaimed
+        return reclaimed
 
     # -- auth / tenant resolution -------------------------------------------------
     def authenticate(self, token: str) -> Identity:
@@ -248,6 +375,7 @@ class ServingGateway:
         return self.auth.authorize(token, DLHUB_SCOPE)
 
     def resolve_tenant(self, identity: Identity) -> TenantPolicy | None:
+        """Map an identity to its tenant policy (None when unbound)."""
         return self.policies.resolve(
             identity, self.auth.principal_groups(identity)
         )
@@ -387,7 +515,10 @@ class ServingGateway:
             # order, so fairness no longer depends on sizing the slot
             # budget tightly against the fleet's in-flight capacity.
             request.dispatch_tag = entry.finish_tag
-            self.runtime.submit(request)
+            self.runtime.submit(
+                request,
+                enqueued_at=self._reclaimed_at.pop(request.task_uuid, None),
+            )
             self._outstanding += 1
             self._outstanding_by_tenant[entry.tenant] = (
                 self._outstanding_by_tenant.get(entry.tenant, 0) + 1
@@ -395,10 +526,12 @@ class ServingGateway:
 
     # -- ingress protocol (driven by ServingRuntime.serve) --------------------------
     def on_tick(self, now: float) -> None:
+        """Serve-loop hook: admit due arrivals and release lane work."""
         if self._dynamic_slots:
             # Cold-started workers warm up between fleet-change events;
             # tracking them per tick keeps the budget honest both ways.
             self._derive_budget()
+        self._check_overcommit(now)
         while (
             self._sched_i < len(self._schedule)
             and self._schedule[self._sched_i][0] <= now + _EPS
@@ -411,6 +544,7 @@ class ServingGateway:
         self._pump()
 
     def on_settled(self, settled: list[RuntimeResult]) -> None:
+        """Runtime hook: record completions and free their dispatch slots."""
         for runtime_result in settled:
             uuid = runtime_result.request.task_uuid
             open_result = self._open.pop(uuid, None)
@@ -429,9 +563,18 @@ class ServingGateway:
         self._pump()
 
     def next_event(self) -> float:
+        """Earliest future instant the serve loop must wake the gateway.
+
+        Either the next scheduled arrival or, when over-committed, the
+        drain deadline — the loop must tick then for
+        :meth:`_check_overcommit` to fire on time.
+        """
+        soonest = math.inf
         if self._sched_i < len(self._schedule):
-            return self._schedule[self._sched_i][0]
-        return math.inf
+            soonest = self._schedule[self._sched_i][0]
+        if self._over_budget_since is not None and self.drain_deadline_s is not None:
+            soonest = min(soonest, self._over_budget_since + self.drain_deadline_s)
+        return soonest
 
     def pending(self) -> int:
         """Arrivals not yet offered plus requests still waiting in lanes."""
@@ -644,6 +787,7 @@ class ServingGateway:
         return self._queued_by_servable.get(servable_name, 0)
 
     def tenant_weight(self, tenant_name: str) -> float:
+        """The fair-share weight of one tenant."""
         return self.policies.policy(tenant_name).weight
 
     @property

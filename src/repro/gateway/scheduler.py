@@ -48,6 +48,10 @@ class WeightedFairScheduler:
         self._last_finish: dict[str, float] = {}
         self._virtual_time = 0.0
         self._seq = itertools.count(1)
+        #: Decreasing sequence for front re-queues: ties on finish tag
+        #: resolve by seq, so a negative seq always outranks normal
+        #: enqueues at the same tag.
+        self._front_seq = itertools.count(-1, -1)
         #: Lane heads, ordered by (finish_tag, seq) — rebuilt lazily.
         self._heap: list[tuple[float, int, str]] = []
         self.enqueued = 0
@@ -99,6 +103,37 @@ class WeightedFairScheduler:
         lane.append(entry)
         if len(lane) == 1:
             heapq.heappush(self._heap, (entry.finish_tag, entry.seq, tenant))
+        self.enqueued += 1
+        return entry
+
+    def requeue_front(
+        self, tenant: str, item: Any, cost: float = 1.0
+    ) -> ScheduledItem:
+        """Re-insert previously dequeued work at the *head* of its lane.
+
+        For callers taking back work they already released (the
+        gateway's over-commit reclamation): the item was the tenant's
+        oldest, so it must run before the lane's younger entries, and
+        its fair-share cost was already charged at the original
+        :meth:`enqueue` — ``_last_finish`` is deliberately left alone
+        so the tenant is not billed twice for one request. The entry
+        inherits the current head's finish tag (or the virtual-time
+        frontier on an empty lane) with a negative sequence number, so
+        it wins exactly the ties it needs to and no more.
+        """
+        if cost <= 0:
+            raise SchedulerError("cost must be > 0")
+        lane = self._lanes.setdefault(tenant, deque())
+        finish = lane[0].finish_tag if lane else self._virtual_time
+        entry = ScheduledItem(
+            tenant=tenant,
+            item=item,
+            cost=cost,
+            finish_tag=finish,
+            seq=next(self._front_seq),
+        )
+        lane.appendleft(entry)
+        heapq.heappush(self._heap, (entry.finish_tag, entry.seq, tenant))
         self.enqueued += 1
         return entry
 

@@ -90,16 +90,34 @@ class TaskQueue:
         self._topic_enqueued: dict[str, int] = {}
 
     # -- producer side ----------------------------------------------------------
-    def put(self, body: Any, topic: str = "default") -> QueuedMessage:
+    def put(
+        self, body: Any, topic: str = "default", enqueued_at: float | None = None
+    ) -> QueuedMessage:
+        """Enqueue ``body`` on ``topic``; returns the queued message.
+
+        ``enqueued_at`` back-dates the message's timestamp (it may not
+        be in the future): a producer re-submitting work it previously
+        withdrew passes the original enqueue time, so wait-time metrics
+        and coalescing deadlines keyed on the timestamp keep seeing the
+        request's true age. A back-dated put is a *re*-submission of an
+        arrival the counters already saw (:meth:`withdraw_newest` keeps
+        them), so it does not increment ``enqueued_count`` again —
+        rate estimators reading counter deltas must not see a phantom
+        demand spike every time withdrawn work is re-released.
+        """
+        now = self.clock.now()
+        if enqueued_at is not None and enqueued_at > now:
+            raise ValueError("enqueued_at may not be in the future")
         msg = QueuedMessage(
             body=body,
             message_id=next(self._msg_ids),
-            enqueued_at=self.clock.now(),
+            enqueued_at=now if enqueued_at is None else enqueued_at,
             topic=topic,
         )
         self._ready.setdefault(topic, deque()).append(msg)
-        self.total_enqueued += 1
-        self._topic_enqueued[topic] = self._topic_enqueued.get(topic, 0) + 1
+        if enqueued_at is None:
+            self.total_enqueued += 1
+            self._topic_enqueued[topic] = self._topic_enqueued.get(topic, 0) + 1
         return msg
 
     # -- consumer side ----------------------------------------------------------
@@ -161,6 +179,36 @@ class TaskQueue:
         else:
             self._dead.append(msg)
 
+    def withdraw_newest(self, topic: str, n: int = 1) -> list[QueuedMessage]:
+        """Withdraw up to ``n`` ready messages from the *tail* of ``topic``.
+
+        The inverse of :meth:`put`, for producers taking work back: a
+        gateway whose dispatch budget shrank below its outstanding
+        releases reclaims the most recently released (least likely to
+        be near dispatch) messages and re-queues them in its own fair
+        lanes. Withdrawn messages were never claimed, so no delivery
+        bookkeeping is touched; the cumulative ``enqueued_count`` is
+        *not* rolled back (it is a monotonic arrival counter, and the
+        arrivals did happen). Returns the withdrawn messages,
+        newest first.
+        """
+        if n < 1:
+            raise ValueError("withdraw_newest requires n >= 1")
+        chan = self._ready.get(topic)
+        withdrawn: list[QueuedMessage] = []
+        while chan and len(withdrawn) < n:
+            withdrawn.append(chan.pop())
+        return withdrawn
+
+    def restore(self, message: QueuedMessage) -> None:
+        """Return a withdrawn (never-claimed) message to its topic's tail.
+
+        The undo of :meth:`withdraw_newest` for messages the withdrawer
+        decides not to keep: the original ``enqueued_at`` is preserved
+        and no arrival is re-counted.
+        """
+        self._ready.setdefault(message.topic, deque()).append(message)
+
     def expire_inflight(self) -> int:
         """Redeliver in-flight messages whose visibility timeout has lapsed.
 
@@ -182,6 +230,7 @@ class TaskQueue:
 
     # -- introspection ----------------------------------------------------------
     def ready_count(self, topic: str = "default") -> int:
+        """Messages ready (unclaimed) on ``topic``."""
         return len(self._ready.get(topic, ()))
 
     def enqueued_count(self, topic: str = "default") -> int:
@@ -222,6 +271,7 @@ class TaskQueue:
 
     @property
     def inflight_count(self) -> int:
+        """Claimed-but-unsettled messages across every topic."""
         return len(self._inflight)
 
     def inflight_count_for(self, topic: str) -> int:
@@ -236,9 +286,11 @@ class TaskQueue:
 
     @property
     def dead_letters(self) -> list[QueuedMessage]:
+        """Messages that exhausted their delivery attempts."""
         return list(self._dead)
 
     def topics(self) -> list[str]:
+        """Topics that currently hold ready messages."""
         return [t for t, q in self._ready.items() if q]
 
     def __len__(self) -> int:

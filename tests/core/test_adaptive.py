@@ -6,9 +6,12 @@ import pytest
 
 from repro.core.adaptive import (
     AdaptiveBatcher,
+    ArrivalForecaster,
     Autoscaler,
     ProfileError,
     ServableProfile,
+    per_copy_capacity_rps,
+    replicas_for_rate,
 )
 from repro.core.zoo import build_zoo, sample_input
 from repro.sim import calibration as cal
@@ -210,3 +213,187 @@ class TestExecutorAccessors:
         testbed, _ = env
         with pytest.raises(ExecutorError):
             testbed.parsl_executor.get_servable("ghost")
+
+
+class TestSharedCapacityModel:
+    def test_capacity_monotone_in_replicas_until_knee(self):
+        cost = cal.inference_cost("cifar10")
+        caps = [per_copy_capacity_rps(cost, 16, r) for r in range(1, 17)]
+        assert all(b >= a for a, b in zip(caps, caps[1:]))
+        # Past the knee (R >= B) every chunk is one item: no more gain.
+        assert per_copy_capacity_rps(cost, 16, 32) == pytest.approx(caps[-1])
+
+    def test_replicas_for_rate_is_minimal(self):
+        cost = cal.inference_cost("cifar10")
+        for rate in (10.0, 100.0, 250.0, 400.0):
+            want = replicas_for_rate(cost, 16, rate)
+            assert per_copy_capacity_rps(cost, 16, want) >= rate or want == 16
+            if want > 1:
+                assert per_copy_capacity_rps(cost, 16, want - 1) < rate
+
+    def test_replicas_for_rate_zero_rate_holds_floor(self):
+        assert replicas_for_rate(0.01, 16, 0.0) == 1
+
+    def test_replicas_for_rate_saturates_at_knee(self):
+        # An unattainable rate returns the knee, not max_replicas: pods
+        # beyond ceil(B/R) == 1 add busy cost but no capacity.
+        assert replicas_for_rate(0.05, 8, 1e9, max_replicas=64) == 8
+        assert replicas_for_rate(0.05, 8, 1e9, max_replicas=4) == 4
+
+    def test_replicas_for_rate_validation(self):
+        with pytest.raises(ValueError):
+            replicas_for_rate(0.01, 16, -1.0)
+        with pytest.raises(ValueError):
+            replicas_for_rate(0.01, 16, 1.0, max_replicas=0)
+
+
+class TestUnifiedAutoscaler:
+    """Regression: Fig. 7 replica sizing matches the shared capacity model.
+
+    Before PR 5 the Autoscaler sized replicas from the streaming cost
+    model even when it was scaling the coalesced micro-batch path —
+    systematically under-provisioning batch-heavy traffic. In coalesced
+    mode (max_batch_size > 1) it must now invert exactly
+    per_copy_capacity_rps, the model the fleet controller plans
+    copies from.
+    """
+
+    def test_coalesced_recommendation_matches_shared_model(self, env):
+        testbed, zoo = env
+        scaler = Autoscaler(testbed.parsl_executor, max_batch_size=16)
+        cost = cal.inference_cost("inception")
+        for rate in (5.0, 50.0, 150.0, 300.0):
+            assert scaler.recommend("inception", rate) == replicas_for_rate(
+                cost, 16, rate, max_replicas=scaler.max_replicas
+            )
+
+    def test_coalesced_recommendation_meets_rate(self, env):
+        testbed, zoo = env
+        scaler = Autoscaler(testbed.parsl_executor, max_batch_size=16)
+        rate = 150.0
+        replicas = scaler.recommend("inception", rate)
+        assert (
+            per_copy_capacity_rps(cal.inference_cost("inception"), 16, replicas)
+            >= rate
+        )
+
+    def test_streaming_mode_is_bit_for_bit_legacy(self, env):
+        testbed, zoo = env
+        legacy = Autoscaler(testbed.parsl_executor)
+        rate = 40.0
+        expected = min(
+            math.ceil(rate * legacy.task_cost("inception")),
+            legacy.saturation_replicas("inception"),
+        )
+        assert legacy.recommend("inception", rate) == expected
+
+    def test_bounds_respected_in_coalesced_mode(self, env):
+        testbed, zoo = env
+        scaler = Autoscaler(
+            testbed.parsl_executor,
+            min_replicas=2,
+            max_replicas=3,
+            max_batch_size=16,
+        )
+        assert scaler.recommend("inception", 0.0) == 2
+        assert scaler.recommend("inception", 1e9) == 3
+
+    def test_invalid_batch_size(self, env):
+        testbed, zoo = env
+        with pytest.raises(ValueError):
+            Autoscaler(testbed.parsl_executor, max_batch_size=0)
+
+
+class TestArrivalForecaster:
+    def test_empty_history_projects_zero(self):
+        forecaster = ArrivalForecaster()
+        forecast = forecaster.forecast("ghost", at_time_s=10.0)
+        assert forecast.rate_rps == 0.0
+        assert forecaster.keys() == []
+
+    def test_flat_load_projects_flat(self):
+        forecaster = ArrivalForecaster()
+        for i in range(20):
+            forecaster.observe("m", i * 0.25, 100.0)
+        forecast = forecaster.forecast("m", 20 * 0.25 + 2.0)
+        assert forecast.rate_rps == pytest.approx(100.0, rel=0.02)
+        assert abs(forecast.trend_per_s) < 1.0
+
+    def test_linear_ramp_extrapolates(self):
+        forecaster = ArrivalForecaster()
+        # rate(t) = 50 + 20 t, sampled every 250 ms for 5 s.
+        for i in range(21):
+            t = i * 0.25
+            forecaster.observe("m", t, 50.0 + 20.0 * t)
+        forecast = forecaster.forecast("m", 5.0 + 2.0)
+        assert forecast.rate_rps == pytest.approx(50.0 + 20.0 * 7.0, rel=0.10)
+        assert forecast.trend_per_s == pytest.approx(20.0, rel=0.15)
+
+    def test_step_spike_projects_above_observed(self):
+        forecaster = ArrivalForecaster()
+        for i in range(8):
+            forecaster.observe("m", i * 0.25, 100.0)
+        # The spike's rising edge as an EWMA would see it.
+        forecaster.observe("m", 2.0, 400.0)
+        forecaster.observe("m", 2.25, 650.0)
+        forecast = forecaster.forecast("m", 2.25 + 2.0)
+        # Trend extrapolation runs ahead of the smoothed level: the
+        # whole point of forecasting is beating the EWMA to the spike.
+        assert forecast.rate_rps > 650.0
+
+    def test_decay_after_burst_bottoms_out_at_zero(self):
+        forecaster = ArrivalForecaster()
+        for i in range(8):
+            forecaster.observe("m", i * 0.25, 800.0)
+        for i in range(8, 28):
+            forecaster.observe("m", i * 0.25, max(800.0 - 100.0 * (i - 7), 0.0))
+        forecast = forecaster.forecast("m", 28 * 0.25 + 2.0)
+        assert 0.0 <= forecast.rate_rps < 100.0
+
+    def test_seasonal_profile_anticipates_next_cycle(self):
+        # Seasonal mode wants a damped trend (see the class docstring):
+        # the cycle belongs in the seasonal profile, not the slope.
+        forecaster = ArrivalForecaster(
+            alpha=0.3, beta=0.05, gamma=0.5,
+            seasonal_period_s=8.0, seasonal_buckets=8,
+        )
+        # Square wave: 200 rps in the first half of each 8 s period,
+        # 20 rps in the second half; several full cycles of history.
+        for i in range(160):
+            t = i * 0.25
+            rate = 200.0 if (t % 8.0) < 4.0 else 20.0
+            forecaster.observe("m", t, rate)
+        # Standing at a low-phase instant, project into the next high
+        # phase: the seasonal profile should pull the forecast up.
+        high = forecaster.forecast("m", 42.0)   # phase 2.0 -> high bucket
+        low = forecaster.forecast("m", 46.0)    # phase 6.0 -> low bucket
+        assert high.rate_rps > low.rate_rps + 50.0
+
+    def test_unordered_samples_rejected(self):
+        forecaster = ArrivalForecaster()
+        forecaster.observe("m", 1.0, 10.0)
+        with pytest.raises(ValueError):
+            forecaster.observe("m", 0.5, 10.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalForecaster().observe("m", 0.0, -1.0)
+
+    def test_parameter_validation(self):
+        for kwargs in (
+            {"alpha": 0.0},
+            {"beta": 1.5},
+            {"gamma": 0.0},
+            {"seasonal_period_s": 0.0},
+            {"seasonal_buckets": 0},
+        ):
+            with pytest.raises(ValueError):
+                ArrivalForecaster(**kwargs)
+
+    def test_repeated_timestamp_refreshes_level_only(self):
+        forecaster = ArrivalForecaster(alpha=0.5)
+        forecaster.observe("m", 1.0, 100.0)
+        forecaster.observe("m", 1.0, 200.0)
+        forecast = forecaster.forecast("m", 1.0)
+        assert forecast.trend_per_s == 0.0
+        assert forecast.rate_rps == pytest.approx(150.0)

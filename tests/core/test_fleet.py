@@ -10,12 +10,14 @@ import math
 
 import pytest
 
+from repro.core.adaptive import ArrivalForecaster, replicas_for_rate
 from repro.core.fleet import (
     FleetController,
     FleetControllerError,
     FleetObservation,
     FleetPolicy,
     FleetPlan,
+    PredictiveScaling,
     QueueLatencySLOPolicy,
     ServableDemand,
     TargetUtilizationPolicy,
@@ -399,9 +401,11 @@ class TestReplicaScaling:
         assert events and events[0].subject == "inception"
         want = events[0].detail["replicas"]
         assert executor.replicas("inception") == want
-        expected = min(
-            math.ceil(100.0 * (cal.SERVABLE_SHIM_S + cal.inference_cost("inception"))),
-            4,
+        # Unified sizing: the controller's per-host Autoscaler inverts
+        # the same shared capacity model the policies plan copies from,
+        # at the runtime's micro-batch size (16).
+        expected = replicas_for_rate(
+            cal.inference_cost("inception"), 16, 100.0, max_replicas=4
         )
         assert want == expected
         runtime.drain()
@@ -497,3 +501,136 @@ class TestProvisionerGuard:
         testbed.clock.advance(INTERVAL)
         with pytest.raises(FleetControllerError, match="own\\s+clock"):
             controller.reconcile()
+
+
+class TestPredictiveScaling:
+    def test_flat_traffic_matches_base_policy(self):
+        base = TargetUtilizationPolicy()
+        policy = PredictiveScaling(TargetUtilizationPolicy(), lead_time_s=2.0)
+        flat = demand(arrival_rate_rps=100.0, live_copies=2)
+        for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+            obs = FleetObservation(
+                time=t,
+                routable_workers=2,
+                draining_workers=0,
+                min_workers=1,
+                max_workers=4,
+                demands=(flat,),
+            )
+            predictive_plan = policy.plan(obs)
+            base_plan = base.plan(obs)
+        # A zero-trend history projects flat: no over-provisioning.
+        assert predictive_plan.copies == base_plan.copies
+        assert predictive_plan.target_workers == base_plan.target_workers
+        assert policy.last_planning_rates["noop"] == pytest.approx(100.0)
+
+    def test_rising_edge_plans_ahead_of_base(self):
+        base = TargetUtilizationPolicy()
+        policy = PredictiveScaling(TargetUtilizationPolicy(), lead_time_s=2.0)
+        rates = [100.0, 100.0, 100.0, 220.0, 380.0]
+        for i, rate in enumerate(rates):
+            obs = observation([demand(arrival_rate_rps=rate)], max_workers=8)
+            obs = FleetObservation(
+                time=i * 0.25,
+                routable_workers=1,
+                draining_workers=0,
+                min_workers=1,
+                max_workers=8,
+                demands=(demand(arrival_rate_rps=rate),),
+            )
+            predictive_plan = policy.plan(obs)
+        base_plan = base.plan(obs)
+        # The projection runs ahead of the observed rate...
+        assert policy.last_forecasts["noop"].rate_rps > 380.0
+        assert policy.last_planning_rates["noop"] > 380.0
+        # ...so the wrapped policy asks for more capacity than the
+        # reactive baseline does from the same observation.
+        assert predictive_plan.copies["noop"] > base_plan.copies["noop"]
+
+    def test_weighted_rate_carries_the_boost(self):
+        policy = PredictiveScaling(TargetUtilizationPolicy(), lead_time_s=2.0)
+        for i, rate in enumerate((50.0, 150.0, 300.0)):
+            obs = FleetObservation(
+                time=i * 0.25,
+                routable_workers=1,
+                draining_workers=0,
+                min_workers=1,
+                max_workers=8,
+                demands=(
+                    demand(
+                        arrival_rate_rps=1.0,
+                        weighted_arrival_rate_rps=rate,
+                    ),
+                ),
+            )
+            policy.plan(obs)
+        # effective_rate_rps prefers the weighted figure; the forecast
+        # must have been fed (and boosted) from it, not the raw rate.
+        assert policy.last_planning_rates["noop"] > 300.0
+
+    def test_default_lead_time_covers_cold_start(self):
+        from repro.containers.runtime import cold_start_cost_s
+        from repro.core.fleet import DEFAULT_WORKER_IMAGE_BYTES
+
+        policy = PredictiveScaling()
+        assert policy.lead_time_s >= cold_start_cost_s(DEFAULT_WORKER_IMAGE_BYTES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveScaling(lead_time_s=0.0)
+
+    def test_custom_forecaster_plugs_in(self):
+        forecaster = ArrivalForecaster(alpha=0.3, beta=0.05)
+        policy = PredictiveScaling(forecaster=forecaster, lead_time_s=1.0)
+        obs = observation([demand(arrival_rate_rps=10.0)])
+        policy.plan(obs)
+        assert forecaster.keys() == ["noop"]
+
+
+class TestPredictiveController:
+    def test_forecast_events_and_earlier_scale_up(self):
+        """A spiking schedule under PredictiveScaling logs demand_forecast
+        events and provisions no later than the forecast fires."""
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            policy=PredictiveScaling(
+                TargetUtilizationPolicy(), reconcile_interval_s=INTERVAL
+            ),
+            max_workers=4,
+        )
+        spike = flat_rate("noop", 150.0, 1.0) + flat_rate(
+            "noop", 900.0, 2.0, start_s=1.0
+        )
+        results = runtime.serve(sorted(spike, key=lambda pair: pair[0]))
+        assert len(results) == len(spike)
+        forecasts = controller.events_of("demand_forecast")
+        assert forecasts, "no pre-provision decisions were logged"
+        detail = forecasts[0].detail
+        assert detail["forecast_rps"] > detail["rate_rps"]
+        assert detail["lead_time_s"] == pytest.approx(
+            controller.policy.lead_time_s, abs=1e-3
+        )
+        provisions = controller.events_of("worker_provisioned")
+        assert provisions
+        # The first provision came with (or after) a forecast, never
+        # before the forecaster had signal.
+        assert provisions[0].time >= forecasts[0].time
+
+    def test_warming_visible_in_fleet_stats(self):
+        testbed, zoo, runtime, controller = build_controlled_fleet(max_workers=2)
+        for _ in range(200):
+            runtime.submit(TaskRequest("noop"))
+        testbed.clock.advance(INTERVAL)
+        controller.reconcile()
+        stats = runtime.fleet_stats()
+        fresh = [w for w in stats.workers if w.name.startswith("fleet-w")]
+        assert fresh, "controller provisioned no worker"
+        # The provisioned worker is still paying its container cold
+        # start: pre-provisioned capacity is observable before it lands.
+        assert fresh[0].warming
+        assert fresh[0].warm_at > stats.time
+        runtime.drain()
+        # Once global time passes every cold start, nothing is warming.
+        horizon = max(w.warm_at for w in runtime.fleet_stats().workers)
+        if horizon > testbed.clock.now():
+            testbed.clock.advance_to(horizon + 1e-6)
+        assert not any(w.warming for w in runtime.fleet_stats().workers)

@@ -173,3 +173,119 @@ class TestSamplesSince:
             collector.samples_since("ghost", "noop", 0)
         with pytest.raises(ValueError):
             collector.samples_since("queue_wait", "noop", -1)
+
+
+class TestWindowedSamples:
+    def _collector(self):
+        from repro.core.metrics import StageLatencyCollector
+
+        collector = StageLatencyCollector()
+        for t, wait in ((1.0, 0.010), (2.0, 0.020), (3.0, 0.030)):
+            collector.record("queue_wait", "noop", wait, at=t)
+        collector.record("queue_wait", "noop", 0.999)  # untimestamped
+        return collector
+
+    def test_window_is_half_open(self):
+        collector = self._collector()
+        assert collector.samples_in_window("queue_wait", "noop", 1.0, 3.0) == [
+            0.010,
+            0.020,
+        ]
+
+    def test_untimestamped_samples_fall_outside_every_window(self):
+        collector = self._collector()
+        everything = collector.samples_in_window(
+            "queue_wait", "noop", -1e9, 1e9
+        )
+        assert 0.999 not in everything
+        assert len(everything) == 3
+
+    def test_plain_reads_still_see_all_samples(self):
+        collector = self._collector()
+        assert len(collector.samples("queue_wait", "noop")) == 4
+
+    def test_unknown_stage_rejected(self):
+        collector = self._collector()
+        with pytest.raises(ValueError):
+            collector.samples_in_window("teleport", "noop", 0.0, 1.0)
+
+    def test_clear_drops_times(self):
+        collector = self._collector()
+        collector.clear()
+        assert collector.samples_in_window("queue_wait", "noop", 0.0, 10.0) == []
+
+
+class TestPodUtilizationGauge:
+    def _collector(self):
+        from repro.core.metrics import StageLatencyCollector
+
+        collector = StageLatencyCollector()
+        collector.record_pod_share("m", "w0/m-1", 0.030)
+        collector.record_pod_share("m", "w0/m-1", 0.010)
+        collector.record_pod_share("m", "w0/m-2", 0.020)
+        collector.record_pod_share("m", "w1/m-1", 0.020)
+        collector.record_pod_share("other", "w0/other-1", 9.0)
+        return collector
+
+    def test_cumulative_busy_per_pod(self):
+        collector = self._collector()
+        assert collector.pod_busy("m") == {
+            "w0/m-1": pytest.approx(0.040),
+            "w0/m-2": pytest.approx(0.020),
+            "w1/m-1": pytest.approx(0.020),
+        }
+        assert collector.pod_chunk_counts("m") == {
+            "w0/m-1": 2,
+            "w0/m-2": 1,
+            "w1/m-1": 1,
+        }
+
+    def test_prefix_restricts_to_one_host(self):
+        collector = self._collector()
+        assert set(collector.pod_busy("m", prefix="w0/")) == {"w0/m-1", "w0/m-2"}
+
+    def test_imbalance_is_max_over_mean(self):
+        collector = self._collector()
+        # w0 host: busy 0.040 vs 0.020 -> max/mean = 0.040/0.030.
+        assert collector.pod_imbalance("m", prefix="w0/") == pytest.approx(
+            0.040 / 0.030
+        )
+
+    def test_imbalance_none_without_chunks(self):
+        from repro.core.metrics import StageLatencyCollector
+
+        assert StageLatencyCollector().pod_imbalance("ghost") is None
+
+    def test_balanced_pods_report_one(self):
+        from repro.core.metrics import StageLatencyCollector
+
+        collector = StageLatencyCollector()
+        collector.record_pod_share("m", "w0/m-1", 0.5)
+        collector.record_pod_share("m", "w0/m-2", 0.5)
+        assert collector.pod_imbalance("m") == pytest.approx(1.0)
+
+    def test_negative_share_rejected(self):
+        from repro.core.metrics import StageLatencyCollector
+
+        with pytest.raises(ValueError):
+            StageLatencyCollector().record_pod_share("m", "w0/m-1", -0.1)
+
+    def test_windowed_busy_overrides_cumulative_history(self):
+        """A consumer passing per-interval deltas sees *current*
+        imbalance: an ancient straggler no longer skews the gauge."""
+        from repro.core.metrics import StageLatencyCollector
+
+        collector = StageLatencyCollector()
+        # Early transient: pod 1 was a 3x straggler.
+        collector.record_pod_share("m", "w0/m-1", 3.0)
+        collector.record_pod_share("m", "w0/m-2", 1.0)
+        snapshot = collector.pod_busy("m")
+        # Then a perfectly balanced interval.
+        collector.record_pod_share("m", "w0/m-1", 1.0)
+        collector.record_pod_share("m", "w0/m-2", 1.0)
+        window = {
+            pod: total - snapshot.get(pod, 0.0)
+            for pod, total in collector.pod_busy("m").items()
+        }
+        assert collector.pod_imbalance("m") > 1.2  # cumulative: skewed
+        assert collector.pod_imbalance("m", busy=window) == pytest.approx(1.0)

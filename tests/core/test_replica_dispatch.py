@@ -426,3 +426,46 @@ class TestLiveSlotBudget:
         )
         runtime.add_worker(testbed.add_fleet_worker("gw-late"))
         assert gateway.max_dispatch_slots == 10
+
+
+class TestPodUtilizationRecording:
+    def test_chunk_shares_land_on_per_pod_gauges(self, env):
+        testbed, zoo = env
+        runtime, worker = place_on_fleet_worker(testbed, zoo, replicas=4)
+        fixed = sample_input("matminer_util")
+        for _ in range(8):
+            runtime.submit(TaskRequest("matminer_util", args=fixed))
+        results = runtime.drain()
+        assert all(r.result.ok for r in results)
+        busy = runtime.stage_metrics.pod_busy("matminer_util")
+        # Eight misses over four pods: every pod served a chunk, keyed
+        # by "worker/pod" so hosts stay distinguishable.
+        assert len(busy) == 4
+        assert all(pod.startswith(f"{worker.name}/") for pod in busy)
+        assert all(share > 0 for share in busy.values())
+        # An even backlog shards evenly: imbalance stays near 1.
+        imbalance = runtime.stage_metrics.pod_imbalance(
+            "matminer_util", prefix=f"{worker.name}/"
+        )
+        assert imbalance == pytest.approx(1.0, abs=0.2)
+
+    def test_failed_chunks_do_not_pollute_the_gauge(self, env):
+        testbed, zoo = env
+        runtime, worker = place_on_fleet_worker(
+            testbed, zoo, name="noop", replicas=2, max_batch_size=4
+        )
+        executor = worker.executors["parsl"]
+        pool = executor._pools["noop"]
+        victim = sorted(pool.pods, key=lambda p: (p.busy_until, p.name))[0]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("pod crashed mid-chunk")
+
+        victim.exec = explode
+        results = runtime.serve(
+            [(0.0, TaskRequest("noop", args=(i,))) for i in range(4)]
+        )
+        assert any(not r.result.ok for r in results)
+        busy = runtime.stage_metrics.pod_busy("noop")
+        assert f"{worker.name}/{victim.name}" not in busy
+        assert len(busy) == 1  # the surviving chunk's pod

@@ -358,3 +358,204 @@ class TestServeGuards:
                 TaskRequest("noop", batch=[1, 2]),
                 identity=testbed._identities["t"],
             )
+
+
+class TestDrainDeadline:
+    """A live budget that shrinks below ``outstanding`` must not suspend
+    fairness forever: past ``drain_deadline_s`` the gateway reclaims
+    released-but-unclaimed requests back into its WFQ lanes."""
+
+    def _overcommitted_gateway(self, drain_deadline_s=1.0):
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t")},
+            n_workers=3,
+            max_batch_size=8,
+            drain_deadline_s=drain_deadline_s,
+        )
+        # Fill the releasable budget (a lone tenant never eats the slot
+        # reserve): every admitted request is released straight into
+        # the runtime queue (nothing is being served yet).
+        releasable = gateway.max_dispatch_slots - gateway.slot_reserve
+        for i in range(releasable):
+            result = gateway.offer(
+                TaskRequest("noop", args=(i,)), token=tokens["u"]
+            )
+            assert result.admitted
+        assert gateway.outstanding == releasable
+        assert len(gateway.scheduler) == 0
+        # Two of three workers drop out: the budget re-derives smaller
+        # than what is already outstanding.
+        gateway.runtime.mark_down("w1")
+        gateway.runtime.mark_down("w2")
+        assert gateway.outstanding > gateway.max_dispatch_slots
+        return testbed, gateway, tokens
+
+    def test_reclaims_unclaimed_releases_after_deadline(self):
+        testbed, gateway, tokens = self._overcommitted_gateway()
+        assert gateway.requests_reclaimed == 0
+        excess = gateway.outstanding - gateway.max_dispatch_slots
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed == excess
+        assert gateway.outstanding == gateway.max_dispatch_slots
+        # Reclaimed requests wait in lanes again (still admitted, still
+        # counted as pending so the serve loop cannot strand them).
+        assert len(gateway.scheduler) == excess
+        assert gateway.pending() == excess
+
+    def test_reclaimed_requests_complete_when_capacity_returns(self):
+        testbed, gateway, tokens = self._overcommitted_gateway()
+        offered = gateway.outstanding
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed > 0
+        gateway.runtime.mark_up("w1")
+        gateway.runtime.mark_up("w2")
+        gateway.runtime.drain()
+        counters = gateway.metrics.counters("t")
+        assert counters.completed == offered
+        assert counters.in_progress == 0
+        assert gateway.outstanding == 0
+
+    def test_deadline_not_fired_before_it_lapses(self):
+        testbed, gateway, tokens = self._overcommitted_gateway(
+            drain_deadline_s=5.0
+        )
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed == 0
+
+    def test_next_event_wakes_the_loop_at_the_deadline(self):
+        testbed, gateway, tokens = self._overcommitted_gateway()
+        armed_at = testbed.clock.now()
+        assert gateway.next_event() == pytest.approx(armed_at + 1.0)
+
+    def test_none_disables_reclamation(self):
+        testbed, gateway, tokens = self._overcommitted_gateway(
+            drain_deadline_s=None
+        )
+        testbed.clock.advance(60.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed == 0
+
+    def test_recovery_before_deadline_disarms_the_timer(self):
+        testbed, gateway, tokens = self._overcommitted_gateway()
+        gateway.runtime.mark_up("w1")
+        gateway.runtime.mark_up("w2")
+        # Budget is back above outstanding: the timer must clear.
+        assert gateway.next_event() == float("inf")
+        testbed.clock.advance(5.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed == 0
+
+    def test_validation(self):
+        with pytest.raises(GatewayError):
+            build_gateway({"u": TenantPolicy(name="t")}, drain_deadline_s=0.0)
+
+    def test_reclaimed_requests_keep_their_enqueue_age(self):
+        """Re-released reclaimed work must not look freshly arrived to
+        the queue-wait metric: the original enqueue timestamp rides
+        along, so waits include the over-commit stall."""
+        testbed, gateway, tokens = self._overcommitted_gateway()
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed > 0
+        gateway.runtime.mark_up("w1")
+        gateway.runtime.mark_up("w2")
+        gateway.runtime.drain()
+        waits = gateway.runtime.stage_metrics.samples("queue_wait", "noop")
+        # The reclaimed requests stalled >= 1 s (the drain deadline)
+        # before re-release; an un-anchored re-submit would record
+        # only the few-ms post-re-release wait.
+        assert max(waits) >= 1.0
+
+    def test_reclaim_round_robins_across_tenants(self):
+        """No tenant's queue positions are sacrificed wholesale: the
+        reclaim sweep takes one request per tenant lane per pass."""
+        testbed, gateway, tokens = build_gateway(
+            {"a": TenantPolicy(name="ta"), "z": TenantPolicy(name="tz")},
+            n_workers=3,
+            max_batch_size=8,
+            drain_deadline_s=1.0,
+        )
+        # Alternate offers so both tenants fill their slot shares.
+        for i in range(40):
+            user = "a" if i % 2 == 0 else "z"
+            gateway.offer(TaskRequest("noop", args=(i,)), token=tokens[user])
+        before = dict(gateway._outstanding_by_tenant)
+        assert before["ta"] > 4 and before["tz"] > 4
+        gateway.runtime.mark_down("w1")
+        gateway.runtime.mark_down("w2")
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed > 0
+        after = gateway._outstanding_by_tenant
+        lost = {t: before[t] - after[t] for t in before}
+        # Round-robin: the reclaim burden splits evenly (± one sweep).
+        assert abs(lost["ta"] - lost["tz"]) <= 1
+
+    def test_foreign_tail_message_does_not_shield_reclamation(self):
+        """A hand-tagged request submitted straight to the runtime sits
+        at the lane tail; the reclaim sweep must dig past it instead of
+        endlessly re-popping it while gateway releases beneath go
+        unreclaimed."""
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t")},
+            n_workers=3,
+            max_batch_size=8,
+            drain_deadline_s=1.0,
+        )
+        releasable = gateway.max_dispatch_slots - gateway.slot_reserve
+        for i in range(releasable):
+            assert gateway.offer(
+                TaskRequest("noop", args=(i,)), token=tokens["u"]
+            ).admitted
+        # Foreign request on the same tenant lane, newest position.
+        foreign = TaskRequest("noop", args=("foreign",))
+        foreign.tenant = "t"
+        gateway.runtime.submit(foreign)
+        gateway.runtime.mark_down("w1")
+        gateway.runtime.mark_down("w2")
+        excess = gateway.outstanding - gateway.max_dispatch_slots
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        # Full reclamation despite the foreign shield...
+        assert gateway.requests_reclaimed == excess
+        assert gateway.outstanding == gateway.max_dispatch_slots
+        # ...and the foreign message survives untouched in the queue.
+        from repro.messaging.queue import servable_topic
+
+        lane = servable_topic("noop", lane="tenant-t")
+        bodies = [
+            m.body.args
+            for m in gateway.runtime.queue._ready[lane]
+        ]
+        assert ("foreign",) in bodies
+
+    def test_reclaimed_requests_rerelease_before_younger_lane_mates(self):
+        """Per-tenant FIFO survives reclamation: taken-back releases go
+        to the *front* of the lane, ahead of requests admitted later."""
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t")},
+            n_workers=3,
+            max_batch_size=8,
+            drain_deadline_s=1.0,
+        )
+        releasable = gateway.max_dispatch_slots - gateway.slot_reserve
+        # Fill the releasable budget, then three younger lane-queued.
+        for i in range(releasable + 3):
+            assert gateway.offer(
+                TaskRequest("noop", args=(i,)), token=tokens["u"]
+            ).admitted
+        gateway.runtime.mark_down("w1")
+        gateway.runtime.mark_down("w2")
+        excess = gateway.outstanding - gateway.max_dispatch_slots
+        testbed.clock.advance(1.0)
+        gateway.on_tick(testbed.clock.now())
+        assert gateway.requests_reclaimed == excess
+        lane = [entry.item.args[0] for entry in gateway.scheduler._lanes["t"]]
+        # Reclaimed (older, previously released) requests sit ahead of
+        # the three younger lane-queued ones, in FIFO order.
+        assert lane == sorted(lane)
+        assert lane[-3:] == [releasable, releasable + 1, releasable + 2]
+        assert all(i < releasable for i in lane[:-3])

@@ -98,3 +98,52 @@ class TestBookkeeping:
             wfq.enqueue("t", 0.0, "x")
         with pytest.raises(SchedulerError):
             wfq.enqueue("t", 1.0, "x", cost=0.0)
+
+
+class TestRequeueFront:
+    def test_front_entry_dequeues_before_existing_lane(self):
+        from repro.gateway.scheduler import WeightedFairScheduler
+
+        scheduler = WeightedFairScheduler()
+        scheduler.enqueue("t", 1.0, "first")
+        scheduler.enqueue("t", 1.0, "second")
+        released = scheduler.dequeue()
+        assert released.item == "first"
+        # Take "first" back: it must come out again before "second".
+        scheduler.requeue_front("t", "first")
+        assert scheduler.dequeue().item == "first"
+        assert scheduler.dequeue().item == "second"
+
+    def test_front_requeue_does_not_double_charge_fair_share(self):
+        from repro.gateway.scheduler import WeightedFairScheduler
+
+        scheduler = WeightedFairScheduler()
+        scheduler.enqueue("t", 1.0, "a")
+        before = scheduler._last_finish["t"]
+        scheduler.requeue_front("t", "b")
+        # The tenant's WFQ frontier is untouched: the re-queued item's
+        # cost was charged at its original enqueue.
+        assert scheduler._last_finish["t"] == before
+
+    def test_front_requeue_into_empty_lane_is_immediately_served(self):
+        from repro.gateway.scheduler import WeightedFairScheduler
+
+        scheduler = WeightedFairScheduler()
+        scheduler.enqueue("hot", 1.0, "x")
+        scheduler.dequeue()
+        scheduler.requeue_front("hot", "x")
+        scheduler.enqueue("cold", 1.0, "y")
+        # The reclaimed item (oldest in system) wins the next dequeue.
+        assert scheduler.dequeue().item == "x"
+
+    def test_front_ordering_across_multiple_requeues(self):
+        from repro.gateway.scheduler import WeightedFairScheduler
+
+        scheduler = WeightedFairScheduler()
+        for name in ("a", "b", "c"):
+            scheduler.enqueue("t", 1.0, name)
+        a, b = scheduler.dequeue(), scheduler.dequeue()
+        # Taking back newest-first (b then a) must restore FIFO: a, b, c.
+        scheduler.requeue_front("t", b.item)
+        scheduler.requeue_front("t", a.item)
+        assert [scheduler.dequeue().item for _ in range(3)] == ["a", "b", "c"]

@@ -226,3 +226,53 @@ class TestTopicCounters:
         assert queue.enqueued_count("x") == 1
         queue.claim("x")  # redelivered message
         assert queue.enqueued_count("x") == 1
+
+
+class TestWithdraw:
+    def test_withdraw_newest_takes_from_the_tail(self, queue):
+        for i in range(4):
+            queue.put(f"m{i}", topic="x")
+        withdrawn = queue.withdraw_newest("x", 2)
+        assert [m.body for m in withdrawn] == ["m3", "m2"]
+        assert queue.ready_count("x") == 2
+        # FIFO order of the survivors is untouched.
+        assert queue.claim("x").body == "m0"
+
+    def test_withdraw_more_than_ready_returns_what_exists(self, queue):
+        queue.put("only", topic="x")
+        withdrawn = queue.withdraw_newest("x", 10)
+        assert [m.body for m in withdrawn] == ["only"]
+        assert queue.withdraw_newest("x", 1) == []
+
+    def test_withdraw_does_not_roll_back_arrival_counter(self, queue):
+        queue.put("a", topic="x")
+        queue.withdraw_newest("x", 1)
+        assert queue.enqueued_count("x") == 1
+
+    def test_restore_returns_message_with_original_enqueue_time(self, queue):
+        queue.put("a", topic="x")
+        msg = queue.withdraw_newest("x", 1)[0]
+        queue.clock.advance(5.0)
+        queue.restore(msg)
+        head = queue.oldest_ready("x")
+        assert head is msg
+        assert head.enqueued_at == msg.enqueued_at
+        assert queue.enqueued_count("x") == 1
+
+    def test_withdraw_validation(self, queue):
+        with pytest.raises(ValueError):
+            queue.withdraw_newest("x", 0)
+
+    def test_backdated_put_does_not_recount_arrival(self, queue):
+        queue.put("a", topic="x")
+        msg = queue.withdraw_newest("x", 1)[0]
+        queue.clock.advance(2.0)
+        resub = queue.put("a", topic="x", enqueued_at=msg.enqueued_at)
+        assert resub.enqueued_at == msg.enqueued_at
+        # One real arrival, one re-submission: the counter saw one.
+        assert queue.enqueued_count("x") == 1
+        assert queue.total_enqueued == 1
+
+    def test_backdated_put_rejects_future_timestamps(self, queue):
+        with pytest.raises(ValueError):
+            queue.put("a", topic="x", enqueued_at=queue.clock.now() + 1.0)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job (stdlib only).
+
+Validates every inline link in the given markdown files:
+
+* relative file links must resolve to an existing file or directory
+  (checked against the linking file's location);
+* fragment links (``file.md#anchor`` or ``#anchor``) must match a
+  heading in the target file, using GitHub's anchor slug rules;
+* absolute URLs (http/https/mailto) are syntax-checked only — CI must
+  stay hermetic, so nothing is fetched.
+
+Exit status is the number of broken links (0 = success). Usage::
+
+    python tools/check_markdown_links.py README.md ROADMAP.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, spaces to dashes,
+    punctuation dropped (backticks and inline code keep their text)."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors a markdown file exposes.
+
+    Applies GitHub's duplicate-heading disambiguation: the second
+    ``## Example`` renders as ``#example-1``, the third ``#example-2``.
+    """
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in HEADING_RE.finditer(path.read_text()):
+        slug = github_anchor(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code — links inside are
+    illustrative, not navigable."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path: Path) -> list[str]:
+    """Returns one human-readable error per broken link in ``path``."""
+    errors: list[str] = []
+    for target in LINK_RE.findall(strip_code(path.read_text())):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if base and not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors only checked inside markdown
+            if github_anchor(fragment) not in anchors_of(resolved):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """Check every file given on the command line; print all failures."""
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    failures: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{path}: file does not exist")
+            continue
+        checked += 1
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} file(s): {len(failures)} broken link(s)")
+    return min(len(failures), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -170,6 +170,19 @@ class ArrivalForecaster:
         Phase resolution of the seasonal profile.
     gamma:
         Seasonal smoothing in ``(0, 1]``.
+    trend_damping:
+        Damping factor ``phi`` in ``(0, 1]`` applied to *negative*
+        trends at projection time (Gardner-style damped trend,
+        one-sided). At ``1.0`` (the default) projections are pure
+        Holt extrapolation. Below 1, a falling trend's contribution
+        over horizon ``h`` shrinks from ``trend * h`` to
+        ``trend * (1 - phi^h) / (-ln phi)`` — bounded however far out
+        the projection looks. Post-burst, the undamped slope dives the
+        forecast far below the real settling rate, the next samples
+        over-correct it upward, and the oscillating projections keep
+        beating the observed rate — deferring drain for reconciles;
+        damping keeps the downswing shallow so the whiplash never
+        starts. Rising trends are never damped (scale-up stays eager).
     """
 
     def __init__(
@@ -179,6 +192,7 @@ class ArrivalForecaster:
         seasonal_period_s: float | None = None,
         seasonal_buckets: int = 8,
         gamma: float = 0.3,
+        trend_damping: float = 1.0,
     ) -> None:
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
@@ -190,11 +204,14 @@ class ArrivalForecaster:
             raise ValueError("seasonal_buckets must be >= 1")
         if not 0 < gamma <= 1:
             raise ValueError("gamma must be in (0, 1]")
+        if not 0 < trend_damping <= 1:
+            raise ValueError("trend_damping must be in (0, 1]")
         self.alpha = alpha
         self.beta = beta
         self.seasonal_period_s = seasonal_period_s
         self.seasonal_buckets = seasonal_buckets
         self.gamma = gamma
+        self.trend_damping = trend_damping
         self._state: dict[Any, _TrendState] = {}
         self._seasonal: dict[Any, list[float]] = {}
 
@@ -262,12 +279,19 @@ class ArrivalForecaster:
         A key with no history projects zero (an unknown servable earns
         capacity only once traffic shows up). Projections never go
         negative — a decaying burst bottoms out at idle, it does not
-        forecast anti-traffic.
+        forecast anti-traffic. With ``trend_damping < 1``, a negative
+        trend extrapolates over the damped horizon
+        ``(1 - phi^h) / (-ln phi)`` instead of ``h`` (the continuous
+        limit of the classic ``phi + phi^2 + ... + phi^h`` sum), so a
+        post-burst downswing cannot over-project the crash.
         """
         state = self._state.get(key)
         if state is None:
             return Forecast(at=at_time_s, rate_rps=0.0, level=0.0, trend_per_s=0.0)
         horizon = max(at_time_s - state.last_time, 0.0)
+        if self.trend_damping < 1.0 and state.trend_per_s < 0.0:
+            phi = self.trend_damping
+            horizon = (1.0 - phi**horizon) / -math.log(phi)
         seasonal = self._seasonal_at(key, at_time_s)
         projected = state.level + state.trend_per_s * horizon + seasonal
         return Forecast(

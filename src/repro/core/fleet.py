@@ -424,6 +424,18 @@ class FleetController:
         topic enqueue counts undercount offered load), adds lane-held
         backlog to queue depth, and computes tenant-weight-adjusted
         rates so scale-up respects tenant weights.
+    imbalance_derate_threshold / imbalance_derate_cap:
+        Opt-in consumption of the windowed ``pod_imbalance`` gauge when
+        sizing demand: with a threshold set, a max-over-mean chunk
+        imbalance above it divides the servable's
+        ``per_copy_capacity_rps`` by the imbalance (capped), so
+        replica/copy sizing plans on what the straggler pod actually
+        delivers instead of assuming perfect sharding. Default ``None``
+        (off): spike-phase scale-up transients routinely skew chunks,
+        and de-rating on them holds extra workers through the drain —
+        enable it (1.25 is a reasonable threshold) for steady fleets
+        with genuinely lopsided pods. The cap (2.0) bounds how far one
+        pathological window can shrink planned capacity.
     """
 
     def __init__(
@@ -440,6 +452,8 @@ class FleetController:
         worker_name_prefix: str = "fleet-w",
         ewma_alpha: float = 0.5,
         gateway=None,
+        imbalance_derate_threshold: float | None = None,
+        imbalance_derate_cap: float = 2.0,
     ) -> None:
         if interval_s <= 0:
             raise FleetControllerError("interval_s must be > 0")
@@ -447,6 +461,15 @@ class FleetController:
             raise FleetControllerError("need 1 <= min_workers <= max_workers")
         if not 0 < ewma_alpha <= 1:
             raise FleetControllerError("ewma_alpha must be in (0, 1]")
+        if imbalance_derate_threshold is not None:
+            if imbalance_derate_threshold < 1:
+                raise FleetControllerError(
+                    "imbalance_derate_threshold must be >= 1"
+                )
+            if imbalance_derate_cap < imbalance_derate_threshold:
+                raise FleetControllerError(
+                    "imbalance_derate_cap must be >= imbalance_derate_threshold"
+                )
         self.runtime = runtime
         self.provision_worker = provision_worker
         self.policy = policy or TargetUtilizationPolicy()
@@ -459,6 +482,8 @@ class FleetController:
         self.worker_name_prefix = worker_name_prefix
         self.ewma_alpha = ewma_alpha
         self.gateway = gateway
+        self.imbalance_derate_threshold = imbalance_derate_threshold
+        self.imbalance_derate_cap = imbalance_derate_cap
 
         self.events: list[FleetEvent] = []
         self.health: dict[str, WorkerHealth] = {}
@@ -479,8 +504,20 @@ class FleetController:
         #: events report imbalance over the *recent* window rather than
         #: a since-start ratio an early straggler would skew forever.
         self._pod_busy_seen: dict[tuple[str, str], float] = {}
+        #: Separate cursor for the capacity-derate gauge: the derate
+        #: windows over reconciles, the replica-event window over scale
+        #: events — consuming one gauge from two cadences through a
+        #: shared cursor would blind whichever reads second.
+        self._derate_busy_seen: dict[tuple[str, str], float] = {}
+        #: Queue topics whose ready set changed since the last observe
+        #: (fed by the queue's event feed) and the per-servable depth
+        #: cache they invalidate — reconcile re-reads depth only for
+        #: servables something actually happened to.
+        self._dirty_topics: set[str] = set()
+        self._depth_cache: dict[str, int] = {}
         self._names = itertools.count(1)
         self._next_at = runtime.clock.now()
+        runtime.queue.subscribe(self._on_queue_event)
         runtime.attach_controller(self)
 
     # -- serve-loop hooks ---------------------------------------------------------
@@ -539,6 +576,20 @@ class FleetController:
         rates[key] = rate
         return rate
 
+    def _on_queue_event(self, topic: str, delta: int) -> None:
+        """Queue event feed: mark the topic dirty for the next observe."""
+        self._dirty_topics.add(topic)
+
+    def _flush_dirty_topics(self) -> None:
+        """Invalidate cached depths for servables with queue activity."""
+        if not self._dirty_topics:
+            return
+        for topic in self._dirty_topics:
+            parts = topic.split("/", 2)
+            if len(parts) == 3 and parts[0] == "servable":
+                self._depth_cache.pop(parts[2], None)
+        self._dirty_topics.clear()
+
     def observe(self, now: float | None = None) -> FleetObservation:
         """Sample the data plane (advances the rate-estimator state)."""
         now = self.runtime.clock.now() if now is None else now
@@ -548,9 +599,13 @@ class FleetController:
             else max(now - self._last_sample_at, 0.0)
         )
         alive = {w.name for w in self.runtime.alive_workers()}
+        self._flush_dirty_topics()
         demands = []
         for name in sorted(self.runtime.placement()):
-            depth = self.runtime.queue_depth(name)
+            depth = self._depth_cache.get(name)
+            if depth is None:
+                depth = self.runtime.queue_depth(name)
+                self._depth_cache[name] = depth
             if self.gateway is not None:
                 # Lane-held backlog is invisible to the queue; admitted
                 # counters see offered load the WFQ throttle hasn't
@@ -606,6 +661,27 @@ class FleetController:
             )
             self._wait_cursor[name] = metrics.count("queue_wait", name)
             spec = self.runtime.spec(name)
+            capacity = per_copy_capacity_rps(
+                spec.servable.inference_cost_s,
+                self.runtime.max_batch_size,
+                replicas=spec.replicas,
+            )
+            imbalance = (
+                self.runtime.stage_metrics.pod_imbalance(
+                    name, busy=self._derate_window(name)
+                )
+                if self.imbalance_derate_threshold is not None
+                else None
+            )
+            if (
+                imbalance is not None
+                and imbalance > self.imbalance_derate_threshold
+            ):
+                # The capacity model assumes batches shard evenly; when
+                # the straggler pod carries ``imbalance``x the mean, the
+                # copy's real throughput is the model's divided by it —
+                # plan on that, not on perfect sharding.
+                capacity /= min(imbalance, self.imbalance_derate_cap)
             demands.append(
                 ServableDemand(
                     name=name,
@@ -616,11 +692,7 @@ class FleetController:
                         for host in self.runtime.hosts(name)
                         if host.name in alive
                     ),
-                    per_copy_capacity_rps=per_copy_capacity_rps(
-                        spec.servable.inference_cost_s,
-                        self.runtime.max_batch_size,
-                        replicas=spec.replicas,
-                    ),
+                    per_copy_capacity_rps=capacity,
                     recent_p95_queue_wait_s=(
                         float(np.percentile(fresh, 95.0)) if fresh else None
                     ),
@@ -992,6 +1064,23 @@ class FleetController:
                             else {}
                         ),
                     )
+
+    def _derate_window(self, servable: str) -> dict[str, float]:
+        """Per-pod busy deltas since the last *observe*, across workers.
+
+        The capacity-derate view of the ``pod_busy`` gauge: unlike
+        :meth:`_pod_busy_window` (per worker, sampled at replica-scale
+        events) this windows over every pod hosting the servable at the
+        reconcile cadence, through its own cursor so neither consumer
+        starves the other of deltas.
+        """
+        window: dict[str, float] = {}
+        totals = self.runtime.stage_metrics.pod_busy(servable)
+        for pod, total in totals.items():
+            seen = self._derate_busy_seen.get((servable, pod), 0.0)
+            window[pod] = max(total - seen, 0.0)
+            self._derate_busy_seen[(servable, pod)] = total
+        return window
 
     def _pod_busy_window(self, servable: str, worker_name: str) -> dict[str, float]:
         """Per-pod busy-time deltas since this method last sampled.

@@ -223,6 +223,11 @@ class StageLatencyCollector:
 
     def count(self, stage: str | None = None, servable: str | None = None) -> int:
         """Number of records, optionally restricted to one servable."""
+        if stage is not None and servable is not None:
+            # The fully-keyed read is a per-tick cursor check in the
+            # fleet controller's observe loop — keep it a dict lookup,
+            # not a scan over every (stage, servable) pair.
+            return len(self._samples.get((stage, servable), ()))
         return sum(
             len(values)
             for (s, sv), values in self._samples.items()
@@ -294,7 +299,16 @@ class TenantUsageCollector:
     def __init__(self) -> None:
         self._counters: dict[str, TenantCounters] = {}
         self._latencies: dict[str, list[float]] = defaultdict(list)
-        self._admitted_by_servable: dict[tuple[str, str], int] = defaultdict(int)
+        #: servable -> tenant -> cumulative admissions. Indexed by
+        #: servable (not flat ``(tenant, servable)`` pairs) so the
+        #: fleet controller's per-servable demand reads are a dict
+        #: lookup, not a scan over every tenant x servable pair.
+        self._admitted_by_servable: dict[str, dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        #: servable -> cumulative admissions across tenants (the O(1)
+        #: aggregate the reconcile loop polls every tick).
+        self._admitted_totals: dict[str, int] = defaultdict(int)
 
     def _counter(self, tenant: str) -> TenantCounters:
         counter = self._counters.get(tenant)
@@ -306,7 +320,8 @@ class TenantUsageCollector:
     def record_admitted(self, tenant: str, servable: str) -> None:
         """Count one admission for ``tenant`` on ``servable``."""
         self._counter(tenant).admitted += 1
-        self._admitted_by_servable[(tenant, servable)] += 1
+        self._admitted_by_servable[servable][tenant] += 1
+        self._admitted_totals[servable] += 1
 
     def record_denied(self, tenant: str, outcome: str) -> None:
         """Count one denial for ``tenant`` keyed by typed ``outcome``."""
@@ -341,15 +356,19 @@ class TenantUsageCollector:
     def admitted_count(self, tenant: str, servable: str) -> int:
         """Cumulative admissions for ``(tenant, servable)`` — monotonic,
         so controllers can rate-estimate from deltas between samples."""
-        return self._admitted_by_servable.get((tenant, servable), 0)
+        by_tenant = self._admitted_by_servable.get(servable)
+        return by_tenant.get(tenant, 0) if by_tenant else 0
+
+    def servable_admitted_count(self, servable: str) -> int:
+        """Cumulative admissions for one servable across every tenant —
+        monotonic and O(1), the aggregate the gateway exposes to the
+        fleet controller's per-tick demand estimator."""
+        return self._admitted_totals.get(servable, 0)
 
     def tenant_admissions(self, servable: str) -> dict[str, int]:
         """Per-tenant cumulative admissions for one servable."""
-        return {
-            tenant: count
-            for (tenant, s), count in self._admitted_by_servable.items()
-            if s == servable and count
-        }
+        by_tenant = self._admitted_by_servable.get(servable, {})
+        return {tenant: count for tenant, count in by_tenant.items() if count}
 
     def latencies(self, tenant: str) -> list[float]:
         """All end-to-end latency samples recorded for ``tenant``."""

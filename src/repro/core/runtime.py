@@ -35,6 +35,7 @@ without stalling the data plane.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from dataclasses import dataclass
@@ -221,6 +222,32 @@ class ServingRuntime:
         self._down: set[str] = set()
         self._pending: list[_PendingBatch] = []
         self._seq = itertools.count(1)
+        # -- event indices (see "serve-loop event indices" in
+        # docs/ARCHITECTURE.md). The queue's ready-set listener marks
+        # topics *dirty*; `_next_window` lazily re-derives each dirty
+        # topic's authoritative window state (`_win`) and keeps two
+        # heaps per the window's due-ness, validating entries against
+        # `_win` on pop (the same lazy-invalidation idiom the WFQ
+        # scheduler's lane heap uses). Scheduling decisions then cost
+        # O(log n) in tenant lanes instead of a full rescan.
+        #: topic -> (tag_rank, flush_at) for topics with a ready head.
+        self._win: dict[str, tuple[float, float]] = {}
+        #: Topics whose ready set changed since their last refresh.
+        self._dirty: set[str] = set()
+        #: Per-servable heap of due windows, keyed (tag_rank, flush_at,
+        #: topic) — the dispatch arbitration order.
+        self._due: dict[str, list[tuple[float, float, str]]] = {}
+        #: Per-servable heap of future flush deadlines, keyed
+        #: (flush_at, topic); entries migrate to `_due` as time passes.
+        self._future: dict[str, list[tuple[float, str]]] = {}
+        #: O(1) ready-depth counter per servable (replaces summing
+        #: `ready_count` over every lane).
+        self._ready_depth: dict[str, int] = {}
+        #: All topics this runtime owns, maintained incrementally
+        #: (place/submit add, lane GC removes) — `_topics()` built this
+        #: list from scratch every serve iteration.
+        self._owned_topics: set[str] = set()
+        queue.subscribe(self._on_queue_event)
         self._controller = None
         self._ingress = None
         self.batches_dispatched = 0
@@ -346,6 +373,15 @@ class ServingRuntime:
             )
             self._mark_warming(worker)
         self._hosts[servable.name] = chosen
+        # Seed the event indices: messages put on the default-lane topic
+        # before placement predate the queue listener's visibility filter
+        # (unplaced servables are not ours), so baseline the depth
+        # counter from the queue and mark the topic dirty.
+        default_topic = servable_topic(servable.name)
+        self._owned_topics.add(default_topic)
+        self._ready_depth[servable.name] = self.queue.ready_count(default_topic)
+        if self._ready_depth[servable.name]:
+            self._dirty.add(default_topic)
         self._specs[servable.name] = PlacementSpec(
             servable=servable,
             image=image,
@@ -592,11 +628,26 @@ class ServingRuntime:
         name = request.servable_name
         lane = "requests" if request.tenant is None else f"tenant-{request.tenant}"
         lanes = self._lanes.setdefault(name, {"requests"})
-        if lane not in lanes and len(lanes) >= self.max_lanes_per_servable:
-            # Over the scan bound: reclaim idle lanes before tracking a
-            # new one (live lanes are never dropped — the bound is soft).
-            self._gc_servable_lanes(name, self.clock.now(), self._pending_topics())
-        lanes.add(lane)
+        if lane not in lanes:
+            if len(lanes) >= self.max_lanes_per_servable:
+                # Over the scan bound: reclaim idle lanes before tracking
+                # a new one (live lanes are never dropped — the bound is
+                # soft).
+                self._gc_servable_lanes(
+                    name, self.clock.now(), self._pending_topics()
+                )
+            lanes.add(lane)
+            # A newly tracked lane makes its topic visible to the
+            # dispatch scan; messages put there directly (not via
+            # submit) predate the listener filter, so baseline them in.
+            topic = servable_topic(name, lane=lane)
+            self._owned_topics.add(topic)
+            preexisting = self.queue.ready_count(topic)
+            if preexisting:
+                self._ready_depth[name] = (
+                    self._ready_depth.get(name, 0) + preexisting
+                )
+                self._dirty.add(topic)
         self._lane_active[(name, lane)] = self.clock.now()
         return self.queue.put(
             request, topic=servable_topic(name, lane=lane), enqueued_at=enqueued_at
@@ -642,12 +693,22 @@ class ServingRuntime:
                 continue
             lanes.discard(lane)
             self._lane_active.pop((name, lane), None)
+            # A collected lane is empty and settled, so the indices hold
+            # no live state for it — only drop topic ownership.
+            self._owned_topics.discard(topic)
             dropped += 1
         self.lanes_collected += dropped
         return dropped
 
     def queue_depth(self, servable_name: str) -> int:
-        """Ready requests for a servable across all of its queue lanes."""
+        """Ready requests for a servable across all of its queue lanes.
+
+        O(1) for placed servables: the queue's ready-set listener keeps
+        a per-servable counter current. Unplaced names fall back to the
+        lane scan (they are outside the listener's visibility filter).
+        """
+        if servable_name in self._hosts:
+            return self._ready_depth.get(servable_name, 0)
         return sum(
             self.queue.ready_count(servable_topic(servable_name, lane=lane))
             for lane in self._lanes.get(servable_name, {"requests"})
@@ -680,8 +741,135 @@ class ServingRuntime:
             for lane in sorted(self._lanes.get(name, {"requests"}))
         ]
 
+    # -- event indices ------------------------------------------------------------
+    def _on_queue_event(self, topic: str, delta: int) -> None:
+        """Queue listener: fold one ready-set change into the indices.
+
+        Only topics the runtime owns participate — the queue is shared
+        (e.g. the Management Service's ``sync`` lane), and an unowned
+        topic must stay invisible to the dispatch scan exactly as it was
+        under the linear implementation.
+        """
+        parts = topic.split("/", 2)
+        if len(parts) != 3 or parts[0] != "servable":
+            return
+        lane, name = parts[1], parts[2]
+        if name not in self._hosts:
+            return
+        if lane != "requests":
+            lanes = self._lanes.get(name)
+            if lanes is None or lane not in lanes:
+                return
+        self._ready_depth[name] = self._ready_depth.get(name, 0) + delta
+        self._dirty.add(topic)
+
+    def _refresh_dirty(self, now: float) -> None:
+        """Re-derive ``_win`` for every dirty topic and index the result.
+
+        A changed window state is pushed onto the owning servable's due
+        heap (already due) or future heap (flush deadline ahead); stale
+        heap entries are invalidated lazily by comparing against
+        ``_win`` on pop. An unchanged state pushes nothing — the entry
+        already indexed is still the valid one.
+        """
+        if not self._dirty:
+            return
+        for topic in self._dirty:
+            head = self.queue.oldest_ready(topic)
+            if head is None:
+                self._win.pop(topic, None)
+                continue
+            tag = getattr(head.body, "dispatch_tag", None)
+            rank = (-math.inf) if tag is None else tag
+            state = (rank, self._flush_due(topic))
+            if self._win.get(topic) == state:
+                continue
+            self._win[topic] = state
+            name = topic.split("/", 2)[2]
+            if state[1] <= now + _EPS:
+                heapq.heappush(
+                    self._due.setdefault(name, []), (state[0], state[1], topic)
+                )
+            else:
+                heapq.heappush(
+                    self._future.setdefault(name, []), (state[1], topic)
+                )
+        self._dirty.clear()
+
+    def _clean_window_heaps(self, name: str, now: float) -> None:
+        """Drop stale tops and migrate newly due windows for ``name``.
+
+        After this, the due heap's top (if any) is the servable's valid
+        min-rank due window and the future heap's top its valid earliest
+        future flush deadline.
+        """
+        due = self._due.get(name)
+        future = self._future.get(name)
+        while due:
+            rank, flush_at, topic = due[0]
+            if self._win.get(topic) != (rank, flush_at):
+                heapq.heappop(due)
+            elif flush_at > now + _EPS:
+                # Only reachable if time ran backwards between calls
+                # (tests may probe with arbitrary nows): demote.
+                heapq.heappop(due)
+                future = self._future.setdefault(name, [])
+                heapq.heappush(future, (flush_at, topic))
+            else:
+                break
+        while future:
+            flush_at, topic = future[0]
+            win = self._win.get(topic)
+            if win is None or win[1] != flush_at:
+                heapq.heappop(future)
+            elif flush_at <= now + _EPS:
+                heapq.heappop(future)
+                heapq.heappush(
+                    self._due.setdefault(name, []), (win[0], flush_at, topic)
+                )
+            else:
+                break
+
     def _next_window(self, now: float) -> tuple[str | None, float]:
         """Returns ``(dispatchable_topic_or_None, earliest_future_event)``.
+
+        Same contract and bit-for-bit the same answers as
+        :meth:`_next_window_scan` (the retained reference
+        implementation), but served from the incrementally maintained
+        event indices: per call this touches the topics dirtied since
+        the last call plus one heap peek per placed servable, instead of
+        rescanning every tenant lane. See the scan's docstring for the
+        arbitration semantics.
+        """
+        self._refresh_dirty(now)
+        due: tuple[float, float, str] | None = None
+        next_event = math.inf
+        for name in self._hosts:
+            self._clean_window_heaps(name, now)
+            due_heap = self._due.get(name)
+            future_heap = self._future.get(name)
+            if not due_heap and not future_heap:
+                continue
+            worker, earliest_free = self._route(name, now)
+            if worker is None and math.isinf(earliest_free):
+                continue  # no live host: invisible until revival
+            if due_heap:
+                if worker is not None:
+                    if due is None or due_heap[0] < due:
+                        due = due_heap[0]
+                else:
+                    next_event = min(next_event, earliest_free)
+            if future_heap:
+                next_event = min(next_event, future_heap[0][0])
+        return (due[2] if due else None), next_event
+
+    def _next_window_scan(self, now: float) -> tuple[str | None, float]:
+        """Returns ``(dispatchable_topic_or_None, earliest_future_event)``.
+
+        The reference linear implementation of :meth:`_next_window`,
+        retained for property tests (the index must agree with it on
+        every randomized workload) and for measuring the index's win
+        (``bench_dispatch_overhead``). O(servables x lanes) per call.
 
         A topic is dispatchable when its window is due *and* a live host
         is free. A due window whose hosts are all busy contributes the
@@ -997,7 +1185,7 @@ class ServingRuntime:
             # Work claimed by a crashed consumer becomes ready again when
             # its visibility timeout lapses — sleep until then rather
             # than declaring the queue drained.
-            expiry = self.queue.next_inflight_expiry(set(self._topics()))
+            expiry = self.queue.next_inflight_expiry(self._owned_topics)
             if expiry is not None:
                 next_event = min(next_event, expiry)
             if self._pending:

@@ -194,6 +194,15 @@ class ServingGateway:
         #: re-release keeps the true enqueue age (queue-wait metrics
         #: would otherwise under-report every reclaimed request).
         self._reclaimed_at: dict[str, float] = {}
+        #: Incrementally maintained slot-share state: the contending set
+        #: (backlogged or outstanding tenants), the cached weighted
+        #: shares over it, and a dirty flag raised only when membership
+        #: or the budget changes — per-release work is then an O(1)
+        #: eligibility delta for the one tenant whose occupancy moved,
+        #: instead of recomputing every tenant's share per release.
+        self._contending: set[str] = set()
+        self._shares: dict[str, int] = {}
+        self._shares_dirty = True
         self._dynamic_slots = max_dispatch_slots is None
         self._reserve_spec = slot_reserve
         if self._dynamic_slots:
@@ -253,8 +262,11 @@ class ServingGateway:
             if self._reserve_spec is None
             else self._reserve_spec
         )
+        previous = (self.max_dispatch_slots, self.slot_reserve)
         self.max_dispatch_slots = in_flight_capacity + max(reserve, 0)
         self.slot_reserve = min(max(reserve, 0), self.max_dispatch_slots - 1)
+        if (self.max_dispatch_slots, self.slot_reserve) != previous:
+            self._shares_dirty = True
 
     def on_fleet_change(self) -> None:
         """Runtime hook: the worker fleet changed (add/remove/liveness).
@@ -363,6 +375,7 @@ class ServingGateway:
                 )
                 self._outstanding -= 1
                 self._outstanding_by_tenant[tenant] -= 1
+                self._note_tenant(tenant)
                 excess -= 1
                 reclaimed += 1
                 progressed = True
@@ -449,6 +462,7 @@ class ServingGateway:
                 self._queued_by_servable.get(servable, 0) + 1
             )
             self._open[request.task_uuid] = result
+            self._note_tenant(policy.name)
             self._pump()
         return result
 
@@ -477,6 +491,53 @@ class ServingGateway:
             for tenant in contending
         }
 
+    def _note_tenant(self, tenant: str) -> None:
+        """Fold one tenant's occupancy/backlog change into the share state.
+
+        Called after every event that moves a tenant's lane depth or
+        outstanding count. Membership flips (joining or leaving the
+        contending set) invalidate every tenant's share — weighted
+        shares are relative — so they raise the dirty flag; a change
+        *within* the set only moves this tenant's own under-share
+        eligibility, an O(1) update of the scheduler's eligible index.
+        """
+        active = (
+            self.scheduler.depth(tenant) > 0
+            or self._outstanding_by_tenant.get(tenant, 0) > 0
+        )
+        if active != (tenant in self._contending):
+            if active:
+                self._contending.add(tenant)
+            else:
+                self._contending.discard(tenant)
+                self.scheduler.set_eligible(tenant, False)
+            self._shares_dirty = True
+        elif active and not self._shares_dirty:
+            self.scheduler.set_eligible(
+                tenant,
+                self._outstanding_by_tenant.get(tenant, 0)
+                < self._shares.get(tenant, 0),
+            )
+
+    def _refresh_shares(self) -> None:
+        """Recompute shares and eligibility when the share state is dirty.
+
+        O(contending tenants), paid only on membership or budget
+        changes — steady-state releases skip it entirely.
+        """
+        if not self._shares_dirty:
+            return
+        self._shares = (
+            self._slot_shares(sorted(self._contending)) if self._contending else {}
+        )
+        for tenant in self._contending:
+            self.scheduler.set_eligible(
+                tenant,
+                self._outstanding_by_tenant.get(tenant, 0)
+                < self._shares[tenant],
+            )
+        self._shares_dirty = False
+
     def _pump(self) -> None:
         """Drain lanes into the runtime while dispatch slots are free.
 
@@ -488,25 +549,27 @@ class ServingGateway:
         they still run (work conservation beats reservation), but never
         into the last ``slot_reserve`` slots, so a newly active
         tenant's first request always finds instant headroom.
+
+        The under-share set is maintained incrementally: the scheduler's
+        eligible-tenant index holds exactly the backlogged tenants below
+        their share (kept current by :meth:`_note_tenant` deltas), so
+        each release is a heap pop instead of recomputing every
+        contending tenant's share. ``dequeue_eligible`` picks what
+        ``dequeue_from(below)`` would; the work-conserving fallback
+        ``dequeue()`` is the global min tag, identical to
+        ``dequeue_from(backlogged)``.
         """
         while len(self.scheduler) and self._outstanding < self.max_dispatch_slots:
-            backlogged = self.scheduler.tenants()
-            contending = sorted(
-                set(backlogged)
-                | {t for t, n in self._outstanding_by_tenant.items() if n}
-            )
-            shares = self._slot_shares(contending)
-            below = {
-                tenant
-                for tenant in backlogged
-                if self._outstanding_by_tenant.get(tenant, 0) < shares[tenant]
-            }
-            if not below and (
+            self._refresh_shares()
+            if self.scheduler.has_eligible_work():
+                entry = self.scheduler.dequeue_eligible()
+            elif (
                 self._outstanding
                 >= self.max_dispatch_slots - self.slot_reserve
             ):
                 break
-            entry = self.scheduler.dequeue_from(below or set(backlogged))
+            else:
+                entry = self.scheduler.dequeue()
             request: TaskRequest = entry.item
             self._queued_by_servable[request.servable_name] -= 1
             # Carry the WFQ virtual-finish tag into the runtime: when
@@ -523,6 +586,7 @@ class ServingGateway:
             self._outstanding_by_tenant[entry.tenant] = (
                 self._outstanding_by_tenant.get(entry.tenant, 0) + 1
             )
+            self._note_tenant(entry.tenant)
 
     # -- ingress protocol (driven by ServingRuntime.serve) --------------------------
     def on_tick(self, now: float) -> None:
@@ -555,6 +619,7 @@ class ServingGateway:
             tenant = runtime_result.request.tenant
             self._outstanding_by_tenant[tenant] -= 1
             self.admission.release(tenant, runtime_result.request.servable_name)
+            self._note_tenant(tenant)
             self.metrics.record_completion(
                 tenant,
                 runtime_result.completed_at - open_result.arrived_at,
@@ -679,6 +744,7 @@ class ServingGateway:
             )
             self._open[request.task_uuid] = gateway_result
             results.append(gateway_result)
+        self._note_tenant(policy.name)
         self._pump()
         self.runtime.drain()
         return [r.runtime_result.result for r in results]
@@ -744,6 +810,7 @@ class ServingGateway:
             arrived_at=self.runtime.clock.now(),
         )
         self._open[request.task_uuid] = result
+        self._note_tenant(policy.name)
         self._pump()
         self.runtime.drain()
         if result.runtime_result is None:  # pragma: no cover - drain settles all
@@ -775,7 +842,7 @@ class ServingGateway:
         the post-policy demand signal a fleet controller should scale
         on, instead of the topic enqueue counter the WFQ throttle sits
         in front of."""
-        return sum(self.metrics.tenant_admissions(servable_name).values())
+        return self.metrics.servable_admitted_count(servable_name)
 
     def tenant_admissions(self, servable_name: str) -> dict[str, int]:
         """Per-tenant cumulative admitted arrivals for a servable."""

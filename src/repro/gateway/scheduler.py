@@ -54,12 +54,21 @@ class WeightedFairScheduler:
         self._front_seq = itertools.count(-1, -1)
         #: Lane heads, ordered by (finish_tag, seq) — rebuilt lazily.
         self._heap: list[tuple[float, int, str]] = []
+        #: Tenants currently marked dispatch-eligible by the caller (the
+        #: gateway's under-slot-share set), and the secondary heap of
+        #: their lane heads. Entries are lazily invalidated exactly like
+        #: ``_heap``, plus an eligibility check on pop — so
+        #: :meth:`dequeue_eligible` replaces the linear head scan
+        #: :meth:`dequeue_from` did with an O(log T) pop.
+        self._eligible: set[str] = set()
+        self._eligible_heap: list[tuple[float, int, str]] = []
+        self._size = 0
         self.enqueued = 0
         self.dequeued = 0
 
     # -- introspection ------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(lane) for lane in self._lanes.values())
+        return self._size
 
     def depth(self, tenant: str) -> int:
         return len(self._lanes.get(tenant, ()))
@@ -103,6 +112,8 @@ class WeightedFairScheduler:
         lane.append(entry)
         if len(lane) == 1:
             heapq.heappush(self._heap, (entry.finish_tag, entry.seq, tenant))
+            self._push_eligible_head(tenant, entry)
+        self._size += 1
         self.enqueued += 1
         return entry
 
@@ -134,6 +145,8 @@ class WeightedFairScheduler:
         )
         lane.appendleft(entry)
         heapq.heappush(self._heap, (entry.finish_tag, entry.seq, tenant))
+        self._push_eligible_head(tenant, entry)
+        self._size += 1
         self.enqueued += 1
         return entry
 
@@ -150,12 +163,15 @@ class WeightedFairScheduler:
     def dequeue_from(self, tenants: set[str]) -> ScheduledItem:
         """Pop the smallest-tag entry among the given tenants' lanes.
 
-        The gateway's dispatch pump uses this to enforce weighted *slot
-        shares*: when a tenant already occupies its share of outstanding
+        The reference implementation of the gateway pump's slot-share
+        pick: when a tenant already occupies its share of outstanding
         dispatch slots, the pump restricts the pick to tenants below
-        theirs (falling back to everyone, to stay work-conserving).
-        Lane count is small, so a linear scan over heads is fine; stale
-        heap entries left behind are skipped by :meth:`dequeue` later.
+        theirs (falling back to everyone, to stay work-conserving). The
+        hot path now uses the eligible-tenant index
+        (:meth:`dequeue_eligible`) — O(log T) instead of this O(T) head
+        scan — and property tests cross-check the two pick identical
+        entries. Stale heap entries left behind are skipped by
+        :meth:`dequeue` later.
         """
         best: ScheduledItem | None = None
         for tenant in tenants:
@@ -172,16 +188,76 @@ class WeightedFairScheduler:
             raise SchedulerError(f"no queued work for tenants {sorted(tenants)}")
         return self._pop_head(best.tenant)
 
+    # -- eligible-tenant index ----------------------------------------------------
+    def set_eligible(self, tenant: str, eligible: bool) -> None:
+        """Mark one tenant in or out of the dispatch-eligible set.
+
+        The caller (the gateway's pump) owns the eligibility predicate
+        (tenant under its weighted slot share); the scheduler only
+        indexes it. Marking a tenant eligible pushes its current lane
+        head onto the secondary heap; unmarking leaves stale entries to
+        be skipped lazily on pop. Eligibility with an empty lane is
+        allowed and harmless — head validation filters it.
+        """
+        if eligible:
+            if tenant not in self._eligible:
+                self._eligible.add(tenant)
+                lane = self._lanes.get(tenant)
+                if lane:
+                    head = lane[0]
+                    heapq.heappush(
+                        self._eligible_heap, (head.finish_tag, head.seq, tenant)
+                    )
+        else:
+            self._eligible.discard(tenant)
+
+    def _push_eligible_head(self, tenant: str, head: ScheduledItem) -> None:
+        if tenant in self._eligible:
+            heapq.heappush(
+                self._eligible_heap, (head.finish_tag, head.seq, tenant)
+            )
+
+    def _clean_eligible(self) -> bool:
+        """Drop stale eligible-heap tops; True iff a valid head remains."""
+        while self._eligible_heap:
+            _, seq, tenant = self._eligible_heap[0]
+            lane = self._lanes.get(tenant)
+            if tenant not in self._eligible or not lane or lane[0].seq != seq:
+                heapq.heappop(self._eligible_heap)
+                continue
+            return True
+        return False
+
+    def has_eligible_work(self) -> bool:
+        """Whether any eligible tenant has a queued item."""
+        return self._clean_eligible()
+
+    def dequeue_eligible(self) -> ScheduledItem:
+        """Pop the smallest-tag head among eligible tenants.
+
+        Exactly :meth:`dequeue_from` over the eligible set — the same
+        (finish_tag, seq) arbitration, served in O(log T) from the
+        secondary heap instead of a scan over every candidate lane.
+        """
+        if not self._clean_eligible():
+            raise SchedulerError(
+                f"no queued work for eligible tenants {sorted(self._eligible)}"
+            )
+        _, _, tenant = heapq.heappop(self._eligible_heap)
+        return self._pop_head(tenant)
+
     def _pop_head(self, tenant: str) -> ScheduledItem:
         lane = self._lanes[tenant]
         entry = lane.popleft()
         if lane:
             head = lane[0]
             heapq.heappush(self._heap, (head.finish_tag, head.seq, tenant))
+            self._push_eligible_head(tenant, head)
         # Virtual time tracks the service frontier; max() guards
         # against regression when an idle tenant re-enters with a
         # tag below an already-served backlogged tenant's.
         self._virtual_time = max(self._virtual_time, entry.finish_tag)
+        self._size -= 1
         self.dequeued += 1
         return entry
 

@@ -88,6 +88,26 @@ class TaskQueue:
         self.total_acked = 0
         self.total_redelivered = 0
         self._topic_enqueued: dict[str, int] = {}
+        #: Ready-set change listeners, ``cb(topic, delta_ready)`` — the
+        #: event feed incremental consumers (the serving runtime's
+        #: dispatch indices) maintain their per-topic state from, instead
+        #: of rescanning every topic per tick.
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(topic, delta_ready)`` for ready-set changes.
+
+        The callback fires on every mutation of a topic's *ready* set:
+        ``+1`` on :meth:`put`, :meth:`restore`, and requeueing
+        :meth:`nack`; ``-1`` per message claimed or withdrawn. Acks and
+        dead-letterings touch only in-flight state and do not fire.
+        Listeners must not mutate the queue reentrantly.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, topic: str, delta: int) -> None:
+        for listener in self._listeners:
+            listener(topic, delta)
 
     # -- producer side ----------------------------------------------------------
     def put(
@@ -118,6 +138,7 @@ class TaskQueue:
         if enqueued_at is None:
             self.total_enqueued += 1
             self._topic_enqueued[topic] = self._topic_enqueued.get(topic, 0) + 1
+        self._notify(topic, +1)
         return msg
 
     # -- consumer side ----------------------------------------------------------
@@ -157,6 +178,7 @@ class TaskQueue:
         msg.claimed_at = self.clock.now()
         msg.delivery_tag = next(self._tags)
         self._inflight[msg.delivery_tag] = msg
+        self._notify(msg.topic, -1)
         return msg
 
     def ack(self, delivery_tag: int) -> None:
@@ -176,6 +198,7 @@ class TaskQueue:
         if requeue and msg.deliveries < self.max_deliveries:
             self._ready.setdefault(msg.topic, deque()).appendleft(msg)
             self.total_redelivered += 1
+            self._notify(msg.topic, +1)
         else:
             self._dead.append(msg)
 
@@ -198,6 +221,7 @@ class TaskQueue:
         withdrawn: list[QueuedMessage] = []
         while chan and len(withdrawn) < n:
             withdrawn.append(chan.pop())
+            self._notify(topic, -1)
         return withdrawn
 
     def restore(self, message: QueuedMessage) -> None:
@@ -208,6 +232,7 @@ class TaskQueue:
         and no arrival is re-counted.
         """
         self._ready.setdefault(message.topic, deque()).append(message)
+        self._notify(message.topic, +1)
 
     def expire_inflight(self) -> int:
         """Redeliver in-flight messages whose visibility timeout has lapsed.

@@ -397,3 +397,59 @@ class TestArrivalForecaster:
         forecast = forecaster.forecast("m", 1.0)
         assert forecast.trend_per_s == 0.0
         assert forecast.rate_rps == pytest.approx(150.0)
+
+
+class TestDampedTrend:
+    """One-sided Gardner damping of negative trends at projection time."""
+
+    @staticmethod
+    def _declining(forecaster):
+        # rate(t) = 800 - 100 t, sampled every 250 ms for 3 s.
+        for i in range(13):
+            t = i * 0.25
+            forecaster.observe("m", t, 800.0 - 100.0 * t)
+        return 3.0
+
+    def test_default_damping_is_identity(self):
+        plain, explicit = ArrivalForecaster(), ArrivalForecaster(trend_damping=1.0)
+        last = self._declining(plain)
+        self._declining(explicit)
+        assert plain.forecast("m", last + 2.0) == explicit.forecast("m", last + 2.0)
+
+    def test_negative_trend_projection_is_lifted(self):
+        undamped, damped = (
+            ArrivalForecaster(),
+            ArrivalForecaster(trend_damping=0.5),
+        )
+        last = self._declining(undamped)
+        self._declining(damped)
+        at = last + 2.0
+        lifted = damped.forecast("m", at)
+        crashed = undamped.forecast("m", at)
+        # Same smoothed state, shallower downswing.
+        assert lifted.level == crashed.level
+        assert lifted.trend_per_s == crashed.trend_per_s
+        assert lifted.rate_rps > crashed.rate_rps
+        assert lifted.rate_rps < lifted.level
+
+    def test_damped_downswing_is_bounded_in_the_horizon(self):
+        forecaster = ArrivalForecaster(trend_damping=0.5)
+        self._declining(forecaster)
+        # (1 - phi^h) / (-ln phi) -> 1/ln(2) as h -> inf: however far
+        # out the projection looks, the trend contributes a bounded dip.
+        far = forecaster.forecast("m", 1e6)
+        floor = far.level + far.trend_per_s * (1.0 / math.log(2.0))
+        assert far.rate_rps == pytest.approx(max(floor, 0.0))
+
+    def test_rising_trend_never_damped(self):
+        eager, damped = ArrivalForecaster(), ArrivalForecaster(trend_damping=0.3)
+        for i in range(13):
+            t = i * 0.25
+            eager.observe("m", t, 50.0 + 40.0 * t)
+            damped.observe("m", t, 50.0 + 40.0 * t)
+        assert eager.forecast("m", 5.0) == damped.forecast("m", 5.0)
+
+    def test_validation(self):
+        for phi in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="trend_damping"):
+                ArrivalForecaster(trend_damping=phi)

@@ -634,3 +634,110 @@ class TestPredictiveController:
         if horizon > testbed.clock.now():
             testbed.clock.advance_to(horizon + 1e-6)
         assert not any(w.warming for w in runtime.fleet_stats().workers)
+
+
+class TestImbalanceDerate:
+    """The windowed ``pod_imbalance`` gauge de-rates planned capacity."""
+
+    def test_off_by_default(self):
+        """Opt-in: without a threshold, even a lopsided window leaves
+        planned capacity at the model's value."""
+        testbed, zoo, runtime, controller = build_controlled_fleet()
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 30.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.0)
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps == baseline
+
+    def test_straggler_imbalance_derates_capacity(self):
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=1.25
+        )
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 3.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 1.0)
+        obs = controller.observe()
+        # max/mean = 3.0/2.0 = 1.5 > 1.25: plan on the straggler's pace.
+        assert obs.demands[0].per_copy_capacity_rps == pytest.approx(
+            baseline / 1.5
+        )
+
+    def test_balanced_pods_leave_capacity_alone(self):
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=1.25
+        )
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 2.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 2.0)
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps == baseline
+
+    def test_jitter_below_threshold_ignored(self):
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=1.25
+        )
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        # max/mean = 1.2/1.0 = 1.2 < 1.25: routine scatter, no derate.
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 1.2)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.8)
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps == baseline
+
+    def test_derate_capped_for_pathological_windows(self):
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=1.25, imbalance_derate_cap=1.6
+        )
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        # Three pods, one doing all the work: imbalance 3.0, capped 1.6.
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 6.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-2", 0.0)
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps == pytest.approx(
+            baseline / 1.6
+        )
+
+    def test_window_forgets_old_imbalance(self):
+        """The gauge is consumed through deltas: once a skewed interval
+        has been observed, a quiet follow-up interval stops the derate —
+        cumulative-since-start ratios would pin it forever."""
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=1.25
+        )
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 3.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 1.0)
+        derated = controller.observe().demands[0].per_copy_capacity_rps
+        assert derated < baseline
+        # No new busy time since: an all-zero window reads as even.
+        recovered = controller.observe().demands[0].per_copy_capacity_rps
+        assert recovered == baseline
+
+    def test_own_cursor_survives_replica_scaling_reads(self):
+        """The derate view and the replica-scaling view window the same
+        cumulative gauge through separate cursors — one consumer reading
+        first must not blind the other."""
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=1.25
+        )
+        controller.observe()
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 3.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 1.0)
+        # The replica-scaling window consumes its cursor first...
+        assert controller._pod_busy_window("noop", "w0") == {
+            "w0/pod-0": 3.0,
+            "w0/pod-1": 1.0,
+        }
+        # ...and the derate still sees the full interval through its own.
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps < per_copy_capacity_rps(
+            zoo["noop"].inference_cost_s, runtime.max_batch_size
+        )
+
+    def test_validation(self):
+        with pytest.raises(FleetControllerError, match="threshold"):
+            build_controlled_fleet(imbalance_derate_threshold=0.5)
+        with pytest.raises(FleetControllerError, match="cap"):
+            build_controlled_fleet(
+                imbalance_derate_threshold=1.5, imbalance_derate_cap=1.2
+            )

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Docs drift gate: the README knob table must match code defaults.
+
+The README's "Ops guide: autoscaling knobs" table states a default for
+every knob. Those cells rot silently when a constructor default
+changes, so this tool re-derives each one from the source of truth —
+``inspect.signature`` on the live classes — and fails CI on any
+mismatch or on a registered knob whose row disappeared.
+
+Each registry entry names the knob cell exactly as the README spells it
+and the constructor parameters its "Default" cell quotes, in order.
+The comparison is numeric: every number in the cell (with ``ms``/``s``
+units normalized to seconds) must equal the corresponding signature
+default. Prose-only cells ("off", "unset", derived expressions) are
+deliberately unregistered — there is no machine-checkable fact behind
+them.
+
+Exit status is the number of mismatches (0 = success). Usage::
+
+    python tools/check_knob_table.py [README.md]
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: README knob cell -> (class path, parameter names the default cell
+#: quotes, in cell order). ``None`` entries skip a number the cell
+#: carries that is not a plain constructor default (derived values).
+REGISTRY: dict[str, tuple[str, list[str]]] = {
+    "`alpha` / `beta` / `gamma`, `seasonal_period_s`": (
+        "repro.core.adaptive.ArrivalForecaster",
+        ["alpha", "beta", "gamma"],
+    ),
+    "`trend_damping`": (
+        "repro.core.adaptive.ArrivalForecaster",
+        ["trend_damping"],
+    ),
+    "`interval_s`": ("repro.core.fleet.FleetController", ["interval_s"]),
+    "`min_workers` / `max_workers`": (
+        "repro.core.fleet.FleetController",
+        ["min_workers", "max_workers"],
+    ),
+    "`ewma_alpha`": ("repro.core.fleet.FleetController", ["ewma_alpha"]),
+    "`target_utilization` / `scale_down_utilization`": (
+        "repro.core.fleet.TargetUtilizationPolicy",
+        ["target_utilization", "scale_down_utilization"],
+    ),
+    "`slo_s` / `safety`": (
+        "repro.core.fleet.QueueLatencySLOPolicy",
+        ["slo_s", "safety"],
+    ),
+    "`autoscale_replicas` / `max_replicas_per_host`": (
+        "repro.core.fleet.FleetController",
+        ["max_replicas_per_host"],
+    ),
+    "`max_batch_size`": ("repro.core.runtime.ServingRuntime", ["max_batch_size"]),
+    "`max_coalesce_delay_s`": (
+        "repro.core.runtime.ServingRuntime",
+        ["max_coalesce_delay_s"],
+    ),
+    "`lane_idle_ttl_s` / `max_lanes_per_servable`": (
+        "repro.core.runtime.ServingRuntime",
+        ["lane_idle_ttl_s", "max_lanes_per_servable"],
+    ),
+    "`drain_deadline_s`": (
+        "repro.gateway.gateway.ServingGateway",
+        ["drain_deadline_s"],
+    ),
+}
+
+#: Numbers with an optional time unit, e.g. "0.25 s", "10 ms", "64".
+NUMBER_RE = re.compile(r"(\d+(?:\.\d+)?)\s*(ms|s)?\b")
+UNIT_SCALE = {"": 1.0, "s": 1.0, "ms": 1e-3}
+
+
+def signature_default(class_path: str, param: str) -> float:
+    """The constructor default of ``param`` on the class at ``class_path``."""
+    module_path, _, class_name = class_path.rpartition(".")
+    module = __import__(module_path, fromlist=[class_name])
+    cls = getattr(module, class_name)
+    value = inspect.signature(cls.__init__).parameters[param].default
+    if value is inspect.Parameter.empty or not isinstance(
+        value, (int, float)
+    ):
+        raise SystemExit(
+            f"registry error: {class_path}({param}) has no numeric default "
+            f"(got {value!r}) — unregister it or fix the registry"
+        )
+    return float(value)
+
+
+def knob_rows(readme: Path) -> dict[str, str]:
+    """Knob cell -> Default cell for every row of the README knob table."""
+    rows: dict[str, str] = {}
+    in_table = False
+    for line in readme.read_text().splitlines():
+        if line.startswith("| Knob |"):
+            in_table = True
+            continue
+        if in_table:
+            if not line.startswith("|"):
+                break
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            if len(cells) >= 3 and not set(cells[0]) <= {"-", " "}:
+                rows[cells[0]] = cells[2]
+    return rows
+
+
+def cell_numbers(cell: str) -> list[float]:
+    """Every number in a Default cell, time units normalized to seconds."""
+    return [
+        float(value) * UNIT_SCALE[unit]
+        for value, unit in NUMBER_RE.findall(cell)
+    ]
+
+
+def check(readme: Path) -> list[str]:
+    """One human-readable error per drifted or missing registered knob."""
+    rows = knob_rows(readme)
+    if not rows:
+        return [f"{readme}: knob table not found (header '| Knob |')"]
+    errors: list[str] = []
+    for knob, (class_path, params) in REGISTRY.items():
+        cell = rows.get(knob)
+        if cell is None:
+            errors.append(
+                f"{readme}: knob row {knob!r} is registered but missing "
+                "from the table (renamed or dropped?)"
+            )
+            continue
+        found = cell_numbers(cell)
+        expected = [signature_default(class_path, p) for p in params]
+        if found[: len(expected)] != expected:
+            errors.append(
+                f"{readme}: knob {knob!r} documents default(s) {found} but "
+                f"{class_path} defines {expected} for {params} — update "
+                "the table (or the registry, if the cell changed shape)"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """Check the knob table of the given README (default: repo root's)."""
+    readme = Path(argv[0]) if argv else (
+        Path(__file__).resolve().parent.parent / "README.md"
+    )
+    if not readme.exists():
+        print(f"{readme}: file does not exist", file=sys.stderr)
+        return 2
+    errors = check(readme)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {len(REGISTRY)} registered knob(s) against "
+        f"{len(knob_rows(readme))} table row(s): {len(errors)} mismatch(es)"
+    )
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,7 +10,9 @@ Expected: the event-indexed implementation's per-decision cost is ~flat
 in the lane count (<= 2x growth over four orders of magnitude, the
 O(log n) signature) and beats the retained O(n) reference scan by
 >= 10x at 10k lanes — while choosing bit-for-bit the same topics in the
-same order. Results land in ``BENCH_dispatch_overhead.json``.
+same order. The tracing arm must show the scheduling decision within
+5% of tracing-off at 10k lanes and 1% head sampling. Results land in
+``BENCH_dispatch_overhead.json``.
 """
 
 import json
@@ -34,6 +36,8 @@ def test_dispatch_overhead_smoke(benchmark):
         decisions=50,
         repeats=1,
         check_size=100,
+        trace_sizes=(100,),
+        trace_cycles=30,
     )
     print("\n" + format_report(report))
     assert [row["lanes"] for row in report["heap"]] == [10, 100]
@@ -43,6 +47,59 @@ def test_dispatch_overhead_smoke(benchmark):
     # The index and the reference scan picked identical topics in
     # identical order on identical populations.
     assert report["picks_identical"]
+    # The tracing arm ran and measured something in both sub-metrics
+    # (ratio assertions need full sizes — too noisy at this scale).
+    (trace_row,) = report["tracing"]
+    assert trace_row["off_per_decision_us"] > 0
+    assert trace_row["on_per_cycle_us"] > 0
+    # Head sampling is deterministic error diffusion: exactly
+    # floor(settled * rate) traces survive, no RNG flakiness.
+    assert trace_row["requests_traced"] >= 1
+    expected_kept = int(trace_row["requests_traced"] * trace_row["sample_rate"])
+    assert trace_row["traces_retained"] == expected_kept
+
+
+@pytest.mark.fast
+def test_chrome_trace_roundtrip():
+    """CI smoke: a traced serve exports valid Chrome trace-event JSON."""
+    from repro.core.tasks import TaskRequest
+    from repro.core.telemetry import Tracer
+    from repro.core.testbed import build_testbed
+    from repro.core.runtime import ServingRuntime
+    from repro.core.zoo import build_zoo, sample_input
+
+    testbed = build_testbed(jitter=False, memoize_tm=False)
+    zoo = build_zoo(oqmd_entries=50, n_estimators=4)
+    tracer = Tracer(sample_rate=1.0)
+    runtime = ServingRuntime(
+        testbed.clock,
+        testbed.management.queue,
+        [testbed.add_task_manager("w0")],
+        max_batch_size=4,
+        max_coalesce_delay_s=0.005,
+        tracer=tracer,
+    )
+    published = testbed.management.publish(testbed.token, zoo["noop"])
+    runtime.place(zoo["noop"], published.build.image)
+    sample = sample_input("noop")
+    results = runtime.serve(
+        [(i * 0.001, TaskRequest("noop", args=sample)) for i in range(12)]
+    )
+    assert len(results) == 12
+    assert len(tracer.retained) == 12  # 100% sampling keeps everything
+
+    doc = json.loads(tracer.chrome_trace_json())
+    events = doc["traceEvents"]
+    # One complete ("X") root per trace plus its stage spans, all with
+    # microsecond timestamps and positive-or-zero durations.
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) >= 12 * 5
+    for event in complete:
+        assert event["dur"] >= 0
+        assert event["ts"] >= 0
+    names = {e["name"] for e in complete}
+    assert {"dispatch_window", "coalesce", "dispatch", "inference",
+            "settle"} <= names
 
 
 def test_dispatch_overhead_full(benchmark):
@@ -62,3 +119,7 @@ def test_dispatch_overhead_full(benchmark):
     # And the index is not just flat but far ahead of the scan where
     # the scan is still tolerable to run.
     assert report["speedup_by_lanes"]["10000"] >= 10.0
+    # Tracing acceptance: at 1% head sampling the scheduling decision
+    # stays within 5% of tracing-off at the largest traced lane count.
+    assert report["tracing"][-1]["lanes"] == 10_000
+    assert report["tracing"][-1]["decision_overhead_ratio"] <= 1.05

@@ -15,12 +15,25 @@ p95 queue wait is strictly below the reactive arm's because the
 forecaster orders capacity one provisioning lead time ahead of the
 demand, and its event log records every pre-provision decision as a
 ``demand_forecast`` event.
+
+A second test runs the drain-phase ablation
+(:func:`~repro.bench.fleet_autoscaling.run_drain_experiment`): spike
+into a sustained low tail, asserting zero post-spike re-provisioning
+(whiplash) and identical drain behaviour with and without
+``trend_damping`` — the empirical record of why the damped forecaster
+stays opt-in under a ``max(current, forecast)`` planner.
 """
 
 import pytest
 from conftest import run_once
 
-from repro.bench.fleet_autoscaling import MAX_WORKERS, format_report, run_experiment
+from repro.bench.fleet_autoscaling import (
+    MAX_WORKERS,
+    format_drain_report,
+    format_report,
+    run_drain_experiment,
+    run_experiment,
+)
 
 
 @pytest.mark.fast
@@ -85,3 +98,48 @@ def test_ablation_fleet_autoscaling(benchmark):
         for arm in ("autoscaled", "predictive")
     }
     assert first_provision["predictive"] < first_provision["autoscaled"]
+
+
+@pytest.mark.fast
+def test_drain_phase_whiplash(benchmark):
+    """Scale-down: no post-spike re-provisioning, damped == undamped.
+
+    Documents why ``trend_damping`` stays opt-in: the planner floors
+    its rate at ``max(current, forecast)``, so the post-burst forecast
+    crash never reaches it and there is no whiplash for damping to
+    remove — the damped arm must behave identically.
+    """
+    report = run_once(benchmark, run_drain_experiment)
+    print("\n" + format_drain_report(report))
+
+    arms = report["arms"]
+    offered = report["params"]["offered_requests"]
+    tail_s = report["params"]["phases"][-1][1]
+    for arm, row in arms.items():
+        assert row["served"] == offered
+        # Zero whiplash: once the spike ends, no arm ever provisions
+        # again — capacity only drains.
+        assert row["post_spike_provisions"] == 0
+        # And the drain completes well inside the sustained tail, not
+        # in the post-traffic cooldown.
+        assert row["final_workers"] == 1
+        assert row["drain_complete_s"] is not None
+        assert row["drain_complete_s"] < tail_s
+    # The undamped and damped predictive arms are indistinguishable in
+    # drain timing and total capacity cost: the whiplash damping would
+    # suppress is already removed by the planning-rate floor.
+    undamped, damped = arms["predictive"], arms["predictive_damped"]
+    assert damped["drain_complete_s"] == undamped["drain_complete_s"]
+    assert damped["worker_seconds"] == pytest.approx(
+        undamped["worker_seconds"], rel=0.02
+    )
+    # The events differ only where damping lifts the cliff-edge
+    # projection; what the fleet *does* is the same.
+    strip = lambda events: [  # noqa: E731
+        (e["t"], e["kind"], e["subject"])
+        for e in events
+        if e["kind"] in ("worker_provisioned", "worker_draining", "worker_retired")
+    ]
+    assert strip(report["events"]["predictive"]) == strip(
+        report["events"]["predictive_damped"]
+    )

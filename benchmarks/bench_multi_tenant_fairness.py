@@ -17,6 +17,13 @@ stays within 2x of its isolated baseline while the ungated arm degrades
 by an order of magnitude (growing with the hot tenant's backlog), the
 hot tenant still gets the bulk of the fleet (work conservation), and
 every admitted request is served.
+
+A fourth arm re-runs the contended scenario fully traced (100% head
+sampling) with a shared SLO burn monitor: every settled request must
+carry a complete well-nested span tree, the span-stage sums must
+reconcile against the untraced ``StageLatencyCollector`` aggregates
+within float tolerance, and an ``slo_burn`` fleet event must fire
+during the induced overload — the tracing acceptance scenario.
 """
 
 import pytest
@@ -69,3 +76,36 @@ def test_ablation_multi_tenant_fairness(benchmark):
 
     # Tenant-pure micro-batching still amortizes the hot tenant.
     assert arms["gateway"]["mean_batch_size"] > 2.0
+
+    # --- tracing acceptance (the telemetry arm) -----------------------
+    telemetry = report["telemetry"]
+    offered = params["offered_light"] + params["offered_hot"]
+    # At 100% head sampling every settled request was retained and its
+    # span tree is complete and well-nested.
+    assert telemetry["requests"] == offered
+    assert telemetry["traces_retained"] == offered
+    assert telemetry["complete_span_trees"] == offered
+    # Stage sums across all span trees reconcile against the untraced
+    # StageLatencyCollector aggregates within float tolerance.
+    for stage, row in telemetry["reconciliation"].items():
+        assert row["collector_sum_s"] > 0, stage
+        assert abs(row["delta_s"]) < 1e-6 * max(row["collector_sum_s"], 1.0), (
+            stage,
+            row,
+        )
+    # The hot tenant's overload burns its SLO budget: at least one
+    # slo_burn fleet event fires while traffic is still flowing.
+    assert telemetry["slo_burns"] >= 1
+    assert telemetry["first_burn_s"] is not None
+    assert telemetry["first_burn_s"] <= params["duration_s"]
+    assert "hot" in telemetry["burn_tenants"]
+    # The unified hub saw every registered source.
+    assert {
+        "stage_latency",
+        "runtime",
+        "tenant_usage",
+        "wfq_lanes",
+        "fleet_events",
+        "tracer",
+        "slo_burn",
+    } <= set(telemetry["hub_sources"])

@@ -18,6 +18,14 @@ control + weighted fair queuing buy under a 10:1 offered-load skew:
   tenant's latency degrades toward the hot tenant's, growing with the
   backlog (unbounded in offered load).
 
+A separate **telemetry** section re-runs the contended arm fully
+traced (100% head sampling) with a shared
+:class:`~repro.core.telemetry.SLOBurnMonitor`: every settled request
+must produce a complete well-nested span tree, span-stage sums must
+reconcile against the untraced ``StageLatencyCollector`` aggregates,
+and the hot tenant's overload must fire ``slo_burn`` fleet events
+through an observe-only controller — the tracing acceptance scenario.
+
 ``max_dispatch_slots`` is deliberately left **unset**: the gateway
 derives its outstanding-dispatch budget live from fleet capacity, and
 the contended arm grows the fleet mid-run (two workers join while
@@ -39,8 +47,10 @@ from collections import deque
 
 import numpy as np
 
+from repro.core.fleet import FleetController, FleetPlan, FleetPolicy
 from repro.core.runtime import ServingRuntime
 from repro.core.tasks import TaskRequest
+from repro.core.telemetry import SLOBurnMonitor, Tracer, build_hub
 from repro.core.testbed import DLHubTestbed, build_testbed
 from repro.core.zoo import build_zoo, sample_input
 from repro.gateway import ServingGateway, TenantPolicy, TenantPolicyTable
@@ -64,7 +74,9 @@ def _arrivals(rate_rps: float, duration_s: float) -> list[float]:
     return [i / rate_rps for i in range(int(rate_rps * duration_s))]
 
 
-def _fresh_fleet(seed: int) -> tuple[DLHubTestbed, ServingRuntime, dict]:
+def _fresh_fleet(
+    seed: int, tracer: Tracer | None = None
+) -> tuple[DLHubTestbed, ServingRuntime, dict]:
     """A deployed two-worker concurrent fleet plus tenant tokens."""
     testbed = build_testbed(seed=seed, jitter=False, memoize_tm=False)
     zoo = build_zoo(seed=seed, oqmd_entries=50, n_estimators=4)
@@ -75,6 +87,7 @@ def _fresh_fleet(seed: int) -> tuple[DLHubTestbed, ServingRuntime, dict]:
         workers,
         max_batch_size=MAX_BATCH_SIZE,
         max_coalesce_delay_s=COALESCE_DELAY_S,
+        tracer=tracer,
     )
     published = testbed.management.publish(testbed.token, zoo[SERVABLE])
     runtime.place(zoo[SERVABLE], published.build.image, copies=N_WORKERS)
@@ -84,7 +97,10 @@ def _fresh_fleet(seed: int) -> tuple[DLHubTestbed, ServingRuntime, dict]:
 
 
 def _gateway_over(
-    testbed: DLHubTestbed, runtime: ServingRuntime, tokens: dict
+    testbed: DLHubTestbed,
+    runtime: ServingRuntime,
+    tokens: dict,
+    slo_monitor: SLOBurnMonitor | None = None,
 ) -> ServingGateway:
     policies = TenantPolicyTable()
     policies.register(TenantPolicy(name="hot", weight=1.0))
@@ -94,7 +110,9 @@ def _gateway_over(
         policies.bind_identity(identity, tenant)
     # max_dispatch_slots left unset: the budget is derived live from
     # fleet capacity and re-derived as workers join mid-run.
-    return ServingGateway(testbed.auth, runtime, policies)
+    return ServingGateway(
+        testbed.auth, runtime, policies, slo_monitor=slo_monitor
+    )
 
 
 class _MidRunScaleUp:
@@ -187,6 +205,150 @@ def _run_gateway_arm(seed: int, include_hot: bool, scale_up: bool = False) -> di
     return row
 
 
+class _HoldSteadyPolicy(FleetPolicy):
+    """Observe-only: plan the fleet exactly as it stands.
+
+    With no ``provision_worker`` and an empty copies plan the
+    controller never actuates — it exists to run the observe loop,
+    where the shared :class:`SLOBurnMonitor` is checked and fresh
+    breaches become ``slo_burn`` fleet events.
+    """
+
+    name = "hold-steady"
+
+    def plan(self, observation) -> FleetPlan:
+        """Target the current routable fleet; touch no placements."""
+        return FleetPlan(
+            target_workers=observation.routable_workers, copies={}
+        )
+
+
+class _ControllerMux:
+    """Run several serve-loop controllers off the runtime's one slot."""
+
+    def __init__(self, *controllers) -> None:
+        self.controllers = controllers
+
+    def next_wakeup(self) -> float:
+        """Earliest wakeup any chained controller wants."""
+        return min(c.next_wakeup() for c in self.controllers)
+
+    def on_tick(self) -> None:
+        """Tick every chained controller in attach order."""
+        for controller in self.controllers:
+            controller.on_tick()
+
+
+def _run_telemetry_arm(seed: int) -> dict:
+    """The contended arm re-run fully traced, with SLO burn monitoring.
+
+    100% head sampling means *every* settled request must come back
+    with a complete, well-nested span tree, and the span-stage sums
+    must reconcile against the :class:`StageLatencyCollector`
+    aggregates the untraced path records anyway — the end-to-end proof
+    that the deferred settlement-time recording loses nothing. An
+    :class:`SLOBurnMonitor` (default knobs: 250 ms SLO, 1 s window,
+    burn >= 4x) is shared between the gateway, which feeds it
+    settlements, and an observe-only :class:`FleetController`, which
+    drains its breaches into ``slo_burn`` events during the induced
+    overload (880 rps offered against ~710 rps initial capacity).
+    """
+    tracer = Tracer(sample_rate=1.0)
+    testbed, runtime, tokens = _fresh_fleet(seed, tracer=tracer)
+    slo_monitor = SLOBurnMonitor()
+    gateway = _gateway_over(testbed, runtime, tokens, slo_monitor=slo_monitor)
+    controller = FleetController(
+        runtime,
+        policy=_HoldSteadyPolicy(),
+        interval_s=0.25,
+        max_workers=N_WORKERS + len(SCALE_UP_AT_S),
+        autoscale_replicas=False,
+        slo_monitor=slo_monitor,
+    )
+    scaler = _MidRunScaleUp(testbed, runtime, SERVABLE, SCALE_UP_AT_S)
+    # The FleetController self-attached at construction; chain it with
+    # the mid-run scale-up behind the runtime's single controller slot.
+    runtime.attach_controller(_ControllerMux(scaler, controller))
+    hub = build_hub(
+        runtime=runtime,
+        gateway=gateway,
+        controller=controller,
+        tracer=tracer,
+        monitor=slo_monitor,
+    )
+
+    fixed = sample_input(SERVABLE)
+    arrivals = [
+        (offset, tokens["light"], TaskRequest(SERVABLE, args=fixed))
+        for offset in _arrivals(LIGHT_RATE_RPS, DURATION_S)
+    ] + [
+        (offset, tokens["hot"], TaskRequest(SERVABLE, args=fixed))
+        for offset in _arrivals(HOT_RATE_RPS, DURATION_S)
+    ]
+    start = testbed.clock.now()
+    results = gateway.serve(sorted(arrivals, key=lambda entry: entry[0]))
+    assert all(r.admitted and r.ok for r in results)
+
+    # --- span-tree completeness, request by request -------------------
+    complete = 0
+    window_sum = 0.0
+    # Batch-level spans repeat on every member; dedup by the batch seq
+    # attr to reconcile against the collector's one-sample-per-batch
+    # records.
+    batches: dict[int, tuple[float, float, float]] = {}
+    for result in results:
+        trace = result.request.trace
+        assert trace is not None and trace.finished
+        if not trace.missing_stages(gateway=True) and trace.well_formed():
+            complete += 1
+        (window,) = trace.stages("dispatch_window")
+        window_sum += window.duration
+        (coalesce,) = trace.stages("coalesce")
+        (dispatch,) = trace.stages("dispatch")
+        (inference,) = trace.stages("inference")
+        batches[coalesce.attrs["batch"]] = (
+            # The full batch window (``window_s``), not the member's
+            # clamped span — the collector records one per batch.
+            coalesce.attrs["window_s"],
+            dispatch.duration,
+            inference.attrs["batch_inference_s"],
+        )
+
+    # --- stage sums vs the untraced collector aggregates --------------
+    metrics = runtime.stage_metrics
+    reconciliation = {}
+    pairs = {
+        "queue_wait": window_sum,
+        "coalesce_delay": sum(b[0] for b in batches.values()),
+        "dispatch": sum(b[1] for b in batches.values()),
+        "inference": sum(b[2] for b in batches.values()),
+    }
+    for stage, span_sum in pairs.items():
+        collector_sum = metrics.stage_sum(stage, SERVABLE)
+        reconciliation[stage] = {
+            "span_sum_s": span_sum,
+            "collector_sum_s": collector_sum,
+            "delta_s": span_sum - collector_sum,
+        }
+
+    burns = controller.events_of("slo_burn")
+    snapshot = hub.snapshot()
+    return {
+        "requests": len(results),
+        "complete_span_trees": complete,
+        "traces_retained": len(tracer.retained),
+        "batches_traced": len(batches),
+        "reconciliation": reconciliation,
+        "slo_burns": len(burns),
+        "first_burn_s": (
+            round(burns[0].time - start, 3) if burns else None
+        ),
+        "burn_tenants": sorted({e.subject for e in burns}),
+        "tracer_stats": tracer.stats(),
+        "hub_sources": sorted(snapshot["sources"]),
+    }
+
+
 def _run_ungated_arm(seed: int) -> dict:
     """The pre-gateway status quo: everything on one FIFO topic.
 
@@ -218,6 +380,7 @@ def run_experiment(seed: int = 11) -> dict:
     isolated = _run_gateway_arm(seed, include_hot=False)
     gateway = _run_gateway_arm(seed, include_hot=True, scale_up=True)
     ungated = _run_ungated_arm(seed)
+    telemetry = _run_telemetry_arm(seed)
     return {
         "params": {
             "servable": SERVABLE,
@@ -235,6 +398,7 @@ def run_experiment(seed: int = 11) -> dict:
             "gateway": gateway,
             "ungated": ungated,
         },
+        "telemetry": telemetry,
     }
 
 
@@ -263,6 +427,22 @@ def format_report(report: dict) -> str:
         f"  light p95: isolated {iso:.2f} ms -> gateway {fair:.2f} ms"
         f" ({fair / iso:.2f}x) vs ungated {raw:.2f} ms ({raw / iso:.2f}x)"
     )
+    telemetry = report.get("telemetry")
+    if telemetry:
+        lines.append(
+            f"  telemetry (100% sampling): {telemetry['complete_span_trees']}"
+            f"/{telemetry['requests']} complete span trees,"
+            f" {telemetry['batches_traced']} batches,"
+            f" {telemetry['slo_burns']} slo_burn events"
+            f" (first at t={telemetry['first_burn_s']} s,"
+            f" tenants {telemetry['burn_tenants']})"
+        )
+        for stage, row in telemetry["reconciliation"].items():
+            lines.append(
+                f"    {stage:<14} spans {row['span_sum_s']:.6f} s"
+                f"  collector {row['collector_sum_s']:.6f} s"
+                f"  delta {row['delta_s']:+.2e} s"
+            )
     return "\n".join(lines)
 
 

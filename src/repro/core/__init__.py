@@ -15,6 +15,9 @@ The model repository + serving system of SS IV:
   dispatch layer sharding servables across a Task Manager fleet,
 * :mod:`repro.core.fleet` — the fleet control plane: autoscaling,
   health tracking, and placement rebalancing over the runtime,
+* :mod:`repro.core.telemetry` — request-scoped tracing (span trees on
+  the virtual clock), the unified telemetry hub, and SLO burn-rate
+  monitoring,
 * :mod:`repro.core.executors` — TF Serving / SageMaker / Parsl executors,
 * :mod:`repro.core.pipeline` — multi-step server-side pipelines,
 * :mod:`repro.core.client` / :mod:`repro.core.cli` /
@@ -48,6 +51,15 @@ from repro.core.fleet import (
     FleetPolicy,
     QueueLatencySLOPolicy,
     TargetUtilizationPolicy,
+)
+from repro.core.telemetry import (
+    SLOBreach,
+    SLOBurnMonitor,
+    Span,
+    TelemetryHub,
+    Trace,
+    Tracer,
+    build_hub,
 )
 from repro.core.repository import ModelRepository
 from repro.core.management import ManagementService
@@ -83,6 +95,13 @@ __all__ = [
     "FleetPolicy",
     "QueueLatencySLOPolicy",
     "TargetUtilizationPolicy",
+    "SLOBreach",
+    "SLOBurnMonitor",
+    "Span",
+    "TelemetryHub",
+    "Trace",
+    "Tracer",
+    "build_hub",
     "ModelRepository",
     "ManagementService",
     "TaskManager",

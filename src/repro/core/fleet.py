@@ -138,6 +138,11 @@ class FleetObservation:
     min_workers: int
     max_workers: int
     demands: tuple[ServableDemand, ...]
+    #: SLO burn-rate breaches (:class:`repro.core.telemetry.SLOBreach`)
+    #: that fired since the previous observation, when the controller
+    #: has an attached :class:`~repro.core.telemetry.SLOBurnMonitor` —
+    #: the trigger rollback/canary policies plan from. Empty otherwise.
+    slo_burns: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -425,17 +430,28 @@ class FleetController:
         backlog to queue depth, and computes tenant-weight-adjusted
         rates so scale-up respects tenant weights.
     imbalance_derate_threshold / imbalance_derate_cap:
-        Opt-in consumption of the windowed ``pod_imbalance`` gauge when
-        sizing demand: with a threshold set, a max-over-mean chunk
-        imbalance above it divides the servable's
-        ``per_copy_capacity_rps`` by the imbalance (capped), so
-        replica/copy sizing plans on what the straggler pod actually
-        delivers instead of assuming perfect sharding. Default ``None``
-        (off): spike-phase scale-up transients routinely skew chunks,
-        and de-rating on them holds extra workers through the drain —
-        enable it (1.25 is a reasonable threshold) for steady fleets
-        with genuinely lopsided pods. The cap (2.0) bounds how far one
+        Consumption of the windowed ``pod_imbalance`` gauge when sizing
+        demand: a max-over-mean chunk imbalance above the threshold
+        divides the servable's ``per_copy_capacity_rps`` by the
+        imbalance (capped), so replica/copy sizing plans on what the
+        straggler pod actually delivers instead of assuming perfect
+        sharding. Default-on at 1.25 — safe because windows inside an
+        ``imbalance_settle_s`` transient after any topology change are
+        excluded (a naive always-on derate reads scale-up transients as
+        stragglers and holds spike workers through the drain). Pass
+        ``None`` to disable. The cap (2.0) bounds how far one
         pathological window can shrink planned capacity.
+    imbalance_settle_s:
+        Topology-stability period the derate waits out after any scale
+        event (provision, drain, retire, copy add/remove, replica
+        scale, migration) before trusting the imbalance gauge again.
+        Defaults to ``2 * interval_s``.
+    slo_monitor:
+        Optional :class:`~repro.core.telemetry.SLOBurnMonitor` (shared
+        with the gateway that feeds it). Each reconcile checks it and
+        drains fresh breaches into ``slo_burn`` events and the
+        observation's ``slo_burns`` tuple, giving policies a rollback /
+        canary trigger.
     """
 
     def __init__(
@@ -452,8 +468,10 @@ class FleetController:
         worker_name_prefix: str = "fleet-w",
         ewma_alpha: float = 0.5,
         gateway=None,
-        imbalance_derate_threshold: float | None = None,
+        imbalance_derate_threshold: float | None = 1.25,
         imbalance_derate_cap: float = 2.0,
+        imbalance_settle_s: float | None = None,
+        slo_monitor=None,
     ) -> None:
         if interval_s <= 0:
             raise FleetControllerError("interval_s must be > 0")
@@ -470,6 +488,8 @@ class FleetController:
                 raise FleetControllerError(
                     "imbalance_derate_cap must be >= imbalance_derate_threshold"
                 )
+        if imbalance_settle_s is not None and imbalance_settle_s < 0:
+            raise FleetControllerError("imbalance_settle_s must be >= 0")
         self.runtime = runtime
         self.provision_worker = provision_worker
         self.policy = policy or TargetUtilizationPolicy()
@@ -484,6 +504,22 @@ class FleetController:
         self.gateway = gateway
         self.imbalance_derate_threshold = imbalance_derate_threshold
         self.imbalance_derate_cap = imbalance_derate_cap
+        #: How long after any topology change (worker or replica scale,
+        #: migration, drain) the imbalance derate stays suspended:
+        #: freshly placed pods serve their first chunks cold and lopsided,
+        #: and de-rating on that transient makes the controller hold
+        #: spike capacity through the drain. Two reconcile intervals by
+        #: default — one for the transient chunks to land, one for the
+        #: windowed gauge to flush them.
+        self.imbalance_settle_s = (
+            2 * interval_s if imbalance_settle_s is None else imbalance_settle_s
+        )
+        #: Optional :class:`~repro.core.telemetry.SLOBurnMonitor` (fed
+        #: by the gateway): each reconcile checks it and drains fresh
+        #: breaches into ``slo_burn`` events + the observation handed to
+        #: the policy.
+        self.slo_monitor = slo_monitor
+        self._last_scale_at = -math.inf
 
         self.events: list[FleetEvent] = []
         self.health: dict[str, WorkerHealth] = {}
@@ -535,7 +571,27 @@ class FleetController:
         """Events whose kind is one of ``kinds``, in log order."""
         return [e for e in self.events if e.kind in kinds]
 
+    #: Event kinds that change serving topology: each marks the start of
+    #: an imbalance transient (cold pods, shifting chunk layouts) the
+    #: capacity derate must sit out (see ``imbalance_settle_s``).
+    _SCALE_EVENT_KINDS = frozenset(
+        {
+            "worker_provisioned",
+            "worker_undrained",
+            "worker_draining",
+            "worker_retired",
+            "worker_down",
+            "worker_revived",
+            "copy_added",
+            "copy_removed",
+            "replicas_scaled",
+            "servable_migrated",
+        }
+    )
+
     def _record(self, kind: str, subject: str, **detail) -> None:
+        if kind in self._SCALE_EVENT_KINDS:
+            self._last_scale_at = self.runtime.clock.now()
         self.events.append(
             FleetEvent(
                 time=self.runtime.clock.now(),
@@ -666,13 +722,20 @@ class FleetController:
                 self.runtime.max_batch_size,
                 replicas=spec.replicas,
             )
-            imbalance = (
-                self.runtime.stage_metrics.pod_imbalance(
-                    name, busy=self._derate_window(name)
-                )
-                if self.imbalance_derate_threshold is not None
-                else None
-            )
+            imbalance = None
+            if self.imbalance_derate_threshold is not None:
+                # Always consume the windowed gauge so chunk data from a
+                # suspended interval can't poison the next window...
+                window = self._derate_window(name)
+                # ...but only judge imbalance once the topology has been
+                # stable for a settle period: chunks served right after
+                # a scale-up/drain/migration are transiently lopsided
+                # (cold pods, moved copies), and de-rating on them makes
+                # the controller hold spike capacity through the drain.
+                if now - self._last_scale_at >= self.imbalance_settle_s - 1e-12:
+                    imbalance = self.runtime.stage_metrics.pod_imbalance(
+                        name, busy=window
+                    )
             if (
                 imbalance is not None
                 and imbalance > self.imbalance_derate_threshold
@@ -701,6 +764,23 @@ class FleetController:
                 )
             )
         self._last_sample_at = now
+        slo_burns: tuple = ()
+        if self.slo_monitor is not None:
+            # Check at the reconcile cadence, then drain everything new
+            # (including breaches a direct check() fired between
+            # reconciles) — each breach becomes exactly one event.
+            self.slo_monitor.check(now)
+            fresh = self.slo_monitor.drain()
+            for breach in fresh:
+                self._record(
+                    "slo_burn",
+                    breach.tenant,
+                    burn_rate=round(breach.burn_rate, 3),
+                    bad_fraction=round(breach.bad_fraction, 4),
+                    window_s=breach.window_s,
+                    samples=breach.samples,
+                )
+            slo_burns = tuple(fresh)
         return FleetObservation(
             time=now,
             routable_workers=len(alive),
@@ -708,6 +788,7 @@ class FleetController:
             min_workers=self.min_workers,
             max_workers=self.max_workers,
             demands=tuple(demands),
+            slo_burns=slo_burns,
         )
 
     # -- reconciliation -----------------------------------------------------------

@@ -258,6 +258,32 @@ class StageLatencyCollector:
             if self.samples(stage, servable)
         ]
 
+    def stage_sum(self, stage: str, servable: str | None = None) -> float:
+        """Sum of one stage's samples (``servable=None`` aggregates).
+
+        The aggregate trace reconciliation reads: summed stage spans
+        across settled requests must match this figure (within float
+        tolerance) when tracing is on at 100% sampling.
+        """
+        return float(sum(self.samples(stage, servable)))
+
+    def snapshot(self) -> dict:
+        """Every stage summary plus pod gauges as one JSON-able doc
+        (the telemetry hub's pull-source view of this collector)."""
+        return {
+            "stages": [
+                summary.as_ms() for summary in self.summary_table()
+            ],
+            "pod_busy_s": {
+                f"{servable}/{pod}": busy
+                for (servable, pod), busy in sorted(self._pod_busy.items())
+            },
+            "pod_chunks": {
+                f"{servable}/{pod}": count
+                for (servable, pod), count in sorted(self._pod_chunks.items())
+            },
+        }
+
     def clear(self) -> None:
         """Drop all samples, timestamps, and pod gauges."""
         self._samples.clear()
@@ -373,6 +399,24 @@ class TenantUsageCollector:
     def latencies(self, tenant: str) -> list[float]:
         """All end-to-end latency samples recorded for ``tenant``."""
         return list(self._latencies.get(tenant, ()))
+
+    def snapshot(self) -> dict:
+        """Per-tenant counters and latency tails as one JSON-able doc
+        (the telemetry hub's pull-source view of this collector)."""
+        tenants = {}
+        for tenant in self.tenants():
+            counter = self._counters[tenant]
+            entry = {
+                "admitted": counter.admitted,
+                "completed": counter.completed,
+                "failed": counter.failed,
+                "denied": dict(counter.denied),
+                "in_progress": counter.in_progress,
+            }
+            if self._latencies.get(tenant):
+                entry["latency_ms"] = self.latency_summary(tenant).as_ms()
+            tenants[tenant] = entry
+        return {"tenants": tenants}
 
     def latency_summary(self, tenant: str) -> TimingSummary:
         """Percentile summary of a tenant's end-to-end latencies."""

@@ -135,6 +135,12 @@ class _PendingBatch:
     messages: list[QueuedMessage]
     requests: list[TaskRequest]
     results: list[TaskResult]
+    #: Batch-level dispatch timings for trace recording, stashed at
+    #: dispatch (O(1) per batch) and fanned onto member traces at
+    #: settlement: ``(claimed_at, dispatch_start, infer_start,
+    #: batch_inference_s, pods, only_pod, head_enqueued)``. ``None``
+    #: when no tracer is attached.
+    trace_ctx: tuple | None = None
 
 
 class ServingRuntime:
@@ -169,6 +175,14 @@ class ServingRuntime:
         exceed it, an immediate GC pass reclaims idle lanes first. The
         bound is advisory (live lanes are never dropped), but it keeps
         the per-servable topic scan proportional to *active* tenants.
+    tracer:
+        Optional :class:`~repro.core.telemetry.Tracer`. When attached,
+        every request gets a span tree (``dispatch_window`` →
+        ``coalesce`` → ``dispatch`` → per-item ``inference`` or
+        ``cache`` → ``settle``) stamped on the virtual clock; a gateway
+        sharing the same tracer contributes the ``admission`` and
+        ``lane_wait`` spans upstream. Traces of dead-lettered messages
+        are closed out as errors via the queue's dead-letter feed.
     """
 
     def __init__(
@@ -181,6 +195,7 @@ class ServingRuntime:
         stage_metrics: StageLatencyCollector | None = None,
         lane_idle_ttl_s: float = 5.0,
         max_lanes_per_servable: int = 64,
+        tracer=None,
     ) -> None:
         if not workers:
             raise ServingRuntimeError("at least one worker is required")
@@ -248,6 +263,9 @@ class ServingRuntime:
         #: list from scratch every serve iteration.
         self._owned_topics: set[str] = set()
         queue.subscribe(self._on_queue_event)
+        self.tracer = tracer
+        if tracer is not None:
+            queue.subscribe_dead_letter(self._on_dead_letter)
         self._controller = None
         self._ingress = None
         self.batches_dispatched = 0
@@ -649,9 +667,26 @@ class ServingRuntime:
                 )
                 self._dirty.add(topic)
         self._lane_active[(name, lane)] = self.clock.now()
+        # Gateway-less traffic gets its trace opened lazily at
+        # settlement (or dead-letter), keyed off the message's enqueue
+        # time — no per-request tracer work or live Trace object while
+        # the request waits. Admitted requests already carry a trace
+        # the gateway began (with admission/lane-wait spans on it).
         return self.queue.put(
             request, topic=servable_topic(name, lane=lane), enqueued_at=enqueued_at
         )
+
+    def _on_dead_letter(self, message: QueuedMessage) -> None:
+        """Close out the trace of a message that will never settle."""
+        request = message.body
+        trace = getattr(request, "trace", None)
+        if trace is None:
+            # Gateway-less requests trace lazily; open one here so the
+            # drop is visible in the retained set (error => tail-keep).
+            trace = self.tracer.begin(request, at=message.enqueued_at)
+        now = self.clock.now()
+        trace.mark("dead_letter", at=now, deliveries=message.deliveries)
+        self.tracer.finish(trace, at=now, error=True)
 
     # -- tenant lane lifecycle ------------------------------------------------------
     def gc_lanes(self, now: float | None = None) -> int:
@@ -1088,16 +1123,120 @@ class ServingRuntime:
             self.memo_hits += int(batch_result.cache_hit)
         else:
             self.memo_hits += batch_result.batch_cache_hits
+        seq = next(self._seq)
+        trace_ctx = None
+        if self.tracer is not None:
+            # Tracing adds nothing per-member here: stash the batch's
+            # timings once and record spans at settlement, where each
+            # member's trace has to be touched anyway.
+            infer_start = dispatch_start + max(
+                0.0, elapsed - batch_result.inference_time
+            )
+            chunks = batch_result.batch_chunks
+            if len(chunks) == 1:
+                pods, only_pod = None, chunks[0].pod
+            else:
+                pods = {i: c.pod for c in chunks for i in c.items}
+                only_pod = None
+            trace_ctx = (
+                now,
+                dispatch_start,
+                infer_start,
+                batch_result.inference_time,
+                pods,
+                only_pod,
+                messages[0].enqueued_at,
+            )
         self._pending.append(
             _PendingBatch(
                 completed_at=worker.clock.now(),
-                seq=next(self._seq),
+                seq=seq,
                 worker_name=worker.name,
                 messages=messages,
                 requests=requests,
                 results=item_results,
+                trace_ctx=trace_ctx,
             )
         )
+
+    def _settle_traces(self, batch: _PendingBatch, now: float) -> None:
+        """Record every traced member's span tree and finish it.
+
+        All spans are complete at record time: ``dispatch_window`` is
+        exactly the request's queue-wait sample, ``coalesce`` the
+        window hold anchored on the batch head (deduplicable by the
+        ``batch`` attr — it is one per-batch quantity fanned onto each
+        member), ``dispatch`` the pre-inference overhead on the
+        worker's timeline, ``inference`` the item's attributed share,
+        with the whole batch's concurrent-region inference carried in
+        ``batch_inference_s``, and ``settle`` the gap between the
+        worker finishing and the serve loop noticing. Memo hits get a
+        zero-width ``cache`` span instead of ``inference``;
+        chunk-failed items get an error-status ``inference`` span,
+        which tail-keep retention latches onto.
+        """
+        tracer = self.tracer
+        (
+            claimed_at,
+            dispatch_start,
+            infer_start,
+            batch_inference_s,
+            pods,
+            only_pod,
+            head_enqueued,
+        ) = batch.trace_ctx
+        completed = batch.completed_at
+        settle_end = now if now > completed else completed
+        seq = batch.seq
+        batch_size = len(batch.requests)
+        worker_name = batch.worker_name
+        for i, (message, request, result) in enumerate(
+            zip(batch.messages, batch.requests, batch.results)
+        ):
+            trace = request.trace
+            if trace is None:
+                # Gateway-less traffic: the retention decision runs
+                # before any Trace exists — dropped requests never
+                # allocate one (see Tracer.settle_request).
+                tracer.settle_request(
+                    request,
+                    message.enqueued_at,
+                    claimed_at,
+                    head_enqueued,
+                    dispatch_start,
+                    infer_start,
+                    infer_start + result.inference_time,
+                    completed,
+                    settle_end,
+                    seq,
+                    batch_size,
+                    worker_name,
+                    only_pod if pods is None else pods.get(i),
+                    batch_inference_s,
+                    "ok" if result.ok else "error",
+                    result.error,
+                    result.cache_hit,
+                )
+                continue
+            tracer.settle_member(
+                trace,
+                message.enqueued_at,
+                claimed_at,
+                head_enqueued,
+                dispatch_start,
+                infer_start,
+                infer_start + result.inference_time,
+                completed,
+                settle_end,
+                seq,
+                batch_size,
+                worker_name,
+                only_pod if pods is None else pods.get(i),
+                batch_inference_s,
+                "ok" if result.ok else "error",
+                result.error,
+                result.cache_hit,
+            )
 
     def _settle(
         self, now: float, arrival_times: dict[str, float]
@@ -1124,6 +1263,8 @@ class ServingRuntime:
                 )
                 for msg, req, res in zip(batch.messages, batch.requests, batch.results)
             )
+            if batch.trace_ctx is not None and self.tracer is not None:
+                self._settle_traces(batch, now)
         return results
 
     def serve(

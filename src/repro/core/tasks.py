@@ -68,6 +68,12 @@ class TaskRequest:
     dispatch_tag: float | None = None
     #: Batch of inputs (mutually exclusive with args for batched tasks).
     batch: list | None = None
+    #: Trace context (a :class:`repro.core.telemetry.Trace`) riding the
+    #: request envelope end-to-end: it survives queueing, WFQ reclaim /
+    #: re-release, and batch coalescing (batch envelopes are transient —
+    #: per-item traces stay on the original requests). ``None`` when no
+    #: tracer is attached.
+    trace: Any = None
     task_uuid: str = field(default_factory=lambda: str(uuid.uuid4()))
     sequence: int = field(default_factory=lambda: next(_task_counter))
 

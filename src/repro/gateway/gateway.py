@@ -176,6 +176,8 @@ class ServingGateway:
         metrics: TenantUsageCollector | None = None,
         capacity_hint=None,
         drain_deadline_s: float | None = 2.0,
+        tracer=None,
+        slo_monitor=None,
     ) -> None:
         if max_dispatch_slots is not None and max_dispatch_slots < 1:
             raise GatewayError("max_dispatch_slots must be >= 1")
@@ -221,6 +223,14 @@ class ServingGateway:
             if not 0 <= slot_reserve < self.max_dispatch_slots:
                 raise GatewayError("slot_reserve must be in [0, max_dispatch_slots)")
             self.slot_reserve = slot_reserve
+        #: Tracer contributing the gateway-side spans (``admission``,
+        #: ``lane_wait``) to the request span tree. Defaults to the
+        #: runtime's tracer so one attach point covers the whole path.
+        self.tracer = tracer if tracer is not None else runtime.tracer
+        #: Optional :class:`~repro.core.telemetry.SLOBurnMonitor` fed a
+        #: sample per settlement; a fleet controller sharing it drains
+        #: breaches into ``slo_burn`` events.
+        self.slo_monitor = slo_monitor
         self.metrics = metrics or TenantUsageCollector()
         self.admission = AdmissionController(runtime.clock, self.metrics)
         self.scheduler = WeightedFairScheduler()
@@ -366,6 +376,13 @@ class ServingGateway:
                 request: TaskRequest = message.body
                 request.dispatch_tag = None
                 self._reclaimed_at[request.task_uuid] = message.enqueued_at
+                if request.trace is not None:
+                    request.trace.mark(
+                        "reclaim",
+                        at=self.runtime.clock.now(),
+                        tenant=tenant,
+                        servable=servable,
+                    )
                 # Front of the lane, original WFQ charge: the reclaimed
                 # request is the tenant's oldest in-system work and must
                 # re-release before younger lane-mates, not behind them.
@@ -426,6 +443,9 @@ class ServingGateway:
                 self.metrics.record_denied(
                     UNAUTHENTICATED, AdmissionOutcome.REJECTED_AUTH.value
                 )
+                self._trace_denial(
+                    request, arrived, now, AdmissionOutcome.REJECTED_AUTH
+                )
                 return GatewayResult(
                     request=request,
                     decision=AdmissionDecision(
@@ -439,6 +459,9 @@ class ServingGateway:
         if policy is None:
             self.metrics.record_denied(
                 UNKNOWN_TENANT, AdmissionOutcome.REJECTED_UNKNOWN_TENANT.value
+            )
+            self._trace_denial(
+                request, arrived, now, AdmissionOutcome.REJECTED_UNKNOWN_TENANT
             )
             return GatewayResult(
                 request=request,
@@ -457,6 +480,11 @@ class ServingGateway:
         if decision.admitted:
             request.tenant = policy.name
             request.identity_id = request.identity_id or identity.identity_id
+            if self.tracer is not None:
+                trace = self.tracer.begin(request, at=arrived, tenant=policy.name)
+                trace.span(
+                    "admission", arrived, now, outcome=decision.outcome.value
+                )
             self.scheduler.enqueue(policy.name, policy.weight, request)
             self._queued_by_servable[servable] = (
                 self._queued_by_servable.get(servable, 0) + 1
@@ -464,7 +492,24 @@ class ServingGateway:
             self._open[request.task_uuid] = result
             self._note_tenant(policy.name)
             self._pump()
+        else:
+            self._trace_denial(request, arrived, now, decision.outcome)
         return result
+
+    def _trace_denial(self, request, arrived, now, outcome) -> None:
+        """Record a denied request as an immediately finished error trace.
+
+        Denials never settle, so their traces close here; tail-keep
+        retention means every denial is visible in the waterfall even
+        under heavy head-sampling.
+        """
+        if self.tracer is None:
+            return
+        trace = self.tracer.begin(request, at=arrived)
+        trace.span(
+            "admission", arrived, now, status="error", outcome=outcome.value
+        )
+        self.tracer.finish(trace, at=now, error=True)
 
     def _slot_shares(self, contending: list[str]) -> dict[str, int]:
         """Each contending tenant's weighted share of dispatch slots.
@@ -572,6 +617,8 @@ class ServingGateway:
                 entry = self.scheduler.dequeue()
             request: TaskRequest = entry.item
             self._queued_by_servable[request.servable_name] -= 1
+            if self.tracer is not None:
+                self._trace_release(request)
             # Carry the WFQ virtual-finish tag into the runtime: when
             # several coalescing windows are due at once, dispatch
             # arbitration follows these tags instead of oldest-head
@@ -587,6 +634,25 @@ class ServingGateway:
                 self._outstanding_by_tenant.get(entry.tenant, 0) + 1
             )
             self._note_tenant(entry.tenant)
+
+    def _trace_release(self, request: TaskRequest) -> None:
+        """Record the ``lane_wait`` span for a request leaving its lane.
+
+        The span runs from the moment the request last entered the lane
+        — its admission, or its latest reclaim (a ``reclaim`` mark on
+        the trace) — to this release, so a request the over-commit
+        drain pulled back gets one ``lane_wait`` span per lane stay
+        rather than overlapping double-counted waits.
+        """
+        trace = request.trace
+        open_result = self._open.get(request.task_uuid)
+        if trace is None or open_result is None:
+            return
+        start = open_result.arrived_at
+        for name, at, _ in trace.marks:
+            if name == "reclaim" and at > start:
+                start = at
+        trace.span("lane_wait", start, self.runtime.clock.now())
 
     # -- ingress protocol (driven by ServingRuntime.serve) --------------------------
     def on_tick(self, now: float) -> None:
@@ -620,11 +686,17 @@ class ServingGateway:
             self._outstanding_by_tenant[tenant] -= 1
             self.admission.release(tenant, runtime_result.request.servable_name)
             self._note_tenant(tenant)
+            latency = runtime_result.completed_at - open_result.arrived_at
             self.metrics.record_completion(
-                tenant,
-                runtime_result.completed_at - open_result.arrived_at,
-                ok=runtime_result.result.ok,
+                tenant, latency, ok=runtime_result.result.ok
             )
+            if self.slo_monitor is not None:
+                self.slo_monitor.record(
+                    tenant,
+                    at=runtime_result.completed_at,
+                    latency_s=latency,
+                    ok=runtime_result.result.ok,
+                )
         self._pump()
 
     def next_event(self) -> float:

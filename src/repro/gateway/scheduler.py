@@ -83,6 +83,18 @@ class WeightedFairScheduler:
     def virtual_time(self) -> float:
         return self._virtual_time
 
+    def snapshot(self) -> dict:
+        """The WFQ state as one JSON-able document (a telemetry-hub
+        pull source): per-tenant lane depths, the dispatch-eligible
+        set, the fair virtual time, and lifetime flow counters."""
+        return {
+            "depths": self.depths(),
+            "eligible": sorted(self._eligible),
+            "virtual_time": self._virtual_time,
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+        }
+
     # -- the discipline -----------------------------------------------------------
     def enqueue(
         self, tenant: str, weight: float, item: Any, cost: float = 1.0

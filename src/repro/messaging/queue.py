@@ -93,6 +93,13 @@ class TaskQueue:
         #: dispatch indices) maintain their per-topic state from, instead
         #: of rescanning every topic per tick.
         self._listeners: list = []
+        #: Dead-letter listeners, ``cb(message)`` — fired when a message
+        #: exhausts ``max_deliveries`` (or is nacked with
+        #: ``requeue=False``) and drops out of circulation. A message
+        #: parked on the dead-letter list will never settle, so anything
+        #: holding per-request state keyed on settlement (open gateway
+        #: results, trace contexts) needs this signal to close it out.
+        self._dead_listeners: list = []
 
     def subscribe(self, listener) -> None:
         """Register ``listener(topic, delta_ready)`` for ready-set changes.
@@ -104,6 +111,15 @@ class TaskQueue:
         Listeners must not mutate the queue reentrantly.
         """
         self._listeners.append(listener)
+
+    def subscribe_dead_letter(self, listener) -> None:
+        """Register ``listener(message)`` for dead-letter drops.
+
+        Fires exactly once per message, at the moment it is appended to
+        the dead-letter list. Listeners must not mutate the queue
+        reentrantly.
+        """
+        self._dead_listeners.append(listener)
 
     def _notify(self, topic: str, delta: int) -> None:
         for listener in self._listeners:
@@ -201,6 +217,8 @@ class TaskQueue:
             self._notify(msg.topic, +1)
         else:
             self._dead.append(msg)
+            for listener in self._dead_listeners:
+                listener(msg)
 
     def withdraw_newest(self, topic: str, n: int = 1) -> list[QueuedMessage]:
         """Withdraw up to ``n`` ready messages from the *tail* of ``topic``.

@@ -639,15 +639,46 @@ class TestPredictiveController:
 class TestImbalanceDerate:
     """The windowed ``pod_imbalance`` gauge de-rates planned capacity."""
 
-    def test_off_by_default(self):
-        """Opt-in: without a threshold, even a lopsided window leaves
-        planned capacity at the model's value."""
+    def test_on_by_default(self):
+        """Default-on: a lopsided window de-rates planned capacity
+        with no opt-in (threshold 1.25)."""
         testbed, zoo, runtime, controller = build_controlled_fleet()
         baseline = controller.observe().demands[0].per_copy_capacity_rps
         runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 30.0)
         runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.0)
         obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps < baseline
+
+    def test_none_disables(self):
+        """Opt-out: ``imbalance_derate_threshold=None`` leaves even a
+        lopsided window at the model's planned capacity."""
+        testbed, zoo, runtime, controller = build_controlled_fleet(
+            imbalance_derate_threshold=None
+        )
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 30.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.0)
+        obs = controller.observe()
         assert obs.demands[0].per_copy_capacity_rps == baseline
+
+    def test_scale_transient_excluded(self):
+        """A window overlapping a scale event is consumed but not
+        judged: warm-up skew right after a provision must not read as
+        straggler imbalance — and because the cursor still advanced,
+        the transient data cannot poison the next settled window."""
+        testbed, zoo, runtime, controller = build_controlled_fleet()
+        baseline = controller.observe().demands[0].per_copy_capacity_rps
+        controller._record("worker_provisioned", "w1")
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 30.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.0)
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps == baseline
+        # Past the settle period, a *new* skewed window derates again.
+        testbed.clock.advance(controller.imbalance_settle_s)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-0", 30.0)
+        runtime.stage_metrics.record_pod_share("noop", "w0/pod-1", 0.0)
+        obs = controller.observe()
+        assert obs.demands[0].per_copy_capacity_rps < baseline
 
     def test_straggler_imbalance_derates_capacity(self):
         testbed, zoo, runtime, controller = build_controlled_fleet(

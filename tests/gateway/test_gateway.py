@@ -45,6 +45,9 @@ def build_gateway(tenant_policies, n_workers=2, max_batch_size=8, **gateway_kwar
         workers,
         max_batch_size=max_batch_size,
         max_coalesce_delay_s=0.005,
+        # The tracer attaches to the runtime (one attach point covers
+        # the whole path); the gateway inherits it at construction.
+        tracer=gateway_kwargs.pop("tracer", None),
     )
     for name in ("noop", "matminer_util"):
         published = testbed.management.publish(testbed.token, zoo[name])

@@ -72,6 +72,19 @@ REGISTRY: dict[str, tuple[str, list[str]]] = {
         "repro.gateway.gateway.ServingGateway",
         ["drain_deadline_s"],
     ),
+    "`imbalance_derate_threshold` / `imbalance_derate_cap`": (
+        "repro.core.fleet.FleetController",
+        ["imbalance_derate_threshold", "imbalance_derate_cap"],
+    ),
+    "`sample_rate`": ("repro.core.telemetry.Tracer", ["sample_rate"]),
+    "`slow_threshold_s`": (
+        "repro.core.telemetry.Tracer",
+        ["slow_threshold_s"],
+    ),
+    "`latency_slo_s` / `objective` / `window_s` / `burn_threshold`": (
+        "repro.core.telemetry.SLOBurnMonitor",
+        ["latency_slo_s", "objective", "window_s", "burn_threshold"],
+    ),
 }
 
 #: Numbers with an optional time unit, e.g. "0.25 s", "10 ms", "64".

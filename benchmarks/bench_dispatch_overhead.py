@@ -21,7 +21,11 @@ import pathlib
 import pytest
 from conftest import run_once
 
-from repro.bench.dispatch_overhead import format_report, run_experiment
+from repro.bench.dispatch_overhead import (
+    TRACE_SAMPLE_RATE,
+    format_report,
+    run_experiment,
+)
 
 
 @pytest.mark.fast
@@ -52,10 +56,18 @@ def test_dispatch_overhead_smoke(benchmark):
     (trace_row,) = report["tracing"]
     assert trace_row["off_per_decision_us"] > 0
     assert trace_row["on_per_cycle_us"] > 0
-    # Head sampling is deterministic error diffusion: exactly
-    # floor(settled * rate) traces survive, no RNG flakiness.
+    # The closed loop rode along: the adaptive sampler escalated the
+    # hot lane above base and the observability loop scraped the hub.
+    assert trace_row["escalated_rate"] > trace_row["sample_rate"]
+    assert trace_row["loop_scrapes"] >= 1
+    # Head sampling is deterministic error diffusion, per accumulator:
+    # the escalated lane (one request at depth 1) diffuses through its
+    # own override accumulator, the rest share the base one — exactly
+    # floor(k * rate) traces survive from each, no RNG flakiness.
     assert trace_row["requests_traced"] >= 1
-    expected_kept = int(trace_row["requests_traced"] * trace_row["sample_rate"])
+    expected_kept = int(
+        (trace_row["requests_traced"] - 1) * trace_row["sample_rate"]
+    ) + int(trace_row["escalated_rate"])
     assert trace_row["traces_retained"] == expected_kept
 
 
@@ -119,7 +131,11 @@ def test_dispatch_overhead_full(benchmark):
     # And the index is not just flat but far ahead of the scan where
     # the scan is still tolerable to run.
     assert report["speedup_by_lanes"]["10000"] >= 10.0
-    # Tracing acceptance: at 1% head sampling the scheduling decision
-    # stays within 5% of tracing-off at the largest traced lane count.
+    # Tracing acceptance: at 1% head sampling — with the observability
+    # loop attached and an adaptive-sampling escalation live — the
+    # scheduling decision stays within 5% of tracing-off at the
+    # largest traced lane count.
     assert report["tracing"][-1]["lanes"] == 10_000
+    assert report["tracing"][-1]["escalated_rate"] > TRACE_SAMPLE_RATE
+    assert report["tracing"][-1]["loop_scrapes"] >= 1
     assert report["tracing"][-1]["decision_overhead_ratio"] <= 1.05

@@ -67,6 +67,10 @@ TRACE_CYCLES = 200
 #: Head-sampling rate the tracing-on arm runs at (the production
 #: default of :class:`repro.core.telemetry.Tracer`).
 TRACE_SAMPLE_RATE = 0.01
+#: The lane the tracing-on arm's adaptive sampler escalates (lane 0
+#: always exists): every sampling decision then runs the per-tenant
+#: override branch, pricing the loop as it behaves mid-incident.
+TRACE_ESCALATED_TENANT = "t000000"
 
 _zoo_cache: dict | None = None
 
@@ -256,25 +260,50 @@ def _measure_tracing(n_lanes: int, cycles: int, repeats: int) -> dict:
     single-member windows for all of them) — first-pass cache warm-up
     is real but identical in both arms, and the minimum isolates the
     steady state the overhead claim is about.
+
+    Both arms carry the closed observability loop (an
+    :class:`~repro.core.obsloop.ObservabilityLoop` scraping the hub
+    between passes) — production runs the loop whether or not tracing
+    is on, and attaching it asymmetrically would fold its allocator
+    side effects into the ratio. The tracing-on arm additionally has
+    an :class:`~repro.core.obsloop.AdaptiveSampler` escalation on one
+    hot lane installed *before* population (so every sampling decision
+    runs the per-tenant override branch, as it would mid-incident).
+    The <= 5% gate therefore prices what *tracing* adds to the
+    dispatch decision with the whole loop attached.
     """
-    from repro.core.telemetry import Tracer
+    from repro.core.obsloop import AdaptiveSampler, ObservabilityLoop
+    from repro.core.telemetry import Tracer, build_hub
 
     passes = max(1, min(6, n_lanes // cycles))
     best = {"off": [math.inf, math.inf], "on": [math.inf, math.inf]}
-    kept = traced = 0
+    kept = traced = loop_scrapes = 0
+    escalated_rate = TRACE_SAMPLE_RATE
     for _ in range(repeats):
         for arm in ("off", "on"):
             # Tail-keep is disabled in this arm: the synthetic all-due
             # population makes every request's *virtual* latency huge,
             # so the slow path would retain ~everything and the arm
             # would price an artifact instead of the 1% sampling rate.
-            tracer = (
-                Tracer(sample_rate=TRACE_SAMPLE_RATE, slow_threshold_s=None)
-                if arm == "on"
-                else None
-            )
+            tracer = None
+            if arm == "on":
+                tracer = Tracer(
+                    sample_rate=TRACE_SAMPLE_RATE, slow_threshold_s=None
+                )
+                # Escalate the hot lane as a firing burn alert would,
+                # before population opens any trace: the override's
+                # dedicated accumulator is live for the whole arm. The
+                # sampler is stepped manually (not by the loop) so the
+                # escalation holds instead of decaying scrape-over-
+                # scrape — this arm models an incident in progress.
+                sampler = AdaptiveSampler(tracer)
+                sampler.update(0.0, (TRACE_ESCALATED_TENANT,))
+                escalated_rate = tracer.effective_rate(TRACE_ESCALATED_TENANT)
             runtime = _cycle_runtime(n_lanes, 1, tracer=tracer)
+            hub = build_hub(runtime=runtime, tracer=tracer)
+            loop = ObservabilityLoop(runtime.clock, hub)
             for _ in range(passes):
+                loop.scrape(runtime.clock.now())
                 completed, pick_s, cycle_s = _run_dispatch_cycles(
                     runtime, cycles
                 )
@@ -286,11 +315,15 @@ def _measure_tracing(n_lanes: int, cycles: int, repeats: int) -> dict:
                 stats = tracer.stats()
                 kept = stats["kept_sampled"] + stats["kept_tail"]
                 traced = stats["started"]
+                loop_scrapes = loop.scrapes
     return {
         "lanes": n_lanes,
         "cycles": cycles,
         "passes": passes,
         "sample_rate": TRACE_SAMPLE_RATE,
+        "escalated_tenant": TRACE_ESCALATED_TENANT,
+        "escalated_rate": escalated_rate,
+        "loop_scrapes": loop_scrapes,
         "off_per_decision_us": best["off"][0] * 1e6,
         "on_per_decision_us": best["on"][0] * 1e6,
         "decision_overhead_ratio": best["on"][0] / best["off"][0],

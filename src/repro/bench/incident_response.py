@@ -1,0 +1,386 @@
+"""Closed-loop incident response: detect, react, and prove it helped.
+
+PR 7 left the fabric observable but inert: the telemetry hub can say a
+tenant is burning its SLO budget, yet nothing *acts* on that signal.
+This experiment closes the loop end-to-end and measures what acting
+buys. One hot tenant rides quietly, then bursts to ~7x its steady rate
+for an incident window while a light tenant keeps a constant trickle —
+the same two-lab shape as the fairness bench, now with the fleet
+starting *small* (2 of 4 workers) so the incident is first
+capacity-shaped (room to grow) and then, once the fleet is maxed,
+overload-shaped (840 rps offered against ~710 rps full-fleet
+capacity).
+
+Two arms run the identical schedule:
+
+* **observe** — the full observability loop is attached
+  (:class:`~repro.core.obsloop.ObservabilityLoop` scraping the hub
+  into a :class:`~repro.core.obsloop.SeriesStore`, per-tenant
+  :class:`~repro.core.obsloop.BurnRateRule` alerts evaluated every
+  scrape, transitions drained into fleet events) but the controller
+  plans with the plain target-utilization policy: alerts fire, nothing
+  reacts. The autoscaler still grows the fleet on its EWMA view.
+* **reactive** — the same loop, with
+  :class:`~repro.core.obsloop.ReactiveSLOPolicy` wrapping the base
+  policy (boosting planning rates while the fleet can grow, shedding
+  the burning tenant's admission once it cannot) and an
+  :class:`~repro.core.obsloop.AdaptiveSampler` escalating the burning
+  tenant's trace sampling while the alert fires.
+
+What the loop must prove (asserted by ``bench_incident_response``):
+
+1. the hot tenant's burn alert reaches ``firing`` within a bounded
+   number of scrape intervals of the incident starting;
+2. with both arms peaking at the same worker count, the reactive
+   arm's post-incident (recovery-phase) hot-tenant p95 is strictly
+   below the observe arm's — shedding bounded the backlog the
+   recovery phase has to drain;
+3. sampling escalates on the burning tenant only: the light tenant's
+   trace rate never leaves base;
+4. the alert resolves and every reactive override (admission cap,
+   sampling escalation) is lifted by the end of the cooldown.
+
+Memoization is off so repeated fixed inputs measure dispatch, not the
+cache, and jitter is off so both arms are bit-for-bit replayable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fleet import FleetController, TargetUtilizationPolicy
+from repro.core.obsloop import (
+    AdaptiveSampler,
+    AlertEngine,
+    BurnRateRule,
+    ObservabilityLoop,
+    ReactiveSLOPolicy,
+    SeriesStore,
+)
+from repro.core.runtime import ServingRuntime
+from repro.core.tasks import TaskRequest
+from repro.core.telemetry import SLOBurnMonitor, Tracer, build_hub
+from repro.core.testbed import DLHubTestbed, build_testbed
+from repro.core.zoo import build_zoo, sample_input
+from repro.gateway import ServingGateway, TenantPolicy, TenantPolicyTable
+
+SERVABLE = "matminer_util"
+#: The light tenant's constant trickle (rps) across the whole run.
+LIGHT_RATE_RPS = 40.0
+#: Hot tenant phases: (duration_s, rate_rps) — quiet, incident, recovery.
+HOT_PHASES = ((1.0, 80.0), (1.5, 800.0), (1.5, 80.0))
+INITIAL_WORKERS = 2
+MAX_WORKERS = 4
+MAX_BATCH_SIZE = 8
+COALESCE_DELAY_S = 0.005
+RECONCILE_INTERVAL_S = 0.25
+SCRAPE_INTERVAL_S = 0.1
+#: Firing-latency bound, in scrape intervals after the incident starts.
+#: Covers the monitor's min-sample warmup, both burn-rule windows
+#: filling with hot samples, and one reconcile to drain the event.
+FIRING_BOUND_SCRAPES = 10
+#: Post-serve reconcile/scrape ticks letting the backlog drain and the
+#: alert resolve (mirrors the autoscaling bench's cooldown).
+COOLDOWN_TICKS = 24
+TRACE_BASE_RATE = 0.02
+
+
+def _hot_schedule() -> list[float]:
+    """Phased hot-tenant arrival offsets (uniform within each phase)."""
+    offsets: list[float] = []
+    start = 0.0
+    for duration_s, rate_rps in HOT_PHASES:
+        offsets.extend(
+            start + i / rate_rps for i in range(int(duration_s * rate_rps))
+        )
+        start += duration_s
+    return offsets
+
+
+def _duration_s() -> float:
+    return sum(duration for duration, _ in HOT_PHASES)
+
+
+def _incident_window() -> tuple[float, float]:
+    """(start, end) offsets of the incident phase."""
+    start = HOT_PHASES[0][0]
+    return start, start + HOT_PHASES[1][0]
+
+
+def _fresh_fleet(seed: int, tracer: Tracer) -> tuple[DLHubTestbed, ServingRuntime, dict]:
+    """An under-provisioned fleet (room to scale) plus tenant tokens."""
+    testbed = build_testbed(seed=seed, jitter=False, memoize_tm=False)
+    zoo = build_zoo(seed=seed, oqmd_entries=50, n_estimators=4)
+    workers = [testbed.add_fleet_worker(f"w{i}") for i in range(INITIAL_WORKERS)]
+    runtime = ServingRuntime(
+        testbed.clock,
+        testbed.management.queue,
+        workers,
+        max_batch_size=MAX_BATCH_SIZE,
+        max_coalesce_delay_s=COALESCE_DELAY_S,
+        tracer=tracer,
+    )
+    published = testbed.management.publish(testbed.token, zoo[SERVABLE])
+    runtime.place(zoo[SERVABLE], published.build.image, copies=INITIAL_WORKERS)
+    _, hot_token = testbed.new_user("hot_lab")
+    _, light_token = testbed.new_user("light_lab")
+    return testbed, runtime, {"hot": hot_token, "light": light_token}
+
+
+def _gateway_over(
+    testbed: DLHubTestbed,
+    runtime: ServingRuntime,
+    tokens: dict,
+    slo_monitor: SLOBurnMonitor,
+) -> ServingGateway:
+    policies = TenantPolicyTable()
+    policies.register(TenantPolicy(name="hot", weight=1.0))
+    policies.register(TenantPolicy(name="light", weight=1.0))
+    for tenant, token in tokens.items():
+        identity = testbed.auth.tokens.introspect(token).identity
+        policies.bind_identity(identity, tenant)
+    return ServingGateway(
+        testbed.auth, runtime, policies, slo_monitor=slo_monitor
+    )
+
+
+class _ControllerMux:
+    """Run several serve-loop controllers off the runtime's one slot."""
+
+    def __init__(self, *controllers) -> None:
+        self.controllers = controllers
+
+    def next_wakeup(self) -> float:
+        """Earliest wakeup any chained controller wants."""
+        return min(c.next_wakeup() for c in self.controllers)
+
+    def on_tick(self) -> None:
+        """Tick every chained controller in attach order."""
+        for controller in self.controllers:
+            controller.on_tick()
+
+
+def _phase_p95_ms(
+    results, tenant: str, start: float, end: float, base: float
+) -> float | None:
+    """p95 end-to-end latency (ms) of ``tenant``'s requests arriving in
+    the ``[start, end)`` offset window (admitted and settled only)."""
+    latencies = [
+        r.latency
+        for r in results
+        if r.admitted
+        and r.completed
+        and r.request.tenant == tenant
+        and start <= (r.arrived_at - base) < end
+    ]
+    if not latencies:
+        return None
+    return float(np.percentile(np.asarray(latencies), 95)) * 1e3
+
+
+def _run_arm(seed: int, reactive: bool) -> dict:
+    """One full arm: identical workload, loop attached, policy differs."""
+    tracer = Tracer(sample_rate=TRACE_BASE_RATE)
+    testbed, runtime, tokens = _fresh_fleet(seed, tracer)
+    monitor = SLOBurnMonitor()
+    gateway = _gateway_over(testbed, runtime, tokens, monitor)
+
+    store = SeriesStore()
+    engine = AlertEngine(
+        store,
+        rules=[
+            BurnRateRule(
+                f"burn:{tenant}",
+                tenant,
+                fast_window_s=0.3,
+                slow_window_s=1.0,
+            )
+            for tenant in ("hot", "light")
+        ],
+    )
+    sampler = AdaptiveSampler(tracer) if reactive else None
+    base_policy = TargetUtilizationPolicy()
+    policy = (
+        ReactiveSLOPolicy(base=base_policy, gateway=gateway)
+        if reactive
+        else base_policy
+    )
+    controller = FleetController(
+        runtime,
+        provision_worker=testbed.add_fleet_worker,
+        policy=policy,
+        interval_s=RECONCILE_INTERVAL_S,
+        min_workers=INITIAL_WORKERS,
+        max_workers=MAX_WORKERS,
+        autoscale_replicas=False,
+        gateway=gateway,
+        slo_monitor=monitor,
+        alert_engine=engine,
+    )
+    hub = build_hub(
+        runtime=runtime,
+        gateway=gateway,
+        controller=controller,
+        tracer=tracer,
+        monitor=monitor,
+    )
+    loop = ObservabilityLoop(
+        testbed.clock,
+        hub,
+        store=store,
+        engine=engine,
+        monitor=monitor,
+        sampler=sampler,
+        scrape_interval_s=SCRAPE_INTERVAL_S,
+    )
+    # The controller self-attached at construction; chain the loop in
+    # *front* so each reconcile drains freshly evaluated transitions.
+    runtime.attach_controller(_ControllerMux(loop, controller))
+
+    fixed = sample_input(SERVABLE)
+    duration = _duration_s()
+    arrivals = [
+        (i / LIGHT_RATE_RPS, tokens["light"], TaskRequest(SERVABLE, args=fixed))
+        for i in range(int(LIGHT_RATE_RPS * duration))
+    ] + [
+        (offset, tokens["hot"], TaskRequest(SERVABLE, args=fixed))
+        for offset in _hot_schedule()
+    ]
+    start = testbed.clock.now()
+    results = gateway.serve(sorted(arrivals, key=lambda entry: entry[0]))
+    assert all(r.ok for r in results if r.admitted)
+    # Cooldown: let the backlog drain, the burn cool, and the alert
+    # resolve (which lifts any reactive overrides).
+    for _ in range(COOLDOWN_TICKS):
+        testbed.clock.advance(RECONCILE_INTERVAL_S)
+        loop.on_tick()
+        controller.reconcile()
+
+    incident_start, incident_end = _incident_window()
+    firings = controller.events_of("alert_firing")
+    resolves = controller.events_of("alert_resolved")
+    hot_firings = [e for e in firings if e.subject == "burn:hot"]
+    denied: dict[str, int] = {}
+    for result in results:
+        if not result.admitted:
+            outcome = result.decision.outcome.value
+            denied[outcome] = denied.get(outcome, 0) + 1
+
+    row: dict = {
+        "requests": len(results),
+        "admitted": sum(1 for r in results if r.admitted),
+        "denied": denied,
+        "peak_workers": controller.peak_routable_workers,
+        "final_workers": len(runtime.alive_workers()),
+        "scrapes": loop.scrapes,
+        "makespan_s": testbed.clock.now() - start,
+        "first_firing_s": (
+            round(hot_firings[0].time - start - incident_start, 3)
+            if hot_firings
+            else None
+        ),
+        "alerts": {
+            "firing": sorted({e.subject for e in firings}),
+            "resolved": sorted({e.subject for e in resolves}),
+        },
+        "phase_p95_ms": {
+            tenant: {
+                "quiet": _phase_p95_ms(results, tenant, 0.0, incident_start, start),
+                "incident": _phase_p95_ms(
+                    results, tenant, incident_start, incident_end, start
+                ),
+                "recovery": _phase_p95_ms(
+                    results, tenant, incident_end, duration, start
+                ),
+            }
+            for tenant in ("hot", "light")
+        },
+    }
+    if reactive:
+        row["policy"] = {
+            "boosts": policy.boosts,
+            "sheds": policy.sheds,
+            "reverts": policy.reverts,
+            "active_sheds": dict(policy.active_sheds),
+        }
+        row["sampler"] = {
+            "peak_rates": dict(sampler.peak_rates),
+            "escalations": dict(sampler.escalations),
+            "active": dict(sampler.active),
+            "base_rate": TRACE_BASE_RATE,
+        }
+        row["admission_overrides_live"] = {
+            tenant: gateway.admission_override(tenant)
+            for tenant in ("hot", "light")
+            if gateway.admission_override(tenant) is not None
+        }
+    return row
+
+
+def run_experiment(seed: int = 13) -> dict:
+    """Both arms over the identical incident schedule."""
+    observe = _run_arm(seed, reactive=False)
+    reactive = _run_arm(seed, reactive=True)
+    incident_start, incident_end = _incident_window()
+    return {
+        "params": {
+            "servable": SERVABLE,
+            "light_rate_rps": LIGHT_RATE_RPS,
+            "hot_phases": [list(phase) for phase in HOT_PHASES],
+            "incident_window_s": [incident_start, incident_end],
+            "initial_workers": INITIAL_WORKERS,
+            "max_workers": MAX_WORKERS,
+            "max_batch_size": MAX_BATCH_SIZE,
+            "scrape_interval_s": SCRAPE_INTERVAL_S,
+            "reconcile_interval_s": RECONCILE_INTERVAL_S,
+            "firing_bound_scrapes": FIRING_BOUND_SCRAPES,
+            "trace_base_rate": TRACE_BASE_RATE,
+        },
+        "arms": {"observe": observe, "reactive": reactive},
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable incident summary for both arms."""
+    params = report["params"]
+    lines = [
+        "Closed-loop incident response (observe vs reactive)",
+        f"  servable={params['servable']}  light={params['light_rate_rps']:g} rps"
+        f"  hot phases={params['hot_phases']}"
+        f"  fleet {params['initial_workers']}->{params['max_workers']} workers",
+        f"  {'arm':<9} {'tenant':<6} {'quiet p95':>10} {'incident p95':>13}"
+        f" {'recovery p95':>13}",
+    ]
+    for arm_name, arm in report["arms"].items():
+        for tenant, phases in arm["phase_p95_ms"].items():
+            cells = [
+                f"{phases[p]:.2f}" if phases[p] is not None else "-"
+                for p in ("quiet", "incident", "recovery")
+            ]
+            lines.append(
+                f"  {arm_name:<9} {tenant:<6} {cells[0]:>10} {cells[1]:>13}"
+                f" {cells[2]:>13}"
+            )
+    for arm_name, arm in report["arms"].items():
+        lines.append(
+            f"  {arm_name}: peak_workers={arm['peak_workers']}"
+            f"  first firing {arm['first_firing_s']} s after incident"
+            f"  denied={sum(arm['denied'].values())}"
+        )
+    reactive = report["arms"]["reactive"]
+    if "policy" in reactive:
+        pol, smp = reactive["policy"], reactive["sampler"]
+        lines.append(
+            f"  reactive: boosts={pol['boosts']} sheds={pol['sheds']}"
+            f" reverts={pol['reverts']}"
+            f"  sampler peaks={smp['peak_rates']}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -183,6 +184,23 @@ class ArrivalForecaster:
         beating the observed rate — deferring drain for reconciles;
         damping keeps the downswing shallow so the whiplash never
         starts. Rising trends are never damped (scale-up stays eager).
+    seasonal_autodetect:
+        Opt-in (default off): when ``seasonal_period_s`` is unset,
+        retain each key's recent raw samples and estimate its dominant
+        period by autocorrelation — the first interior peak of the
+        mean-removed, uniformly resampled signal's normalized
+        autocorrelation at or above ``autodetect_min_corr``. Once a
+        period is detected for a key, the seasonal machinery runs for
+        that key exactly as if the period had been configured. With
+        the knob off (the default), behavior is bit-for-bit identical
+        to previous releases: no history is retained and no seasonal
+        state exists. An explicit ``seasonal_period_s`` always wins.
+    autodetect_history:
+        Raw ``(time, rate)`` samples retained per key for estimation.
+    autodetect_min_samples:
+        Samples required before a detection attempt runs.
+    autodetect_min_corr:
+        Normalized autocorrelation a candidate lag must reach.
     """
 
     def __init__(
@@ -193,6 +211,10 @@ class ArrivalForecaster:
         seasonal_buckets: int = 8,
         gamma: float = 0.3,
         trend_damping: float = 1.0,
+        seasonal_autodetect: bool = False,
+        autodetect_history: int = 64,
+        autodetect_min_samples: int = 16,
+        autodetect_min_corr: float = 0.5,
     ) -> None:
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
@@ -206,26 +228,98 @@ class ArrivalForecaster:
             raise ValueError("gamma must be in (0, 1]")
         if not 0 < trend_damping <= 1:
             raise ValueError("trend_damping must be in (0, 1]")
+        if autodetect_min_samples < 8:
+            raise ValueError("autodetect_min_samples must be >= 8")
+        if autodetect_history < autodetect_min_samples:
+            raise ValueError(
+                "autodetect_history must be >= autodetect_min_samples"
+            )
+        if not 0 < autodetect_min_corr < 1:
+            raise ValueError("autodetect_min_corr must be in (0, 1)")
         self.alpha = alpha
         self.beta = beta
         self.seasonal_period_s = seasonal_period_s
         self.seasonal_buckets = seasonal_buckets
         self.gamma = gamma
         self.trend_damping = trend_damping
+        self.seasonal_autodetect = seasonal_autodetect
+        self.autodetect_history = autodetect_history
+        self.autodetect_min_samples = autodetect_min_samples
+        self.autodetect_min_corr = autodetect_min_corr
         self._state: dict[Any, _TrendState] = {}
         self._seasonal: dict[Any, list[float]] = {}
+        self._history: dict[Any, deque] = {}
+        self._detected: dict[Any, float] = {}
 
-    def _bucket(self, time_s: float) -> int:
-        phase = (time_s % self.seasonal_period_s) / self.seasonal_period_s
+    def _period_for(self, key: Any) -> float | None:
+        """The seasonal period governing ``key`` (configured wins)."""
+        if self.seasonal_period_s is not None:
+            return self.seasonal_period_s
+        return self._detected.get(key)
+
+    def _bucket(self, time_s: float, period: float) -> int:
+        phase = (time_s % period) / period
         return min(int(phase * self.seasonal_buckets), self.seasonal_buckets - 1)
 
     def _seasonal_at(self, key: Any, time_s: float) -> float:
-        if self.seasonal_period_s is None:
+        period = self._period_for(key)
+        if period is None:
             return 0.0
         profile = self._seasonal.get(key)
         if profile is None:
             return 0.0
-        return profile[self._bucket(time_s)]
+        return profile[self._bucket(time_s, period)]
+
+    def detected_period(self, key: Any) -> float | None:
+        """The auto-detected seasonal period for ``key``, if any."""
+        return self._detected.get(key)
+
+    def _note_sample(self, key: Any, time_s: float, rate_rps: float) -> None:
+        """Retain one raw sample and attempt period detection."""
+        history = self._history.get(key)
+        if history is None:
+            history = self._history[key] = deque(maxlen=self.autodetect_history)
+        history.append((time_s, rate_rps))
+        if key in self._detected or len(history) < self.autodetect_min_samples:
+            return
+        period = self._estimate_period(history)
+        if period is not None:
+            self._detected[key] = period
+
+    def _estimate_period(self, history) -> float | None:
+        """Dominant period of a sample window, by autocorrelation.
+
+        The irregular samples are resampled onto a uniform grid over
+        their span, mean-removed, and autocorrelated; the winning lag
+        is the highest interior local maximum at or above
+        ``autodetect_min_corr`` within ``[2 grid steps, span / 2]``.
+        Aperiodic traffic has no such peak and detects nothing.
+        """
+        n = len(history)
+        times = np.array([t for t, _ in history])
+        rates = np.array([r for _, r in history])
+        span = times[-1] - times[0]
+        if span <= 0:
+            return None
+        grid = np.linspace(times[0], times[-1], n)
+        signal = np.interp(grid, times, rates)
+        signal = signal - signal.mean()
+        energy = float(np.dot(signal, signal))
+        if energy <= 0:
+            return None
+        ac = np.correlate(signal, signal, "full")[n - 1 :] / energy
+        dt = span / (n - 1)
+        best_lag, best_corr = None, self.autodetect_min_corr
+        for lag in range(2, n // 2):
+            if (
+                ac[lag] >= best_corr
+                and ac[lag] >= ac[lag - 1]
+                and ac[lag] >= ac[lag + 1]
+            ):
+                best_lag, best_corr = lag, ac[lag]
+        if best_lag is None:
+            return None
+        return float(best_lag * dt)
 
     def observe(self, key: Any, time_s: float, rate_rps: float) -> None:
         """Feed one arrival-rate sample for ``key`` at virtual ``time_s``.
@@ -236,6 +330,9 @@ class ArrivalForecaster:
         """
         if rate_rps < 0:
             raise ValueError("rate_rps must be >= 0")
+        if self.seasonal_autodetect and self.seasonal_period_s is None:
+            self._note_sample(key, time_s, rate_rps)
+        period = self._period_for(key)
         seasonal = self._seasonal_at(key, time_s)
         deseasonalized = max(rate_rps - seasonal, 0.0)
         state = self._state.get(key)
@@ -263,11 +360,11 @@ class ArrivalForecaster:
                 gain = 1.0 - (1.0 - self.beta) ** dt
                 state.trend_per_s += gain * error / dt
                 state.last_time = time_s
-        if self.seasonal_period_s is not None:
+        if period is not None:
             profile = self._seasonal.setdefault(
                 key, [0.0] * self.seasonal_buckets
             )
-            bucket = self._bucket(time_s)
+            bucket = self._bucket(time_s, period)
             residual = rate_rps - self._state[key].level
             profile[bucket] = (
                 self.gamma * residual + (1 - self.gamma) * profile[bucket]

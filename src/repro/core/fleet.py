@@ -143,6 +143,11 @@ class FleetObservation:
     #: has an attached :class:`~repro.core.telemetry.SLOBurnMonitor` —
     #: the trigger rollback/canary policies plan from. Empty otherwise.
     slo_burns: tuple = ()
+    #: Currently *firing* alerts (:class:`repro.core.obsloop.Alert`)
+    #: from an attached :class:`~repro.core.obsloop.AlertEngine` — what
+    #: :class:`~repro.core.obsloop.ReactiveSLOPolicy` classifies and
+    #: reacts to. Empty without an engine.
+    alerts: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -452,6 +457,13 @@ class FleetController:
         drains fresh breaches into ``slo_burn`` events and the
         observation's ``slo_burns`` tuple, giving policies a rollback /
         canary trigger.
+    alert_engine:
+        Optional :class:`~repro.core.obsloop.AlertEngine` evaluated by
+        an :class:`~repro.core.obsloop.ObservabilityLoop` at the scrape
+        cadence. Each reconcile drains its lifecycle transitions into
+        ``alert_pending`` / ``alert_firing`` / ``alert_resolved``
+        events and exposes the firing set as ``observation.alerts`` —
+        what :class:`~repro.core.obsloop.ReactiveSLOPolicy` reacts to.
     """
 
     def __init__(
@@ -472,6 +484,7 @@ class FleetController:
         imbalance_derate_cap: float = 2.0,
         imbalance_settle_s: float | None = None,
         slo_monitor=None,
+        alert_engine=None,
     ) -> None:
         if interval_s <= 0:
             raise FleetControllerError("interval_s must be > 0")
@@ -519,6 +532,13 @@ class FleetController:
         #: breaches into ``slo_burn`` events + the observation handed to
         #: the policy.
         self.slo_monitor = slo_monitor
+        #: Optional :class:`~repro.core.obsloop.AlertEngine` (evaluated
+        #: by an :class:`~repro.core.obsloop.ObservabilityLoop` at the
+        #: scrape cadence): each reconcile drains its lifecycle
+        #: transitions into ``alert_pending`` / ``alert_firing`` /
+        #: ``alert_resolved`` events and exposes the firing set on the
+        #: observation for reactive policies.
+        self.alert_engine = alert_engine
         self._last_scale_at = -math.inf
 
         self.events: list[FleetEvent] = []
@@ -781,6 +801,18 @@ class FleetController:
                     samples=breach.samples,
                 )
             slo_burns = tuple(fresh)
+        alerts: tuple = ()
+        if self.alert_engine is not None:
+            # The engine is *evaluated* at the scrape cadence (by the
+            # observability loop); here its transitions become audit
+            # events and the firing set becomes policy input.
+            for transition in self.alert_engine.drain():
+                self._record(
+                    f"alert_{transition.state}",
+                    transition.rule,
+                    **transition.detail,
+                )
+            alerts = self.alert_engine.firing()
         return FleetObservation(
             time=now,
             routable_workers=len(alive),
@@ -789,6 +821,7 @@ class FleetController:
             max_workers=self.max_workers,
             demands=tuple(demands),
             slo_burns=slo_burns,
+            alerts=alerts,
         )
 
     # -- reconciliation -----------------------------------------------------------

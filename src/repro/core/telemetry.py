@@ -378,6 +378,56 @@ class Tracer:
         self.kept_tail = 0
         self.dropped = 0
         self._acc = 0.0
+        # Per-tenant rate overrides (adaptive sampling). Each overridden
+        # tenant diffuses error through its *own* accumulator so its
+        # keep cadence is exact and independent; with no overrides the
+        # shared accumulator path below is bit-for-bit the historical
+        # behavior.
+        self._tenant_rates: dict[str | None, float] = {}
+        self._tenant_accs: dict[str | None, float] = {}
+
+    # -- per-tenant sampling overrides -----------------------------------------
+    def set_tenant_rate(self, tenant: str | None, rate: float) -> None:
+        """Override the head-sampling rate for one tenant's requests.
+
+        Installed by the adaptive-sampling controller when a tenant
+        starts burning SLO budget. The override owns a dedicated
+        error-diffusion accumulator, so escalation stays deterministic
+        and other tenants' sampling cadence is untouched.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise TelemetryError("tenant rate must be in [0, 1]")
+        self._tenant_rates[tenant] = rate
+
+    def clear_tenant_rate(self, tenant: str | None) -> None:
+        """Drop a tenant's rate override (back to ``sample_rate``)."""
+        self._tenant_rates.pop(tenant, None)
+        self._tenant_accs.pop(tenant, None)
+
+    def effective_rate(self, tenant: str | None) -> float:
+        """The head-sampling rate currently applied to ``tenant``."""
+        return self._tenant_rates.get(tenant, self.sample_rate)
+
+    @property
+    def tenant_rates(self) -> dict[str | None, float]:
+        """Copy of the active per-tenant rate overrides."""
+        return dict(self._tenant_rates)
+
+    def _sample(self, tenant: str | None) -> bool:
+        """One error-diffusion head-sampling decision for ``tenant``."""
+        if self._tenant_rates and tenant in self._tenant_rates:
+            rate = self._tenant_rates[tenant]
+            acc = self._tenant_accs.get(tenant, 0.0) + rate
+            sampled = acc >= 1.0 - 1e-12
+            if sampled:
+                acc -= 1.0
+            self._tenant_accs[tenant] = acc
+            return sampled
+        self._acc += self.sample_rate
+        sampled = self._acc >= 1.0 - 1e-12
+        if sampled:
+            self._acc -= 1.0
+        return sampled
 
     def begin(
         self,
@@ -395,16 +445,14 @@ class Tracer:
         trace = getattr(request, "trace", None)
         if trace is not None:
             return trace
-        self._acc += self.sample_rate
-        sampled = self._acc >= 1.0 - 1e-12
-        if sampled:
-            self._acc -= 1.0
+        owner = tenant if tenant is not None else request.tenant
+        sampled = self._sample(owner)
         trace = Trace(
             trace_id=request.task_uuid,
             name=request.servable_name,
             start=at,
             sampled=sampled,
-            tenant=tenant if tenant is not None else request.tenant,
+            tenant=owner,
             attrs=attrs or None,
         )
         request.trace = trace
@@ -537,10 +585,7 @@ class Tracer:
         carrying the same compact member record
         :meth:`settle_member` writes.
         """
-        self._acc += self.sample_rate
-        sampled = self._acc >= 1.0 - 1e-12
-        if sampled:
-            self._acc -= 1.0
+        sampled = self._sample(request.tenant)
         self.started += 1
         self.finished += 1
         failed = status != "ok"
@@ -760,13 +805,49 @@ class TelemetryHub:
         return self._histograms.setdefault(self._key(name, labels), _Histogram())
 
     def register_source(self, name: str, source) -> None:
-        """Bind a pull source: a callable returning JSON-able data."""
+        """Bind a pull source: a callable returning JSON-able data.
+
+        Re-registering a name replaces the previous source — how a
+        collector swapped out mid-run (fleet churn) is rebound without
+        snapshots ever seeing both.
+        """
         if not callable(source):
             raise TelemetryError(f"source {name!r} must be callable")
         self._sources[name] = source
 
-    def snapshot(self) -> dict:
-        """Everything the hub knows, as one JSON-able document."""
+    def unregister_source(self, name: str) -> bool:
+        """Drop a pull source (e.g. its worker left the fleet).
+
+        Returns whether the name was registered. Instrument series are
+        untouched — history recorded from a departed source remains
+        queryable.
+        """
+        return self._sources.pop(name, None) is not None
+
+    def sources(self) -> tuple[str, ...]:
+        """Names of the currently registered pull sources, sorted."""
+        return tuple(sorted(self._sources))
+
+    def snapshot(self, strict: bool = True) -> dict:
+        """Everything the hub knows, as one JSON-able document.
+
+        With ``strict=False`` a pull source that raises contributes an
+        ``{"error": ...}`` stub instead of poisoning the snapshot —
+        the scrape loop uses this so one mid-churn collector (a worker
+        torn down between registration and scrape) cannot corrupt the
+        whole observation.
+        """
+        if strict:
+            sources = {
+                name: source() for name, source in sorted(self._sources.items())
+            }
+        else:
+            sources = {}
+            for name, source in sorted(self._sources.items()):
+                try:
+                    sources[name] = source()
+                except Exception as exc:  # noqa: BLE001 — churn isolation
+                    sources[name] = {"error": repr(exc)}
         return {
             "counters": {
                 self._render(key): counter.value
@@ -780,9 +861,7 @@ class TelemetryHub:
                 self._render(key): histogram.summary()
                 for key, histogram in sorted(self._histograms.items())
             },
-            "sources": {
-                name: source() for name, source in sorted(self._sources.items())
-            },
+            "sources": sources,
         }
 
     def snapshot_json(self, indent: int | None = None) -> str:
@@ -933,6 +1012,11 @@ class SLOBurnMonitor:
         self.breaches: list[SLOBreach] = []
         self._tenants: dict[str, _TenantWindow] = {}
         self._drained = 0
+
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with at least one recorded settlement, sorted —
+        what the scrape loop iterates to gauge per-tenant burn."""
+        return tuple(sorted(self._tenants))
 
     def record(
         self, tenant: str, at: float, latency_s: float, ok: bool = True

@@ -78,6 +78,7 @@ class AdmissionController:
         self.clock = clock
         self.metrics = metrics or TenantUsageCollector()
         self._buckets: dict[str, TokenBucket] = {}
+        self._override_buckets: dict[str, TokenBucket] = {}
         self._in_flight: dict[str, int] = {}
         self._in_flight_by_servable: dict[tuple[str, str], int] = {}
 
@@ -88,7 +89,16 @@ class AdmissionController:
         return self._in_flight.get(tenant, 0)
 
     def bucket(self, policy: TenantPolicy) -> TokenBucket | None:
-        """The tenant's token bucket (None when the tenant is unlimited)."""
+        """The tenant's *effective* token bucket.
+
+        A temporary rate override (load-shed, see
+        :meth:`set_rate_override`) replaces the policy bucket outright;
+        otherwise the policy bucket is created lazily — or ``None``
+        when the tenant is unlimited.
+        """
+        override = self._override_buckets.get(policy.name)
+        if override is not None:
+            return override
         if policy.rate_limit_rps is None:
             return None
         bucket = self._buckets.get(policy.name)
@@ -98,6 +108,42 @@ class AdmissionController:
             )
             self._buckets[policy.name] = bucket
         return bucket
+
+    # -- temporary rate overrides (reactive load shed) ------------------------
+    def set_rate_override(
+        self, tenant: str, rate_rps: float, burst: float | None = None
+    ) -> None:
+        """Impose a temporary admission rate cap on one tenant.
+
+        The override bucket *replaces* the tenant's policy bucket (and
+        rate-limits an otherwise unlimited tenant) until
+        :meth:`clear_rate_override` — how a reactive SLO policy sheds
+        an overload-shaped burn at the door. ``burst`` defaults to a
+        *quarter*-second of the capped rate (at least one token): the
+        override exists because the tenant is already overrunning, so
+        granting it a full second of banked tokens on imposition would
+        let the very traffic being shed ride through on burst.
+        """
+        if rate_rps <= 0:
+            raise ValueError("override rate_rps must be > 0")
+        self._override_buckets[tenant] = TokenBucket(
+            self.clock,
+            rate_rps,
+            max(1.0, rate_rps * 0.25 if burst is None else burst),
+        )
+
+    def clear_rate_override(self, tenant: str) -> bool:
+        """Lift a tenant's rate override; returns whether one was set.
+
+        The policy bucket (if any) was refilling untouched meanwhile,
+        so admission reverts to exactly the declared policy.
+        """
+        return self._override_buckets.pop(tenant, None) is not None
+
+    def rate_override(self, tenant: str) -> float | None:
+        """The tenant's active override rate, or ``None``."""
+        bucket = self._override_buckets.get(tenant)
+        return None if bucket is None else bucket.rate_rps
 
     # -- the decision -------------------------------------------------------------
     def admit(
@@ -124,7 +170,7 @@ class AdmissionController:
                 AdmissionOutcome.REJECTED_RATE_LIMIT,
                 tenant,
                 servable_name,
-                f"bucket empty at {policy.rate_limit_rps:g} rps",
+                f"bucket empty at {bucket.rate_rps:g} rps",
             )
         if (
             policy.max_in_flight is not None
@@ -200,7 +246,7 @@ class AdmissionController:
                 AdmissionOutcome.REJECTED_RATE_LIMIT,
                 tenant,
                 servable_name,
-                f"bucket lacks {n} tokens at {policy.rate_limit_rps:g} rps",
+                f"bucket lacks {n} tokens at {bucket.rate_rps:g} rps",
             )
         self._in_flight[tenant] = self.in_flight(tenant) + n
         key = (tenant, servable_name)
@@ -277,7 +323,7 @@ class AdmissionController:
                 tenant,
                 servable_names[0],
                 f"bucket lacks {n} tokens for {label} at "
-                f"{policy.rate_limit_rps:g} rps",
+                f"{bucket.rate_rps:g} rps",
             )
         self._in_flight[tenant] = self.in_flight(tenant) + n
         for name in servable_names:

@@ -929,6 +929,29 @@ class ServingGateway:
         """The fair-share weight of one tenant."""
         return self.policies.policy(tenant_name).weight
 
+    # -- reactive admission tightening (load shed) ----------------------------
+    def tighten_admission(
+        self, tenant_name: str, rate_rps: float, burst: float | None = None
+    ) -> None:
+        """Temporarily cap one tenant's admission rate (load shed).
+
+        Installs a token-bucket override that replaces the tenant's
+        policy bucket — and rate-limits an otherwise unlimited tenant —
+        so an overload-shaped SLO burn can be shed at the door while
+        other tenants' admission is untouched. Reverted by
+        :meth:`relax_admission`; the declared policy itself is never
+        mutated.
+        """
+        self.admission.set_rate_override(tenant_name, rate_rps, burst)
+
+    def relax_admission(self, tenant_name: str) -> bool:
+        """Lift a tenant's admission cap; returns whether one was set."""
+        return self.admission.clear_rate_override(tenant_name)
+
+    def admission_override(self, tenant_name: str) -> float | None:
+        """The tenant's active admission cap in rps, or ``None``."""
+        return self.admission.rate_override(tenant_name)
+
     @property
     def outstanding(self) -> int:
         """Admitted requests currently inside the runtime."""

@@ -453,3 +453,83 @@ class TestDampedTrend:
         for phi in (0.0, -0.5, 1.5):
             with pytest.raises(ValueError, match="trend_damping"):
                 ArrivalForecaster(trend_damping=phi)
+
+
+class TestSeasonalAutodetect:
+    """Opt-in period detection: off by default, estimation by
+    autocorrelation, explicit configuration always winning."""
+
+    @staticmethod
+    def _square(forecaster, period_s=4.0, samples=160, key="m"):
+        # Square wave: high in the first half of each cycle, sampled
+        # every 250 ms — several full cycles of history.
+        for i in range(samples):
+            t = i * 0.25
+            rate = 200.0 if (t % period_s) < (period_s / 2) else 20.0
+            forecaster.observe(key, t, rate)
+
+    def test_off_by_default_and_bit_for_bit_identical(self):
+        plain = ArrivalForecaster(alpha=0.3, beta=0.05)
+        explicit = ArrivalForecaster(
+            alpha=0.3, beta=0.05, seasonal_autodetect=False
+        )
+        self._square(plain)
+        self._square(explicit)
+        assert plain.detected_period("m") is None
+        assert plain.forecast("m", 42.0) == explicit.forecast("m", 42.0)
+
+    def test_detects_the_dominant_period(self):
+        forecaster = ArrivalForecaster(
+            alpha=0.3, beta=0.05, gamma=0.5, seasonal_autodetect=True
+        )
+        self._square(forecaster, period_s=4.0)
+        assert forecaster.detected_period("m") == pytest.approx(4.0, rel=0.15)
+        # Once detected, the seasonal machinery runs as if configured:
+        # standing past the history, the high phase projects above the
+        # low phase of the same future cycle.
+        high = forecaster.forecast("m", 41.0)  # phase 1.0 -> high bucket
+        low = forecaster.forecast("m", 43.0)   # phase 3.0 -> low bucket
+        assert high.rate_rps > low.rate_rps + 50.0
+
+    def test_aperiodic_traffic_detects_nothing(self):
+        detecting = ArrivalForecaster(seasonal_autodetect=True)
+        plain = ArrivalForecaster()
+        for i in range(64):
+            detecting.observe("m", i * 0.25, 100.0)
+            plain.observe("m", i * 0.25, 100.0)
+        assert detecting.detected_period("m") is None
+        assert detecting.forecast("m", 20.0) == plain.forecast("m", 20.0)
+
+    def test_explicit_period_always_wins(self):
+        configured = ArrivalForecaster(
+            alpha=0.3, beta=0.05, gamma=0.5,
+            seasonal_period_s=4.0, seasonal_autodetect=True,
+        )
+        reference = ArrivalForecaster(
+            alpha=0.3, beta=0.05, gamma=0.5, seasonal_period_s=4.0
+        )
+        self._square(configured)
+        self._square(reference)
+        # No history is even retained while a period is configured.
+        assert configured.detected_period("m") is None
+        assert configured.forecast("m", 41.0) == reference.forecast("m", 41.0)
+
+    def test_detection_is_per_key(self):
+        forecaster = ArrivalForecaster(
+            alpha=0.3, beta=0.05, seasonal_autodetect=True
+        )
+        self._square(forecaster, key="cyclic")
+        for i in range(64):
+            forecaster.observe("steady", i * 0.25, 100.0)
+        assert forecaster.detected_period("cyclic") is not None
+        assert forecaster.detected_period("steady") is None
+
+    def test_validation(self):
+        for kwargs in (
+            {"autodetect_min_samples": 7},
+            {"autodetect_history": 8, "autodetect_min_samples": 16},
+            {"autodetect_min_corr": 0.0},
+            {"autodetect_min_corr": 1.0},
+        ):
+            with pytest.raises(ValueError, match="autodetect"):
+                ArrivalForecaster(**kwargs)

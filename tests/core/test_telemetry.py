@@ -450,6 +450,13 @@ class TestSLOBurnMonitor:
         monitor.check(now=2.0)
         assert len(monitor.drain()) == 1
 
+    def test_tenants_lists_everyone_recorded_sorted(self):
+        monitor = self._monitor()
+        assert monitor.tenants() == ()
+        monitor.record("beta", at=0.0, latency_s=0.01)
+        monitor.record("alpha", at=0.0, latency_s=0.01)
+        assert monitor.tenants() == ("alpha", "beta")
+
     def test_validation(self):
         for bad in (
             dict(latency_slo_s=0.0),
@@ -558,3 +565,107 @@ class TestChromeExport:
         root = complete[0]
         assert root["ts"] == pytest.approx(retained[0].start * 1e6)
         json.loads(tracer.chrome_trace_json())
+
+
+class TestTenantSamplingOverrides:
+    def test_override_applies_to_the_owning_tenant_only(self):
+        tracer = Tracer(sample_rate=0.0, slow_threshold_s=None)
+        tracer.set_tenant_rate("hot", 1.0)
+        for i in range(4):
+            trace = tracer.begin(_request(i), at=0.0, tenant="hot")
+            tracer.finish(trace, at=0.0)
+        for i in range(4, 8):
+            trace = tracer.begin(_request(i), at=0.0, tenant="cold")
+            tracer.finish(trace, at=0.0)
+        # Every hot request kept, every cold one dropped at rate 0.
+        assert tracer.kept_sampled == 4
+        assert tracer.dropped == 4
+
+    def test_override_does_not_perturb_base_diffusion(self):
+        """The override owns a dedicated accumulator: the shared
+        error-diffusion cadence is bit-for-bit what it is without any
+        override installed."""
+        tracer = Tracer(sample_rate=0.25, slow_threshold_s=None)
+        tracer.set_tenant_rate("hot", 1.0)
+        flags = []
+        for i in range(16):
+            hot = tracer.begin(_request(2 * i), at=0.0, tenant="hot")
+            tracer.finish(hot, at=0.0)
+            base = tracer.begin(_request(2 * i + 1), at=0.0, tenant="base")
+            flags.append(base.sampled)
+            tracer.finish(base, at=0.0)
+        assert flags == [False, False, False, True] * 4
+
+    def test_set_clear_and_effective_rate(self):
+        tracer = Tracer(sample_rate=0.01)
+        tracer.set_tenant_rate("hot", 0.5)
+        assert tracer.effective_rate("hot") == 0.5
+        assert tracer.effective_rate("cold") == 0.01
+        assert tracer.tenant_rates == {"hot": 0.5}
+        tracer.clear_tenant_rate("hot")
+        assert tracer.effective_rate("hot") == 0.01
+        assert tracer.tenant_rates == {}
+        with pytest.raises(TelemetryError):
+            tracer.set_tenant_rate("hot", 1.5)
+
+    def test_clear_drops_the_override_accumulator(self):
+        tracer = Tracer(sample_rate=0.0, slow_threshold_s=None)
+        tracer.set_tenant_rate("hot", 0.5)
+        first = tracer.begin(_request(0), at=0.0, tenant="hot")
+        tracer.finish(first, at=0.0)
+        assert not first.sampled  # diffusion at 0.5: [drop, keep, ...]
+        tracer.clear_tenant_rate("hot")
+        tracer.set_tenant_rate("hot", 0.5)
+        # Fresh episode, fresh accumulator: the cadence restarts.
+        flags = []
+        for i in range(1, 5):
+            trace = tracer.begin(_request(i), at=0.0, tenant="hot")
+            flags.append(trace.sampled)
+            tracer.finish(trace, at=0.0)
+        assert flags == [False, True, False, True]
+
+    def test_lazy_settlement_path_honors_the_override(self):
+        tracer = Tracer(sample_rate=0.0, slow_threshold_s=None)
+        tracer.set_tenant_rate("hot", 1.0)
+        kept = TaskRequest("noop", args=(0,), tenant="hot")
+        tracer.settle_request(kept, **_member_kwargs())
+        assert kept.trace is not None
+        dropped = TaskRequest("noop", args=(1,), tenant="cold")
+        tracer.settle_request(dropped, **_member_kwargs())
+        assert dropped.trace is None
+
+
+class TestHubChurn:
+    def test_unregister_source(self):
+        hub = TelemetryHub()
+        hub.counter("served").inc()
+        hub.register_source("w0", lambda: {"depth": 1})
+        assert hub.sources() == ("w0",)
+        assert hub.unregister_source("w0") is True
+        assert hub.unregister_source("w0") is False
+        assert hub.sources() == ()
+        snapshot = hub.snapshot()
+        # The source is gone; instrument series survive the departure.
+        assert snapshot["sources"] == {}
+        assert snapshot["counters"] == {"served": 1.0}
+
+    def test_reregistering_replaces_the_collector(self):
+        hub = TelemetryHub()
+        hub.register_source("w0", lambda: "old")
+        hub.register_source("w0", lambda: "new")
+        assert hub.sources() == ("w0",)
+        assert hub.snapshot()["sources"]["w0"] == "new"
+
+    def test_strict_snapshot_propagates_nonstrict_stubs(self):
+        hub = TelemetryHub()
+        hub.register_source("good", lambda: 7)
+
+        def _torn_down():
+            raise RuntimeError("worker left mid-scrape")
+
+        hub.register_source("torn", _torn_down)
+        with pytest.raises(RuntimeError):
+            hub.snapshot()
+        relaxed = hub.snapshot(strict=False)
+        assert relaxed["sources"]["good"] == 7
+        assert "worker left mid-scrape" in relaxed["sources"]["torn"]["error"]

@@ -110,3 +110,66 @@ class TestAdmitMany:
         decision = ctrl.admit_many(policy, "noop", lane_depth=2, n=3)
         assert decision.outcome is AdmissionOutcome.SHED_LANE_FULL
         assert ctrl.admit_many(policy, "noop", lane_depth=2, n=2).admitted
+
+
+class TestRateOverrides:
+    """Temporary admission caps imposed by the reactive SLO policy."""
+
+    def test_override_rate_limits_an_unlimited_tenant(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t")  # no rate limit declared
+        ctrl.set_rate_override("t", 4.0)
+        admitted = sum(
+            ctrl.admit(policy, "noop", 0).admitted for _ in range(10)
+        )
+        # Quarter-second burst (at least one token): 4 rps -> 1 token.
+        assert admitted == 1
+        decision = ctrl.admit(policy, "noop", 0)
+        assert decision.outcome is AdmissionOutcome.REJECTED_RATE_LIMIT
+        assert "4" in decision.detail  # denial names the override rate
+
+    def test_override_replaces_the_policy_bucket(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", rate_limit_rps=100.0, burst=50)
+        assert ctrl.admit(policy, "noop", 0).admitted
+        ctrl.set_rate_override("t", 8.0)
+        # The generous policy burst is out of the picture immediately:
+        # only the quarter-second of banked override tokens (2) remain.
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert not ctrl.admit(policy, "noop", 0).admitted
+        # Refill runs at the override rate, on virtual time.
+        ctrl.clock.advance(1.0 / 8.0)
+        assert ctrl.admit(policy, "noop", 0).admitted
+
+    def test_burst_defaults_to_a_quarter_second_of_the_cap(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t")
+        ctrl.set_rate_override("t", 40.0)  # quarter second -> 10 tokens
+        admitted = sum(
+            ctrl.admit(policy, "noop", 0).admitted for _ in range(20)
+        )
+        assert admitted == 10
+        explicit = controller()
+        explicit.set_rate_override("t", 40.0, burst=2.0)
+        admitted = sum(
+            explicit.admit(policy, "noop", 0).admitted for _ in range(20)
+        )
+        assert admitted == 2
+
+    def test_clear_reverts_to_the_declared_policy(self):
+        ctrl = controller()
+        policy = TenantPolicy(name="t", rate_limit_rps=10.0, burst=2)
+        ctrl.set_rate_override("t", 1.0)
+        assert ctrl.rate_override("t") == 1.0
+        assert ctrl.clear_rate_override("t") is True
+        assert ctrl.clear_rate_override("t") is False
+        assert ctrl.rate_override("t") is None
+        # The policy bucket kept refilling untouched while overridden.
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert ctrl.admit(policy, "noop", 0).admitted
+        assert not ctrl.admit(policy, "noop", 0).admitted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            controller().set_rate_override("t", 0.0)

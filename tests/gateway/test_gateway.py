@@ -562,3 +562,41 @@ class TestDrainDeadline:
         assert lane == sorted(lane)
         assert lane[-3:] == [releasable, releasable + 1, releasable + 2]
         assert all(i < releasable for i in lane[:-3])
+
+
+class TestReactiveAdmissionTightening:
+    def test_tighten_caps_one_tenant_relax_restores(self):
+        testbed, gateway, tokens = build_gateway(
+            {"u": TenantPolicy(name="t"), "v": TenantPolicy(name="other")}
+        )
+        gateway.tighten_admission("t", 40.0)
+        assert gateway.admission_override("t") == 40.0
+        assert gateway.admission_override("other") is None
+        # 40 rps cap, quarter-second burst: 10 of 30 instant arrivals
+        # pass; the untouched tenant takes no collateral damage.
+        capped = gateway.serve(
+            [(0.0, tokens["u"], TaskRequest("noop", args=(i,)))
+             for i in range(30)]
+            + [(0.0, tokens["v"], TaskRequest("noop", args=(i,)))
+               for i in range(5)]
+        )
+        by_tenant = {"t": [], "other": []}
+        for result in capped:
+            by_tenant[result.decision.tenant].append(result.admitted)
+        assert sum(by_tenant["t"]) == 10
+        assert all(by_tenant["other"])
+        rejected = [
+            r.decision for r in capped if not r.admitted
+        ]
+        assert all(
+            d.outcome is AdmissionOutcome.REJECTED_RATE_LIMIT
+            for d in rejected
+        )
+        assert gateway.relax_admission("t") is True
+        assert gateway.relax_admission("t") is False
+        assert gateway.admission_override("t") is None
+        again = gateway.serve(
+            [(0.0, tokens["u"], TaskRequest("noop", args=(i,)))
+             for i in range(5)]
+        )
+        assert all(r.admitted for r in again)

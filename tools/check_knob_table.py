@@ -85,6 +85,25 @@ REGISTRY: dict[str, tuple[str, list[str]]] = {
         "repro.core.telemetry.SLOBurnMonitor",
         ["latency_slo_s", "objective", "window_s", "burn_threshold"],
     ),
+    "`scrape_interval_s`": (
+        "repro.core.obsloop.ObservabilityLoop",
+        ["scrape_interval_s"],
+    ),
+    "`capacity`": ("repro.core.obsloop.SeriesStore", ["capacity"]),
+    "`fast_window_s` / `slow_window_s` / `threshold`": (
+        "repro.core.obsloop.BurnRateRule",
+        ["fast_window_s", "slow_window_s", "threshold"],
+    ),
+    "`boost` / `shed_fraction`": (
+        "repro.core.obsloop.ReactiveSLOPolicy",
+        ["boost", "shed_fraction"],
+    ),
+    "`escalation` / `max_rate` / `decay`": (
+        "repro.core.obsloop.AdaptiveSampler",
+        ["escalation", "max_rate", "decay"],
+    ),
+    # `seasonal_autodetect` is a boolean opt-in — prose cell, no
+    # machine-checkable number, deliberately unregistered.
 }
 
 #: Numbers with an optional time unit, e.g. "0.25 s", "10 ms", "64".

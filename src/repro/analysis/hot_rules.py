@@ -1,0 +1,98 @@
+"""Hot-path rule HOT001: allocation lint for the registered per-tick
+functions.
+
+PR 6 turned the serve loop's per-tick decisions into O(log n) index
+operations; a casually added list comprehension or ``.copy()`` inside
+one of those functions quietly reintroduces O(n) allocation per tick.
+HOT001 flags exactly that — new list/dict/set comprehensions and copy
+calls inside the functions registered in
+:data:`repro.analysis.domains.HOT_FUNCTIONS` — so the cost needs a
+written pragma justification instead of riding in unseen. Generator
+expressions are exempt (they do not materialize), as is everything
+outside the registered bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis import domains
+from repro.analysis.framework import Rule, register
+
+
+class _HotVisitor(ast.NodeVisitor):
+    """Collect allocation sites inside the registered hot functions."""
+
+    def __init__(self, hot: frozenset[str]) -> None:
+        self.hot = hot
+        self.findings: list[tuple[int, int, str]] = []
+        self._class: list[str] = []
+        self._hot_depth = 0
+
+    # -- scope tracking ----------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class.append(node.name)
+        self.generic_visit(node)
+        self._class.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        qualname = ".".join(self._class + [node.name]) if self._class else node.name
+        entered = qualname in self.hot
+        if entered:
+            self._hot_depth += 1
+        self.generic_visit(node)
+        if entered:
+            self._hot_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- allocation sites --------------------------------------------------------
+    def _flag(self, node: ast.AST, what: str) -> None:
+        if self._hot_depth:
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"{what} inside a registered hot function — hoist it out "
+                    "of the per-tick path or justify with a pragma",
+                )
+            )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._flag(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._flag(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._flag(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in {"copy", "deepcopy"}:
+            # Covers both `obj.copy()` and `copy.copy(obj)` / deepcopy.
+            self._flag(node, f"`.{func.attr}()` call")
+        self.generic_visit(node)
+
+
+class HotPathAllocationRule(Rule):
+    """HOT001: no unjustified allocation in registered per-tick functions."""
+
+    id = "HOT001"
+    title = "allocation in a registered hot function"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath in domains.HOT_FUNCTIONS
+
+    def check(self, tree: ast.AST, relpath: str) -> Iterable[tuple[int, int, str]]:
+        visitor = _HotVisitor(domains.HOT_FUNCTIONS[relpath])
+        visitor.visit(tree)
+        return visitor.findings
+
+
+register(HotPathAllocationRule())

@@ -1,0 +1,100 @@
+"""Inline suppression pragmas: ``# detlint: allow[RULE] — reason``.
+
+Pragmas are read from real COMMENT tokens (via :mod:`tokenize`), never
+from string literals, so a docstring showing the syntax does not
+suppress anything. A pragma suppresses matching findings on its own
+line, or — when the comment stands alone — on the line directly below.
+
+The reason is mandatory. ``allow[DET001]`` with no justification, an
+empty rule list, or an unknown rule id is a malformed pragma, and the
+framework reports it as a **DET000** finding that cannot itself be
+suppressed: the whole point of the pragma contract is that every
+exception to a determinism invariant carries its why in the diff.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: ``— reason`` separators accepted after the rule list: em-dash,
+#: double-hyphen, or single hyphen (keyboards vary; the reason does not).
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:(?:—|--|-)\s*(?P<reason>.*))?\s*$"
+)
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    #: Column of the ``#`` starting the comment (0-based).
+    col: int
+    #: Rule ids the pragma allows, as written.
+    rules: tuple[str, ...]
+    #: Mandatory justification text ('' when missing).
+    reason: str
+    #: True when the comment is the only content on its line, in which
+    #: case it also covers the line below it.
+    standalone: bool
+
+    def problems(self, known_rules: frozenset[str]) -> list[str]:
+        """Malformed-pragma diagnostics (empty = well-formed)."""
+        out = []
+        if not self.rules:
+            out.append("empty rule list")
+        for rule in self.rules:
+            if not _RULE_ID_RE.match(rule):
+                out.append(f"bad rule id {rule!r}")
+            elif rule not in known_rules:
+                out.append(f"unknown rule {rule!r}")
+            elif rule == "DET000":
+                out.append("DET000 (malformed pragma) cannot be suppressed")
+        if not self.reason:
+            out.append("missing reason (write `# detlint: allow[ID] — why it is safe`)")
+        return out
+
+    def covers(self, line: int) -> bool:
+        """Whether a finding on ``line`` is in this pragma's scope."""
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every detlint pragma from ``source``'s comment tokens.
+
+    Tokenization errors (the framework only calls this on sources that
+    already parsed) fall back to an empty list.
+    """
+    pragmas: list[Pragma] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        return pragmas
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        row, col = tok.start
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        before = lines[row - 1][:col] if row - 1 < len(lines) else ""
+        pragmas.append(
+            Pragma(
+                line=row,
+                col=col,
+                rules=rules,
+                reason=reason,
+                standalone=not before.strip(),
+            )
+        )
+    return pragmas

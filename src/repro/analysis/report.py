@@ -1,0 +1,50 @@
+"""Report rendering: human-readable lines and a machine-readable JSON doc."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.framework import Finding
+
+
+def render_human(
+    findings: Iterable[Finding], files_scanned: int, verbose: bool = False
+) -> str:
+    """One line per unsuppressed finding plus a summary.
+
+    ``verbose`` additionally lists suppressed findings with their pragma
+    justifications, so a reviewer can audit the waivers without reading
+    every pragma in the tree.
+    """
+    findings = list(findings)
+    live = [f for f in findings if not f.suppressed]
+    waived = [f for f in findings if f.suppressed]
+    lines = [f"{f.location()}: {f.rule} {f.message}" for f in live]
+    if verbose and waived:
+        lines.append("")
+        lines.append("suppressed by pragma:")
+        lines.extend(
+            f"  {f.location()}: {f.rule} — {f.reason}" for f in waived
+        )
+    lines.append("")
+    lines.append(
+        f"detlint: {len(live)} finding(s), {len(waived)} suppressed by "
+        f"pragma, {files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines).lstrip("\n")
+
+
+def render_json(findings: Iterable[Finding], files_scanned: int) -> str:
+    """The full finding list (suppressed included) as a JSON document."""
+    findings = list(findings)
+    doc = {
+        "version": 1,
+        "files_scanned": files_scanned,
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "unsuppressed": sum(1 for f in findings if not f.suppressed),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -9,13 +9,27 @@ metadata (SS IV-D).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-import uuid
 from dataclasses import dataclass, field
 
 
 class IdentityError(ValueError):
     """Raised for unknown identities or invalid identity operations."""
+
+
+def _stable_id(prefix: str, *parts: str) -> str:
+    """Deterministic opaque id from a natural key.
+
+    Random ids (``uuid4``) made identity-keyed behaviour unreplayable:
+    :meth:`IdentityStore.linked_identities` sorts by id, so even the
+    "primary" identity a profile merge picked varied run to run. The
+    natural key (provider domain + username / group name) is unique by
+    construction — registration rejects duplicates — so a digest of it
+    is just as opaque and collision-free, and identical across runs.
+    """
+    digest = hashlib.sha256(":".join(parts).encode()).hexdigest()
+    return f"{prefix}-{digest[:16]}"
 
 
 @dataclass(frozen=True)
@@ -45,7 +59,7 @@ class IdentityProvider:
         if username in self.identities:
             raise IdentityError(f"{username!r} already registered with {self.name}")
         ident = Identity(
-            identity_id=str(uuid.uuid4()),
+            identity_id=_stable_id("id", self.domain, username),
             username=username,
             provider=self.domain,
             display_name=display_name or username,
@@ -67,8 +81,12 @@ class Group:
     """A named group of identities used for access control."""
 
     name: str
-    group_id: str = field(default_factory=lambda: str(uuid.uuid4()))
+    group_id: str = ""
     member_ids: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.group_id:
+            self.group_id = _stable_id("group", self.name)
 
     def add(self, identity: Identity) -> None:
         self.member_ids.add(identity.identity_id)

@@ -674,6 +674,7 @@ class FleetController:
             if self._last_sample_at is None
             else max(now - self._last_sample_at, 0.0)
         )
+        # detlint: allow[HOT001] — reconcile-cadence, O(alive workers); not per-dispatch
         alive = {w.name for w in self.runtime.alive_workers()}
         self._flush_dirty_topics()
         demands = []
@@ -719,8 +720,10 @@ class FleetController:
                 # tenant's weighted rate equals its raw rate; under
                 # contention a heavy tenant's traffic pulls capacity
                 # harder than the same volume from a light one.
+                # detlint: allow[HOT001] — reconcile-cadence, O(active tenants); not dispatch
                 active = [(t, r) for t, r in tenant_rates if r > 0]
                 if active:
+                    # detlint: allow[HOT001] — same reconcile-cadence bound as `active` above
                     weights = {
                         tenant: self.gateway.tenant_weight(tenant)
                         for tenant, _ in active
@@ -874,7 +877,7 @@ class FleetController:
     # -- health -------------------------------------------------------------------
     def _check_health(self, now: float) -> None:
         fleet = {w.name for w in self.runtime.workers}
-        for stale in set(self.health) - fleet:
+        for stale in sorted(set(self.health) - fleet):
             del self.health[stale]
         for worker in list(self.runtime.workers):
             health = self.health.get(worker.name)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-import uuid
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
@@ -17,6 +16,11 @@ class TaskStatus(Enum):
 
 
 _task_counter = itertools.count(1)
+#: Task ids come from a process-local counter, not ``uuid.uuid4()``:
+#: random ids made every replayed run's traces, journals, and Chrome
+#: trace exports incomparable to the original. Uniqueness within one
+#: simulated deployment is all the id is for.
+_uuid_counter = itertools.count(1)
 
 
 def normalize_batch_item(item: Any) -> tuple[tuple, dict]:
@@ -74,7 +78,7 @@ class TaskRequest:
     #: per-item traces stay on the original requests). ``None`` when no
     #: tracer is attached.
     trace: Any = None
-    task_uuid: str = field(default_factory=lambda: str(uuid.uuid4()))
+    task_uuid: str = field(default_factory=lambda: f"task-{next(_uuid_counter):010d}")
     sequence: int = field(default_factory=lambda: next(_task_counter))
 
     @property

@@ -33,6 +33,7 @@ from repro.matsci.oqmd import generate_oqmd_dataset
 from repro.ml.models.cifar10 import build_cifar10_cnn
 from repro.ml.models.inception_small import build_inception_small
 from repro.ml.sklearn_like import RandomForestRegressor
+from repro.sim.rng import generator_from_seed
 
 ZOO_NAMES = (
     "noop",
@@ -210,7 +211,7 @@ def build_zoo(
 
 def sample_input(name: str, seed: int = 123) -> tuple:
     """The fixed experiment input for each servable (as ``args`` tuple)."""
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     if name == "noop":
         return ()
     if name == "inception":

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.matsci.composition import Composition
 from repro.matsci.elements import element
+from repro.sim.rng import generator_from_seed
 
 #: Element pool for synthetic compounds: common cations and anions.
 CATIONS = (
@@ -86,7 +87,7 @@ def generate_oqmd_dataset(
     """Generate a seeded synthetic dataset of ``n_entries`` records."""
     if n_entries < 1:
         raise ValueError("n_entries must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     entries: list[OQMDEntry] = []
     seen: set[str] = set()
     while len(entries) < n_entries:
@@ -113,7 +114,7 @@ def train_test_split(
     """Deterministic shuffled split."""
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     order = rng.permutation(len(entries))
     n_test = max(1, int(len(entries) * test_fraction))
     test_idx = set(order[:n_test].tolist())

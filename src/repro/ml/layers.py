@@ -13,6 +13,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.sim.rng import generator_from_seed
+
 
 class LayerError(ValueError):
     """Raised on shape mismatches or invalid layer configuration."""
@@ -52,7 +54,7 @@ class Dense(Layer):
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None) -> None:
         if in_dim <= 0 or out_dim <= 0:
             raise LayerError("Dense dims must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or generator_from_seed(0)
         # He initialization (suits the ReLU nets we build).
         self.W = rng.normal(0.0, np.sqrt(2.0 / in_dim), size=(in_dim, out_dim))
         self.b = np.zeros(out_dim)
@@ -145,7 +147,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise LayerError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = rate
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng or generator_from_seed(0)
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -229,7 +231,7 @@ class Conv2D(Layer):
             raise LayerError(f"padding must be 'same' or 'valid', got {padding!r}")
         if kernel_size < 1 or stride < 1:
             raise LayerError("kernel_size and stride must be >= 1")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or generator_from_seed(0)
         fan_in = kernel_size * kernel_size * in_channels
         self.W = rng.normal(
             0.0,
@@ -321,7 +323,7 @@ class InceptionBlock(Layer):
         cpool: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = rng or generator_from_seed(0)
         self.branch1 = Conv2D(in_channels, c1, 1, rng=rng)
         self.branch3_reduce = Conv2D(in_channels, max(c3 // 2, 1), 1, rng=rng)
         self.branch3 = Conv2D(max(c3 // 2, 1), c3, 3, rng=rng)

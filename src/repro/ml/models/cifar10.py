@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
 from repro.ml.network import Sequential
+from repro.sim.rng import generator_from_seed
 
 CIFAR10_CLASSES = (
     "airplane",
@@ -33,7 +34,7 @@ def build_cifar10_cnn(seed: int = 7) -> Sequential:
 
     Input ``(N, 32, 32, 3)``, output ``(N, 10)`` class probabilities.
     """
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     return Sequential(
         [
             Conv2D(3, 16, 3, padding="same", rng=rng),

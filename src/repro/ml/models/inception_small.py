@@ -28,6 +28,7 @@ from repro.ml.layers import (
     Softmax,
 )
 from repro.ml.network import Sequential
+from repro.sim.rng import generator_from_seed
 
 #: ImageNet-style output space.
 IMAGENET_CATEGORY_COUNT = 1000
@@ -40,7 +41,7 @@ def build_inception_small(seed: int = 11) -> Sequential:
 
     Input ``(N, 64, 64, 3)``, output ``(N, 1000)`` probabilities.
     """
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     return Sequential(
         [
             # Stem: conv + pool, as in Inception-v3's opening layers.

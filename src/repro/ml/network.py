@@ -7,6 +7,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.ml.layers import Layer, Softmax
+from repro.sim.rng import generator_from_seed
 
 
 class Sequential:
@@ -65,7 +66,7 @@ class Sequential:
         """
         if not self.layers or not isinstance(self.layers[-1], Softmax):
             raise ValueError("fit requires a Softmax output layer")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or generator_from_seed(0)
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.int64)
         n = x.shape[0]

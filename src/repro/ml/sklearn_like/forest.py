@@ -9,6 +9,7 @@ from repro.ml.sklearn_like.tree import (
     DecisionTreeRegressor,
     NotFittedError,
 )
+from repro.sim.rng import generator_from_seed
 
 
 class _BaseForest:
@@ -18,7 +19,9 @@ class _BaseForest:
         max_depth: int = 12,
         min_samples_leaf: int = 1,
         max_features: int | str | None = "sqrt",
-        random_state: int | None = 0,
+        # int-only: None (OS entropy) is rejected at the sim/rng
+        # chokepoint — forests must be replayable bit-for-bit.
+        random_state: int = 0,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -41,7 +44,7 @@ class _BaseForest:
         if len(X) != len(y):
             raise ValueError("X and y length mismatch")
         self.n_features_ = X.shape[1]
-        rng = np.random.default_rng(self.random_state)
+        rng = generator_from_seed(self.random_state)
         self.estimators_ = []
         n = len(X)
         for i in range(self.n_estimators):

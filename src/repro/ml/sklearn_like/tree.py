@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.rng import generator_from_seed
+
 
 class NotFittedError(RuntimeError):
     """Raised when predict is called before fit."""
@@ -40,7 +42,9 @@ class _BaseTree:
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: int | str | None = None,
-        random_state: int | None = None,
+        # Seeded by default: an unseeded tree (None meant OS entropy)
+        # made every fixture trained with `max_features` unreplayable.
+        random_state: int = 0,
     ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
@@ -79,7 +83,7 @@ class _BaseTree:
         if len(X) == 0:
             raise ValueError("cannot fit on empty data")
         self.n_features_ = X.shape[1]
-        rng = np.random.default_rng(self.random_state)
+        rng = generator_from_seed(self.random_state)
         self._root = self._grow(X, y, depth=0, rng=rng)
         return self
 

@@ -1,0 +1,89 @@
+"""Fixture tests for HOT001 — hot-path allocation lint."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+from tests.analysis.test_det_rules import live
+
+
+def _runtime_src(body: str) -> str:
+    """A fake ServingRuntime with ``body`` inside ``_next_window``."""
+    return (
+        "class ServingRuntime:\n"
+        "    def _next_window(self, now):\n"
+        f"{body}"
+    )
+
+
+class TestHOT001:
+    def test_flags_list_comprehension_in_hot_function(self):
+        src = _runtime_src("        return [t for t in self.topics]\n")
+        assert live(analyze_source(src, "core/runtime.py"), "HOT001")
+
+    def test_flags_set_and_dict_comprehensions(self):
+        src = _runtime_src(
+            "        a = {t for t in self.topics}\n"
+            "        b = {t: 0 for t in self.topics}\n"
+            "        return a, b\n"
+        )
+        assert len(live(analyze_source(src, "core/runtime.py"), "HOT001")) == 2
+
+    def test_flags_copy_call(self):
+        src = _runtime_src("        return self.windows.copy()\n")
+        assert live(analyze_source(src, "core/runtime.py"), "HOT001")
+
+    def test_flags_nested_helper_inside_hot_function(self):
+        src = _runtime_src(
+            "        def pick():\n"
+            "            return [t for t in self.topics]\n"
+            "        return pick()\n"
+        )
+        assert live(analyze_source(src, "core/runtime.py"), "HOT001")
+
+    def test_generator_expression_is_clean(self):
+        src = _runtime_src("        return min(t for t in self.topics)\n")
+        assert not analyze_source(src, "core/runtime.py")
+
+    def test_other_methods_in_same_module_are_clean(self):
+        src = (
+            "class ServingRuntime:\n"
+            "    def _next_window_scan(self, now):\n"
+            "        return [t for t in self.topics]\n"
+        )
+        assert not analyze_source(src, "core/runtime.py")
+
+    def test_same_method_name_in_other_class_is_clean(self):
+        src = (
+            "class SomethingElse:\n"
+            "    def _next_window(self, now):\n"
+            "        return [t for t in self.topics]\n"
+        )
+        assert not analyze_source(src, "core/runtime.py")
+
+    def test_unregistered_module_is_clean(self):
+        src = _runtime_src("        return [t for t in self.topics]\n")
+        assert not analyze_source(src, "core/metrics.py")
+
+    def test_all_registered_hot_functions_fire(self):
+        cases = {
+            "core/runtime.py": ("ServingRuntime", "_next_window"),
+            "gateway/gateway.py": ("ServingGateway", "_pump"),
+            "gateway/scheduler.py": ("WeightedFairScheduler", "dequeue_eligible"),
+            "core/fleet.py": ("FleetController", "observe"),
+        }
+        for relpath, (cls, method) in cases.items():
+            src = (
+                f"class {cls}:\n"
+                f"    def {method}(self):\n"
+                "        return [x for x in self.items]\n"
+            )
+            assert live(analyze_source(src, relpath), "HOT001"), relpath
+
+    def test_pragma_suppresses_with_reason(self):
+        src = _runtime_src(
+            "        # detlint: allow[HOT001] — cold branch, runs only on topology change\n"
+            "        return [t for t in self.topics]\n"
+        )
+        findings = analyze_source(src, "core/runtime.py")
+        assert not live(findings, "HOT001")
+        assert any(f.rule == "HOT001" and f.suppressed for f in findings)

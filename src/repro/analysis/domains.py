@@ -23,6 +23,9 @@ VIRTUAL_CLOCK_PACKAGES: frozenset[str] = frozenset(
         "sim",  # the clock/rng/latency machinery itself (minus sim/clock.py)
         "bench",  # benches drive virtual-clock experiments (one wall-clock
         #          harness is file-allowlisted below)
+        "durability",  # journal/recovery timestamps come from the virtual
+        #          clock; file I/O is fine (DET001 bans wall-clock reads,
+        #          not durable writes)
     }
 )
 

@@ -268,6 +268,9 @@ class ServingRuntime:
             queue.subscribe_dead_letter(self._on_dead_letter)
         self._controller = None
         self._ingress = None
+        #: Optional fault injector (chaos tests); trips named injection
+        #: points on the dispatch and settlement paths.
+        self.chaos = None
         self.batches_dispatched = 0
         self.items_served = 0
         self.memo_hits = 0
@@ -406,6 +409,69 @@ class ServingRuntime:
             executor_name=executor_name,
             replicas=replicas,
         )
+        return chosen
+
+    def adopt_placement(
+        self,
+        servable: Servable,
+        image,
+        executor_name: str = "parsl",
+        replicas: int = 1,
+        worker_names: list[str] | None = None,
+    ) -> list[TaskManager]:
+        """Adopt an existing placement after a crash-restart.
+
+        Crash recovery keeps the worker fleet (Task Manager objects,
+        their registrations, deployments, and memo caches all survive —
+        only the coordinator process died), so re-:meth:`place`-ing
+        would double-register every servable and pay a second cold
+        start for deployments that are already up. Adoption instead
+        records the placement exactly as it was: each named worker must
+        already have the servable registered. Tenant lanes present in
+        the (recovered) queue are re-tracked and ready depths are
+        baselined, so the first serve tick sees the restored backlog.
+        """
+        if servable.name in self._hosts:
+            raise ServingRuntimeError(f"servable {servable.name!r} already placed")
+        if not worker_names:
+            raise ServingRuntimeError("adopt_placement requires worker names")
+        chosen = [self.worker(name) for name in worker_names]
+        for worker in chosen:
+            if servable.name not in worker.registered_servables():
+                raise ServingRuntimeError(
+                    f"worker {worker.name!r} has no surviving registration "
+                    f"for {servable.name!r}; use place() instead"
+                )
+        self._hosts[servable.name] = chosen
+        self._specs[servable.name] = PlacementSpec(
+            servable=servable,
+            image=image,
+            executor_name=executor_name,
+            replicas=replicas,
+        )
+        default_topic = servable_topic(servable.name)
+        self._owned_topics.add(default_topic)
+        depth = self.queue.ready_count(default_topic)
+        if depth:
+            self._dirty.add(default_topic)
+        # Re-track the tenant lanes whose messages survived into the
+        # recovered queue; lanes that were empty at the crash re-create
+        # themselves on the next submit.
+        lanes = self._lanes.setdefault(servable.name, {"requests"})
+        now = self.clock.now()
+        for topic in sorted(self.queue.topics()):
+            parts = topic.split("/", 2)
+            if len(parts) != 3 or parts[0] != "servable":
+                continue
+            lane, name = parts[1], parts[2]
+            if name != servable.name or lane == "requests":
+                continue
+            lanes.add(lane)
+            self._owned_topics.add(topic)
+            self._lane_active[(name, lane)] = now
+            depth += self.queue.ready_count(topic)
+            self._dirty.add(topic)
+        self._ready_depth[servable.name] = depth
         return chosen
 
     def spec(self, servable_name: str) -> PlacementSpec:
@@ -1056,6 +1122,8 @@ class ServingRuntime:
                 f"no free live worker hosts servable {servable_name!r}"
             )
         messages = self.queue.claim_many(topic, self.max_batch_size)
+        if self.chaos is not None:
+            self.chaos.trip("post_claim")
         requests: list[TaskRequest] = [m.body for m in messages]
         for message in messages:
             # Anchored on the *enqueue* time so windowed reads answer
@@ -1113,6 +1181,8 @@ class ServingRuntime:
             item_results = [batch_result]
         else:
             item_results = self._split_batch(requests, batch_result, worker)
+        if self.chaos is not None:
+            self.chaos.trip("mid_batch")
         for message in messages:
             assert message.delivery_tag is not None
             self.queue.ack(message.delivery_tag)
@@ -1249,6 +1319,8 @@ class ServingRuntime:
         done_ids = {id(p) for p in done}
         self._pending = [p for p in self._pending if id(p) not in done_ids]
         done.sort(key=lambda p: (p.completed_at, p.seq))
+        if self.chaos is not None:
+            self.chaos.trip("pre_settle")
         results: list[RuntimeResult] = []
         for batch in done:
             results.extend(

@@ -118,6 +118,8 @@ class DLHubTestbed:
         max_coalesce_delay_s: float = 0.005,
         max_dispatch_slots: int | None = None,
         slot_reserve: int | None = None,
+        durable_store=None,
+        snapshot_every_records: int = 256,
     ) -> ServingGateway:
         """Stand up the gateway-fronted serving path and attach it.
 
@@ -139,6 +141,14 @@ class DLHubTestbed:
         (``"public"``, weight 1, no limits) is registered so single-user
         flows keep working unmetered. Callers still must ``place``
         servables on ``gateway.runtime``.
+
+        Passing a ``durable_store`` (see
+        :mod:`repro.durability.store`) attaches a write-ahead
+        :class:`~repro.durability.journal.Journal` (snapshotting every
+        ``snapshot_every_records`` appends) to the shared queue and the
+        gateway, so admissions, queue traffic, and settlements are
+        durably recorded for crash recovery. The default ``None`` keeps
+        the non-durable legacy path bit-for-bit.
         """
         if policies is None:
             policies = TenantPolicyTable()
@@ -146,6 +156,14 @@ class DLHubTestbed:
             policies.set_default("public")
         if workers is None:
             workers = [self.add_fleet_worker(f"gw-w{i}") for i in range(n_workers)]
+        journal = None
+        if durable_store is not None:
+            from repro.durability.journal import Journal
+
+            journal = Journal(
+                durable_store, snapshot_every_records=snapshot_every_records
+            )
+            self.management.queue.attach_journal(journal)
         runtime = ServingRuntime(
             self.clock,
             self.management.queue,
@@ -159,6 +177,7 @@ class DLHubTestbed:
             policies,
             max_dispatch_slots=max_dispatch_slots,
             slot_reserve=slot_reserve,
+            journal=journal,
         )
         self.management.attach_gateway(gateway)
         return gateway

@@ -1,0 +1,151 @@
+"""The write-ahead journal with inline periodic snapshots.
+
+One :class:`Journal` fronts one :class:`~repro.durability.store.
+DurableStore`. Every :meth:`append` assigns the next sequence number,
+folds the record into the journal's *shadow*
+:class:`~repro.durability.state.SystemState` (which doubles as record
+validation — an inconsistent record raises before anything persists),
+writes the CRC-protected line, and every ``snapshot_every_records``
+appends writes a snapshot inline. Because the snapshot is just the
+shadow state — which is by construction aligned to a record boundary —
+snapshots are safe at *any* append; there is no "quiescent point" to
+wait for.
+
+The journal is deliberately ignorant of the queue and gateway classes
+(they call it duck-typed), so the dependency arrow runs strictly
+``messaging/gateway -> (none)`` and ``durability -> messaging/gateway``
+only in :mod:`repro.durability.recovery` / ``chaos``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.durability import codec
+from repro.durability.state import SystemState
+
+
+class Journal:
+    """Append-ordered WAL over a durable store, with a live shadow state.
+
+    Parameters
+    ----------
+    store:
+        The durable medium (:class:`~repro.durability.store.DurableStore`).
+    snapshot_every_records:
+        Snapshot cadence: after this many appends since the last
+        snapshot, the shadow state is persisted and the covered journal
+        records are truncated. Higher values mean cheaper steady-state
+        writes but longer replay after a crash.
+    chaos:
+        Optional fault injector; passed through to the store so the
+        ``mid_snapshot`` injection point can fire between the snapshot
+        write and the journal truncation.
+    state:
+        A pre-folded shadow state (the recovery path resumes a journal
+        from the state it just replayed); a fresh one by default.
+    """
+
+    #: Journal record ops understood by the fold (see
+    #: :mod:`repro.durability.state` for the taxonomy).
+    OPS = (
+        "baseline",
+        "put",
+        "claim",
+        "ack",
+        "nack",
+        "withdraw",
+        "restore",
+        "admit",
+        "settle",
+        "recover",
+    )
+
+    def __init__(
+        self,
+        store,
+        snapshot_every_records: int = 256,
+        chaos=None,
+        state: SystemState | None = None,
+    ) -> None:
+        if snapshot_every_records < 1:
+            raise ValueError("snapshot_every_records must be >= 1")
+        self.store = store
+        self.snapshot_every_records = snapshot_every_records
+        self.chaos = chaos
+        self.state = state if state is not None else SystemState()
+        self._since_snapshot = 0
+        self.records_appended = 0
+        self.snapshots_taken = 0
+
+    # Body encoding rides on the journal so callers (the queue) need no
+    # import of durability internals.
+    encode_body = staticmethod(codec.encode_body)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self.state.last_seq
+
+    def append(self, op: str, data: dict) -> int:
+        """Durably record one operation; returns its sequence number.
+
+        The record is validated against the shadow state *before* it is
+        persisted, so a record the fold would reject never reaches the
+        store.
+        """
+        seq = self.state.last_seq + 1
+        line = codec.encode_record(seq, op, data)
+        self.state.apply(seq, op, data)
+        self.store.append(seq, line)
+        self.records_appended += 1
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.snapshot_every_records:
+            self.snapshot_now()
+        return seq
+
+    def seed_baseline(
+        self,
+        *,
+        total_enqueued: int,
+        total_acked: int,
+        total_redelivered: int,
+        topic_enqueued: dict[str, int],
+        next_message_id: int,
+        next_tag: int,
+    ) -> int | None:
+        """Record a queue's pre-journal counter history.
+
+        A journal may attach to a queue whose monotonic counters are
+        already non-zero (messages came and went before durability was
+        enabled); without this record a replay would reconstruct the
+        counters from zero. No-op (returns ``None``) when everything is
+        still at its defaults. Must be the journal's first record.
+        """
+        if self.state.last_seq != 0 or self.state.messages:
+            raise ValueError("seed_baseline requires a fresh journal")
+        values = {
+            "total_enqueued": total_enqueued,
+            "total_acked": total_acked,
+            "total_redelivered": total_redelivered,
+            "topic_enqueued": dict(sorted(topic_enqueued.items())),
+            "next_message_id": next_message_id,
+            "next_tag": next_tag,
+        }
+        if (
+            not any((total_enqueued, total_acked, total_redelivered))
+            and not topic_enqueued
+            and next_message_id == 1
+            and next_tag == 1
+        ):
+            return None
+        return self.append("baseline", values)
+
+    def snapshot_now(self) -> None:
+        """Persist the shadow state and truncate the covered records."""
+        doc = json.dumps(
+            self.state.to_doc(), sort_keys=True, separators=(",", ":")
+        )
+        self._since_snapshot = 0
+        self.snapshots_taken += 1
+        self.store.write_snapshot(doc, self.state.last_seq, chaos=self.chaos)

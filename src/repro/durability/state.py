@@ -1,0 +1,287 @@
+"""The replayable fold over journal records.
+
+:class:`SystemState` is the single source of truth for what the journal
+*means*: the journal's shadow state (updated on every append), the
+snapshot format (a snapshot is just ``to_doc()`` of the shadow — always
+record-aligned, so snapshots are safe at any append boundary), and the
+recovery input (fold the snapshot doc plus the remaining records).
+
+Record taxonomy (one record per public queue/gateway operation, so
+every journal offset is an operation boundary):
+
+=============  =================================================================
+``baseline``   seed counters/id cursors when a journal attaches to a queue
+``put``        one message enqueued (``counted`` False for back-dated re-puts)
+``claim``      one ``claim``/``claim_many`` call — all its ``[mid, tag]`` pairs
+``ack``        one delivery settled forever
+``nack``       one delivery returned (``outcome`` ``"requeued"``/``"dead"``)
+``withdraw``   ``withdraw_newest`` — tail messages handed back to the producer
+``restore``    one withdrawn message returned to its topic tail
+``admit``      gateway admission grant (tenant, servable, encoded request)
+``settle``     gateway observed the request's completion
+``recover``    one crash recovery: the precomputed release plan (see
+               :func:`repro.durability.recovery.plan_recover`)
+=============  =================================================================
+
+The ``recover`` record is itself journaled: a replay reproduces every
+past recovery's releases deterministically, and because a recovered
+queue materializes with an *empty* in-flight table, the visibility-
+timeout reclaim (``expire_inflight``) can never re-release a delivery
+the replay already released — the single-delivery-id idempotency the
+chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from repro.durability.codec import JournalCorruption
+
+DOC_VERSION = 1
+
+
+class SystemState:
+    """Queue + gateway state as reconstructed from journal records."""
+
+    def __init__(self) -> None:
+        #: message_id -> {message_id, topic, enqueued_at, deliveries,
+        #: task_uuid, body (encoded)}. Acked messages are deleted; dead
+        #: ones are kept (the dead-letter list holds real messages).
+        self.messages: dict[int, dict] = {}
+        #: topic -> message_ids in FIFO order (index 0 = head).
+        self.ready: dict[str, list[int]] = {}
+        #: delivery_tag -> [message_id, claimed_at], in claim order.
+        self.inflight: dict[int, list] = {}
+        #: message_ids handed back to a producer via ``withdraw_newest``
+        #: and not yet restored (their bodies live on in the gateway's
+        #: lane; recovery drops them and rebuilds the lane entries).
+        self.withdrawn: list[int] = []
+        #: message_ids that exhausted their deliveries, in drop order.
+        self.dead: list[int] = []
+        self.total_enqueued = 0
+        self.total_acked = 0
+        self.total_redelivered = 0
+        self.topic_enqueued: dict[str, int] = {}
+        self.next_message_id = 1
+        self.next_tag = 1
+        #: task_uuid -> {tenant, servable, arrived_at, weight, body,
+        #: admit_seq, acked, dead, enqueued_at} for admitted-but-
+        #: unsettled requests.
+        self.open: dict[str, dict] = {}
+        #: task_uuids whose settlement the gateway journaled (kept so a
+        #: recovering harness can dedupe re-offers and assert
+        #: exactly-once settlement across incarnations).
+        self.settled: dict[str, bool] = {}
+        self.last_seq = 0
+
+    # -- the fold -----------------------------------------------------------------
+    def apply(self, seq: int, op: str, data: dict) -> None:
+        """Fold one record into the state. Records must arrive in
+        strictly increasing ``seq`` order (the journal guarantees it on
+        the write path; recovery enforces it on replay)."""
+        if seq <= self.last_seq:
+            raise JournalCorruption(
+                f"record seq={seq} applied after seq={self.last_seq}"
+            )
+        handler = getattr(self, f"_apply_{op}", None)
+        if handler is None:
+            raise JournalCorruption(f"unknown journal op {op!r} at seq={seq}")
+        handler(seq, data)
+        self.last_seq = seq
+
+    def _apply_baseline(self, seq: int, data: dict) -> None:
+        self.total_enqueued = data["total_enqueued"]
+        self.total_acked = data["total_acked"]
+        self.total_redelivered = data["total_redelivered"]
+        self.topic_enqueued = dict(data["topic_enqueued"])
+        self.next_message_id = data["next_message_id"]
+        self.next_tag = data["next_tag"]
+
+    def _apply_put(self, seq: int, data: dict) -> None:
+        mid = data["message_id"]
+        topic = data["topic"]
+        self.messages[mid] = {
+            "message_id": mid,
+            "topic": topic,
+            "enqueued_at": data["enqueued_at"],
+            "deliveries": 0,
+            "task_uuid": data["task_uuid"],
+            "body": data["body"],
+        }
+        self.ready.setdefault(topic, []).append(mid)
+        if data["counted"]:
+            self.total_enqueued += 1
+            self.topic_enqueued[topic] = self.topic_enqueued.get(topic, 0) + 1
+        if mid >= self.next_message_id:
+            self.next_message_id = mid + 1
+        entry = self.open.get(data["task_uuid"] or "")
+        if entry is not None:
+            entry["enqueued_at"] = data["enqueued_at"]
+
+    def _apply_claim(self, seq: int, data: dict) -> None:
+        topic = data["topic"]
+        chan = self.ready.get(topic, [])
+        for mid, tag in data["claims"]:
+            if not chan or chan[0] != mid:
+                raise JournalCorruption(
+                    f"claim at seq={seq} does not match topic {topic!r} head"
+                )
+            chan.pop(0)
+            self.messages[mid]["deliveries"] += 1
+            self.inflight[tag] = [mid, data["claimed_at"]]
+            if tag >= self.next_tag:
+                self.next_tag = tag + 1
+
+    def _apply_ack(self, seq: int, data: dict) -> None:
+        mid, _ = self._pop_inflight(seq, data["delivery_tag"])
+        self.total_acked += 1
+        entry = self.open.get(self.messages[mid]["task_uuid"] or "")
+        if entry is not None:
+            entry["acked"] = True
+        del self.messages[mid]
+
+    def _apply_nack(self, seq: int, data: dict) -> None:
+        mid, _ = self._pop_inflight(seq, data["delivery_tag"])
+        if data["outcome"] == "requeued":
+            self.ready.setdefault(self.messages[mid]["topic"], []).insert(0, mid)
+            self.total_redelivered += 1
+        else:
+            self.dead.append(mid)
+            entry = self.open.get(self.messages[mid]["task_uuid"] or "")
+            if entry is not None:
+                entry["dead"] = True
+
+    def _apply_withdraw(self, seq: int, data: dict) -> None:
+        chan = self.ready.get(data["topic"], [])
+        for mid in data["message_ids"]:  # newest first, matching the live pop order
+            if not chan or chan[-1] != mid:
+                raise JournalCorruption(
+                    f"withdraw at seq={seq} does not match topic tail"
+                )
+            chan.pop()
+            self.withdrawn.append(mid)
+
+    def _apply_restore(self, seq: int, data: dict) -> None:
+        mid = data["message_id"]
+        if mid not in self.withdrawn:
+            raise JournalCorruption(f"restore of never-withdrawn message {mid}")
+        self.withdrawn.remove(mid)
+        self.ready.setdefault(self.messages[mid]["topic"], []).append(mid)
+
+    def _apply_admit(self, seq: int, data: dict) -> None:
+        self.open[data["task_uuid"]] = {
+            "tenant": data["tenant"],
+            "servable": data["servable"],
+            "arrived_at": data["arrived_at"],
+            "weight": data["weight"],
+            "body": data["body"],
+            "admit_seq": seq,
+            "acked": False,
+            "dead": False,
+            "enqueued_at": None,
+        }
+
+    def _apply_settle(self, seq: int, data: dict) -> None:
+        uuid = data["task_uuid"]
+        if self.open.pop(uuid, None) is None:
+            raise JournalCorruption(f"settle of non-open request {uuid!r}")
+        self.settled[uuid] = True
+
+    def _apply_recover(self, seq: int, data: dict) -> None:
+        for topic in sorted(data["released"]):
+            mids = data["released"][topic]
+            self.ready[topic] = list(mids) + self.ready.get(topic, [])
+            self.total_redelivered += len(mids)
+        for mid in data["dead"]:
+            self.dead.append(mid)
+            entry = self.open.get(self.messages[mid]["task_uuid"] or "")
+            if entry is not None:
+                entry["dead"] = True
+        for mid in data["dropped"]:
+            self.withdrawn.remove(mid)
+            del self.messages[mid]
+        self.inflight.clear()
+
+    def _pop_inflight(self, seq: int, tag: int) -> list:
+        entry = self.inflight.pop(tag, None)
+        if entry is None:
+            raise JournalCorruption(
+                f"settlement of unknown delivery tag {tag} at seq={seq}"
+            )
+        return entry
+
+    # -- snapshot format ----------------------------------------------------------
+    def to_doc(self) -> dict:
+        """The state as one JSON-able document (the snapshot payload)."""
+        return {
+            "v": DOC_VERSION,
+            "messages": [self.messages[mid] for mid in sorted(self.messages)],
+            "ready": {t: list(m) for t, m in sorted(self.ready.items()) if m},
+            "inflight": [[tag, list(e)] for tag, e in self.inflight.items()],
+            "withdrawn": list(self.withdrawn),
+            "dead": list(self.dead),
+            "total_enqueued": self.total_enqueued,
+            "total_acked": self.total_acked,
+            "total_redelivered": self.total_redelivered,
+            "topic_enqueued": dict(sorted(self.topic_enqueued.items())),
+            "next_message_id": self.next_message_id,
+            "next_tag": self.next_tag,
+            "open": [[uuid, dict(e)] for uuid, e in self.open.items()],
+            "settled": [u for u in self.settled],
+            "last_seq": self.last_seq,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> SystemState:
+        """Rebuild a state from :meth:`to_doc` output."""
+        if doc.get("v") != DOC_VERSION:
+            raise JournalCorruption(f"unknown snapshot version {doc.get('v')!r}")
+        state = cls()
+        state.messages = {m["message_id"]: dict(m) for m in doc["messages"]}
+        state.ready = {t: list(m) for t, m in doc["ready"].items()}
+        state.inflight = {tag: list(e) for tag, e in doc["inflight"]}
+        state.withdrawn = list(doc["withdrawn"])
+        state.dead = list(doc["dead"])
+        state.total_enqueued = doc["total_enqueued"]
+        state.total_acked = doc["total_acked"]
+        state.total_redelivered = doc["total_redelivered"]
+        state.topic_enqueued = dict(doc["topic_enqueued"])
+        state.next_message_id = doc["next_message_id"]
+        state.next_tag = doc["next_tag"]
+        state.open = {uuid: dict(e) for uuid, e in doc["open"]}
+        state.settled = {u: True for u in doc["settled"]}
+        state.last_seq = doc["last_seq"]
+        return state
+
+    # -- equivalence probe --------------------------------------------------------
+    def fingerprint(self, decode_body) -> dict:
+        """Queue-observable state in the same shape as
+        :meth:`repro.messaging.queue.TaskQueue.dump_state`, with bodies
+        decoded — the equality probe the replay property test compares
+        against a live never-crashed queue."""
+        def msg(mid: int) -> dict:
+            m = self.messages[mid]
+            return {
+                "message_id": m["message_id"],
+                "topic": m["topic"],
+                "enqueued_at": m["enqueued_at"],
+                "deliveries": m["deliveries"],
+                "body": decode_body(m["body"]),
+            }
+
+        return {
+            "ready": {
+                t: [msg(mid) for mid in mids]
+                for t, mids in sorted(self.ready.items())
+                if mids
+            },
+            "inflight": [
+                [tag, dict(msg(mid), claimed_at=claimed_at)]
+                for tag, (mid, claimed_at) in sorted(self.inflight.items())
+            ],
+            "dead": [msg(mid) for mid in self.dead],
+            "total_enqueued": self.total_enqueued,
+            "total_acked": self.total_acked,
+            "total_redelivered": self.total_redelivered,
+            "topic_enqueued": dict(sorted(self.topic_enqueued.items())),
+            "next_message_id": self.next_message_id,
+            "next_tag": self.next_tag,
+        }

@@ -344,6 +344,21 @@ class AdmissionController:
         self.metrics.record_denied(tenant, outcome.value)
         return AdmissionDecision(outcome, tenant, servable_name, detail)
 
+    def restore_charge(self, tenant: str, servable_name: str) -> None:
+        """Re-impose one recovered request's in-flight charge.
+
+        Crash recovery only: the request was admitted (and its metrics
+        recorded) by a previous process incarnation, so no checks run
+        and nothing is re-counted — the ledger just regains the charge
+        the old process held, to be released by the normal settlement
+        path.
+        """
+        self._in_flight[tenant] = self.in_flight(tenant) + 1
+        key = (tenant, servable_name)
+        self._in_flight_by_servable[key] = (
+            self._in_flight_by_servable.get(key, 0) + 1
+        )
+
     def release(self, tenant: str, servable_name: str) -> None:
         """Settle one admitted request's in-flight charge."""
         if self.in_flight(tenant) < 1:

@@ -178,6 +178,7 @@ class ServingGateway:
         drain_deadline_s: float | None = 2.0,
         tracer=None,
         slo_monitor=None,
+        journal=None,
     ) -> None:
         if max_dispatch_slots is not None and max_dispatch_slots < 1:
             raise GatewayError("max_dispatch_slots must be >= 1")
@@ -231,6 +232,15 @@ class ServingGateway:
         #: sample per settlement; a fleet controller sharing it drains
         #: breaches into ``slo_burn`` events.
         self.slo_monitor = slo_monitor
+        #: Optional write-ahead journal (duck-typed, see
+        #: :class:`repro.durability.journal.Journal`): admissions and
+        #: settlements are recorded so a crash-restart can rebuild the
+        #: open-request table and tenant lanes. ``None`` (the default)
+        #: keeps the legacy non-durable behaviour bit-for-bit.
+        self.journal = journal
+        #: Optional fault injector (chaos tests); trips named injection
+        #: points on the admission path.
+        self.chaos = None
         self.metrics = metrics or TenantUsageCollector()
         self.admission = AdmissionController(runtime.clock, self.metrics)
         self.scheduler = WeightedFairScheduler()
@@ -485,6 +495,9 @@ class ServingGateway:
                 trace.span(
                     "admission", arrived, now, outcome=decision.outcome.value
                 )
+            self._journal_admit(request, policy, arrived)
+            if self.chaos is not None:
+                self.chaos.trip("post_admission")
             self.scheduler.enqueue(policy.name, policy.weight, request)
             self._queued_by_servable[servable] = (
                 self._queued_by_servable.get(servable, 0) + 1
@@ -495,6 +508,24 @@ class ServingGateway:
         else:
             self._trace_denial(request, arrived, now, decision.outcome)
         return result
+
+    def _journal_admit(self, request: TaskRequest, policy, arrived: float) -> None:
+        """Durably record one admission grant (write-ahead: before the
+        lane entry exists, so a crash on the very next instruction still
+        restores the request)."""
+        if self.journal is None:
+            return
+        self.journal.append(
+            "admit",
+            {
+                "task_uuid": request.task_uuid,
+                "tenant": policy.name,
+                "servable": request.servable_name,
+                "arrived_at": arrived,
+                "weight": policy.weight,
+                "body": self.journal.encode_body(request),
+            },
+        )
 
     def _trace_denial(self, request, arrived, now, outcome) -> None:
         """Record a denied request as an immediately finished error trace.
@@ -680,6 +711,8 @@ class ServingGateway:
             open_result = self._open.pop(uuid, None)
             if open_result is None:
                 continue  # submitted straight to the runtime, not ours
+            if self.journal is not None:
+                self.journal.append("settle", {"task_uuid": uuid})
             self._outstanding -= 1
             open_result.runtime_result = runtime_result
             tenant = runtime_result.request.tenant
@@ -716,6 +749,69 @@ class ServingGateway:
     def pending(self) -> int:
         """Arrivals not yet offered plus requests still waiting in lanes."""
         return (len(self._schedule) - self._sched_i) + len(self.scheduler)
+
+    # -- crash recovery ---------------------------------------------------------------
+    def restore_open(self, entries: list[dict]) -> list[GatewayResult]:
+        """Re-install recovered open requests after a crash-restart.
+
+        ``entries`` come from :func:`repro.durability.recovery.
+        gateway_restore_entries`, in restore order. Each re-occupies
+        exactly the position it held pre-crash:
+
+        * ``in_queue`` — the request's message survived into the
+          recovered queue, so it re-takes a dispatch slot and settles
+          through the normal path;
+        * otherwise it re-enters its tenant's lane (resurrections and
+          never-released work alike), back-dated via ``enqueued_at`` so
+          its re-release keeps the true in-system age.
+
+        Nothing is re-journaled (the ``admit`` records already persist)
+        and no admission metrics are recorded (the request was counted
+        at its original admission) — only the in-flight ledger charges
+        are re-imposed, because the ledger died with the old process.
+        Returns the restored results (their ``runtime_result`` fills in
+        at settlement, as for any admitted request).
+        """
+        restored: list[GatewayResult] = []
+        for entry in entries:
+            request: TaskRequest = entry["request"]
+            tenant = entry["tenant"]
+            servable = entry["servable"]
+            result = GatewayResult(
+                request=request,
+                decision=AdmissionDecision(
+                    AdmissionOutcome.ADMITTED, tenant, servable
+                ),
+                arrived_at=entry["arrived_at"],
+            )
+            self._open[request.task_uuid] = result
+            self.admission.restore_charge(tenant, servable)
+            if entry["in_queue"]:
+                self._outstanding += 1
+                self._outstanding_by_tenant[tenant] = (
+                    self._outstanding_by_tenant.get(tenant, 0) + 1
+                )
+            else:
+                policy = self.policies.policy(tenant)
+                self.scheduler.enqueue(tenant, policy.weight, request)
+                self._queued_by_servable[servable] = (
+                    self._queued_by_servable.get(servable, 0) + 1
+                )
+                if entry["enqueued_at"] is not None:
+                    self._reclaimed_at[request.task_uuid] = entry["enqueued_at"]
+            self._note_tenant(tenant)
+            restored.append(result)
+        return restored
+
+    @property
+    def serve_log(self) -> list[GatewayResult]:
+        """Results collected by the in-progress (or crashed) serve call.
+
+        :meth:`serve` swaps the log out only on successful return, so
+        after a simulated crash unwinds the serve loop the partial log —
+        every offer decided before the crash — is still readable here.
+        """
+        return self._serve_log
 
     # -- serving entry points --------------------------------------------------------
     def serve(
@@ -805,6 +901,7 @@ class ServingGateway:
         for request in requests:
             request.tenant = policy.name
             request.identity_id = request.identity_id or identity.identity_id
+            self._journal_admit(request, policy, self.runtime.clock.now())
             self.scheduler.enqueue(policy.name, policy.weight, request)
             self._queued_by_servable[servable] = (
                 self._queued_by_servable.get(servable, 0) + 1
@@ -870,6 +967,7 @@ class ServingGateway:
         settlement path (:meth:`on_settled`).
         """
         request.tenant = policy.name
+        self._journal_admit(request, policy, self.runtime.clock.now())
         self.scheduler.enqueue(policy.name, policy.weight, request)
         self._queued_by_servable[request.servable_name] = (
             self._queued_by_servable.get(request.servable_name, 0) + 1

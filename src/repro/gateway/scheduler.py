@@ -65,6 +65,12 @@ class WeightedFairScheduler:
         self._size = 0
         self.enqueued = 0
         self.dequeued = 0
+        #: Per-tenant count of WFQ *charges* — ``_last_finish`` advances
+        #: billed to the tenant. :meth:`requeue_front` deliberately does
+        #: not charge (the item already paid at its original enqueue),
+        #: which makes "no double WFQ charge" an observable invariant
+        #: the chaos suite can assert across crash-recovery cycles.
+        self.charges: dict[str, int] = {}
 
     # -- introspection ------------------------------------------------------------
     def __len__(self) -> int:
@@ -82,6 +88,11 @@ class WeightedFairScheduler:
     @property
     def virtual_time(self) -> float:
         return self._virtual_time
+
+    def charge_count(self, tenant: str) -> int:
+        """How many WFQ charges the tenant has paid (front re-queues
+        are free — they were billed at the original enqueue)."""
+        return self.charges.get(tenant, 0)
 
     def snapshot(self) -> dict:
         """The WFQ state as one JSON-able document (a telemetry-hub
@@ -113,6 +124,7 @@ class WeightedFairScheduler:
         start = max(self._virtual_time, self._last_finish.get(tenant, 0.0))
         finish = start + cost / weight
         self._last_finish[tenant] = finish
+        self.charges[tenant] = self.charges.get(tenant, 0) + 1
         entry = ScheduledItem(
             tenant=tenant,
             item=item,

@@ -14,11 +14,16 @@ that contract explicitly:
 
 Redelivery count is tracked so failure-injection tests can assert
 at-least-once semantics.
+
+The queue can optionally journal every mutation to a write-ahead log
+(:meth:`TaskQueue.attach_journal`): one record per public operation,
+appended duck-typed so this module never imports the durability
+package. :meth:`TaskQueue.dump_state` / :meth:`TaskQueue.load_state`
+are the introspection/rehydration pair crash recovery builds on.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -82,8 +87,14 @@ class TaskQueue:
         self._ready: dict[str, deque[QueuedMessage]] = {}
         self._inflight: dict[int, QueuedMessage] = {}
         self._dead: list[QueuedMessage] = []
-        self._msg_ids = itertools.count(1)
-        self._tags = itertools.count(1)
+        # Plain-int id cursors (not itertools.count): dump_state must
+        # export them and load_state re-seed them for crash recovery.
+        self._next_message_id = 1
+        self._next_tag = 1
+        #: Optional write-ahead journal (duck-typed; see
+        #: :meth:`attach_journal`). ``None`` keeps the legacy in-memory
+        #: behaviour bit-for-bit.
+        self.journal = None
         self.total_enqueued = 0
         self.total_acked = 0
         self.total_redelivered = 0
@@ -146,14 +157,27 @@ class TaskQueue:
             raise ValueError("enqueued_at may not be in the future")
         msg = QueuedMessage(
             body=body,
-            message_id=next(self._msg_ids),
+            message_id=self._next_message_id,
             enqueued_at=now if enqueued_at is None else enqueued_at,
             topic=topic,
         )
+        self._next_message_id += 1
         self._ready.setdefault(topic, deque()).append(msg)
         if enqueued_at is None:
             self.total_enqueued += 1
             self._topic_enqueued[topic] = self._topic_enqueued.get(topic, 0) + 1
+        if self.journal is not None:
+            self.journal.append(
+                "put",
+                {
+                    "topic": topic,
+                    "message_id": msg.message_id,
+                    "enqueued_at": msg.enqueued_at,
+                    "counted": enqueued_at is None,
+                    "task_uuid": getattr(body, "task_uuid", None),
+                    "body": self.journal.encode_body(body),
+                },
+            )
         self._notify(topic, +1)
         return msg
 
@@ -166,7 +190,9 @@ class TaskQueue:
         chan = self._ready.get(topic)
         if not chan:
             raise QueueEmpty(topic)
-        return self._claim_from(chan)
+        msg = self._claim_from(chan)
+        self._journal_claim(topic, [msg])
+        return msg
 
     def claim_many(self, topic: str = "default", n: int = 1) -> list[QueuedMessage]:
         """Claim up to ``n`` ready messages on ``topic``, in FIFO order.
@@ -186,16 +212,31 @@ class TaskQueue:
         msgs = []
         while chan and len(msgs) < n:
             msgs.append(self._claim_from(chan))
+        self._journal_claim(topic, msgs)
         return msgs
 
     def _claim_from(self, chan: deque[QueuedMessage]) -> QueuedMessage:
         msg = chan.popleft()
         msg.deliveries += 1
         msg.claimed_at = self.clock.now()
-        msg.delivery_tag = next(self._tags)
+        msg.delivery_tag = self._next_tag
+        self._next_tag += 1
         self._inflight[msg.delivery_tag] = msg
         self._notify(msg.topic, -1)
         return msg
+
+    def _journal_claim(self, topic: str, msgs: list[QueuedMessage]) -> None:
+        # One record per claim *call* (claim_many included), so every
+        # journal offset is a public-operation boundary.
+        if self.journal is not None:
+            self.journal.append(
+                "claim",
+                {
+                    "topic": topic,
+                    "claims": [[m.message_id, m.delivery_tag] for m in msgs],
+                    "claimed_at": msgs[0].claimed_at,
+                },
+            )
 
     def ack(self, delivery_tag: int) -> None:
         """Settle a claimed message; it will never be redelivered."""
@@ -203,6 +244,8 @@ class TaskQueue:
         if msg is None:
             raise UnknownDelivery(delivery_tag)
         self.total_acked += 1
+        if self.journal is not None:
+            self.journal.append("ack", {"delivery_tag": delivery_tag})
 
     def nack(self, delivery_tag: int, requeue: bool = True) -> None:
         """Return a claimed message to the queue (or dead-letter it)."""
@@ -211,7 +254,18 @@ class TaskQueue:
             raise UnknownDelivery(delivery_tag)
         msg.claimed_at = None
         msg.delivery_tag = None
-        if requeue and msg.deliveries < self.max_deliveries:
+        requeued = requeue and msg.deliveries < self.max_deliveries
+        if self.journal is not None:
+            # The record carries the live outcome so a replay needs no
+            # knowledge of this queue's max_deliveries configuration.
+            self.journal.append(
+                "nack",
+                {
+                    "delivery_tag": delivery_tag,
+                    "outcome": "requeued" if requeued else "dead",
+                },
+            )
+        if requeued:
             self._ready.setdefault(msg.topic, deque()).appendleft(msg)
             self.total_redelivered += 1
             self._notify(msg.topic, +1)
@@ -240,6 +294,14 @@ class TaskQueue:
         while chan and len(withdrawn) < n:
             withdrawn.append(chan.pop())
             self._notify(topic, -1)
+        if withdrawn and self.journal is not None:
+            self.journal.append(
+                "withdraw",
+                {
+                    "topic": topic,
+                    "message_ids": [m.message_id for m in withdrawn],
+                },
+            )
         return withdrawn
 
     def restore(self, message: QueuedMessage) -> None:
@@ -250,6 +312,8 @@ class TaskQueue:
         and no arrival is re-counted.
         """
         self._ready.setdefault(message.topic, deque()).append(message)
+        if self.journal is not None:
+            self.journal.append("restore", {"message_id": message.message_id})
         self._notify(message.topic, +1)
 
     def expire_inflight(self) -> int:
@@ -270,6 +334,119 @@ class TaskQueue:
         for tag in expired:
             self.nack(tag, requeue=True)
         return len(expired)
+
+    # -- durability -------------------------------------------------------------
+    def attach_journal(self, journal, *, bootstrap: bool = True) -> None:
+        """Start journaling every mutation to ``journal`` (write-ahead).
+
+        ``journal`` is duck-typed (see
+        :class:`repro.durability.journal.Journal`): it must expose
+        ``append(op, data)``, ``encode_body(body)``, and
+        ``seed_baseline(...)``. With ``bootstrap`` (the default) the
+        queue must hold no messages — its monotonic counters and id
+        cursors are seeded into the journal as a ``baseline`` record so
+        a replay reconstructs them. Recovery attaches with
+        ``bootstrap=False``: the journal's shadow state already equals
+        the materialized queue.
+        """
+        if self.journal is not None:
+            raise ValueError("queue already has a journal attached")
+        if bootstrap:
+            if len(self) or self._inflight or self._dead:
+                raise ValueError(
+                    "attach_journal(bootstrap=True) requires a queue with "
+                    "no messages (counters may be non-zero)"
+                )
+            journal.seed_baseline(
+                total_enqueued=self.total_enqueued,
+                total_acked=self.total_acked,
+                total_redelivered=self.total_redelivered,
+                topic_enqueued=dict(self._topic_enqueued),
+                next_message_id=self._next_message_id,
+                next_tag=self._next_tag,
+            )
+        self.journal = journal
+
+    def dump_state(self) -> dict:
+        """The queue's full observable state as one plain document.
+
+        The replay property test compares this against
+        :meth:`repro.durability.state.SystemState.fingerprint` — the
+        two must produce the identical shape. Bodies are the live
+        objects (callers comparing across a pickle round-trip rely on
+        value equality).
+        """
+
+        def doc(msg: QueuedMessage, claimed: bool = False) -> dict:
+            entry = {
+                "message_id": msg.message_id,
+                "topic": msg.topic,
+                "enqueued_at": msg.enqueued_at,
+                "deliveries": msg.deliveries,
+                "body": msg.body,
+            }
+            if claimed:
+                entry["claimed_at"] = msg.claimed_at
+            return entry
+
+        return {
+            "ready": {
+                topic: [doc(m) for m in chan]
+                for topic, chan in sorted(self._ready.items())
+                if chan
+            },
+            "inflight": [
+                [tag, doc(self._inflight[tag], claimed=True)]
+                for tag in sorted(self._inflight)
+            ],
+            "dead": [doc(m) for m in self._dead],
+            "total_enqueued": self.total_enqueued,
+            "total_acked": self.total_acked,
+            "total_redelivered": self.total_redelivered,
+            "topic_enqueued": dict(sorted(self._topic_enqueued.items())),
+            "next_message_id": self._next_message_id,
+            "next_tag": self._next_tag,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install recovered contents (the inverse of :meth:`dump_state`,
+        minus in-flight entries — recovery re-releases those *before*
+        materializing, so a fresh queue never holds phantom claims).
+
+        Requires a pristine queue. No ready-set events fire: consumers
+        (the serving runtime) attach after materialization and baseline
+        their indices from the loaded depths.
+        """
+        if (
+            self.total_enqueued
+            or self.total_acked
+            or len(self)
+            or self._inflight
+            or self._dead
+        ):
+            raise ValueError("load_state requires a fresh queue")
+
+        def message(doc: dict, topic: str) -> QueuedMessage:
+            return QueuedMessage(
+                body=doc["body"],
+                message_id=doc["message_id"],
+                enqueued_at=doc["enqueued_at"],
+                topic=topic,
+                deliveries=doc["deliveries"],
+            )
+
+        for topic in state["ready"]:
+            self._ready[topic] = deque(
+                message(doc, topic) for doc in state["ready"][topic]
+            )
+        for doc in state["dead"]:
+            self._dead.append(message(doc, doc["topic"]))
+        self.total_enqueued = state["total_enqueued"]
+        self.total_acked = state["total_acked"]
+        self.total_redelivered = state["total_redelivered"]
+        self._topic_enqueued = dict(state["topic_enqueued"])
+        self._next_message_id = state["next_message_id"]
+        self._next_tag = state["next_tag"]
 
     # -- introspection ----------------------------------------------------------
     def ready_count(self, topic: str = "default") -> int:

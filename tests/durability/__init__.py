@@ -1,0 +1,1 @@
+"""Durability layer tests: WAL, snapshots, recovery, chaos."""

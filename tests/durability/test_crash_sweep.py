@@ -1,0 +1,142 @@
+"""Crash-at-every-boundary sweep: kill the serving stack at each named
+injection point, recover, and assert the durability invariants —
+exactly-once settlement, a balanced admission ledger, and no double WFQ
+charge across the crash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import (
+    INJECTION_POINTS,
+    CrashPlan,
+    FileDurableStore,
+    InMemoryDurableStore,
+)
+
+from .conftest import alternating_arrivals, build_chaos_harness
+
+N_ARRIVALS = 30
+
+
+def run_sweep_point(zoo, store, point, snapshot_every=256, after_trips=3):
+    harness, tokens = build_chaos_harness(
+        zoo, store, snapshot_every_records=snapshot_every
+    )
+    arrivals = alternating_arrivals(tokens, n=N_ARRIVALS)
+    outcome = harness.run(
+        arrivals, plans=(CrashPlan(point, after_trips=after_trips),)
+    )
+    return harness, outcome
+
+
+def assert_invariants(harness, outcome, point):
+    # The crash actually fired, at the requested boundary.
+    assert [c.point for c in outcome.crashes] == [point]
+    assert harness.incarnations == 2
+
+    # Exactly-once settlement: every admitted request settled in
+    # precisely one incarnation; none twice, none lost.
+    assert outcome.duplicates == []
+    assert outcome.exactly_once
+    assert len(outcome.settled) + len(outcome.denied) == N_ARRIVALS
+
+    # The admission ledger balanced back to zero: every restored charge
+    # (and every live one) was released by exactly one settlement.
+    admission = harness.gateway.admission
+    for result in outcome.settled.values():
+        tenant = result.request.tenant
+        assert admission.in_flight(tenant) == 0
+        assert admission.in_flight(tenant, "noop") == 0
+
+    # No double WFQ charge: in the post-crash incarnation, lane charges
+    # are exactly one per lane entry — restored-to-queue requests never
+    # touch the scheduler, restored-to-lane requests and fresh
+    # admissions charge once each.
+    recovery = outcome.recoveries[0]
+    admits_before_crash = (
+        recovery["open_at_recovery"] + recovery["settled_at_recovery"]
+    )
+    admits_after_crash = len(outcome.admitted) - admits_before_crash
+    lane_restored = recovery["restored_open"] - recovery["restored_in_queue"]
+    total_charges = sum(
+        harness.gateway.scheduler.charge_count(t) for t in ("alice", "bob")
+    )
+    assert total_charges == lane_restored + admits_after_crash
+
+    # Recovery restored every unsettled admission exactly once.
+    assert recovery["restored_open"] == recovery["open_at_recovery"] - len(
+        recovery["dead_open"]
+    )
+
+
+@pytest.mark.parametrize(
+    "point", [p for p in INJECTION_POINTS if p != "mid_snapshot"]
+)
+def test_crash_and_recover_at_boundary(chaos_zoo, point):
+    harness, outcome = run_sweep_point(chaos_zoo, InMemoryDurableStore(), point)
+    assert_invariants(harness, outcome, point)
+
+
+def test_crash_mid_snapshot_dedupes_the_seam(chaos_zoo, tmp_path):
+    # A small cadence forces a snapshot mid-run; the crash lands between
+    # the snapshot write and the journal truncation, so recovery sees
+    # the seam overlap and must dedupe it by sequence number.
+    harness, outcome = run_sweep_point(
+        chaos_zoo,
+        FileDurableStore(str(tmp_path / "wal")),
+        "mid_snapshot",
+        snapshot_every=20,
+        after_trips=1,
+    )
+    assert_invariants(harness, outcome, "mid_snapshot")
+    recovery = outcome.recoveries[0]
+    assert recovery["snapshot_used"]
+    assert recovery["seam_overlap"] > 0
+
+
+def test_serial_crashes_across_multiple_points(chaos_zoo):
+    """Several crashes in one run — one per incarnation, in plan order."""
+    harness, tokens = build_chaos_harness(chaos_zoo, InMemoryDurableStore())
+    arrivals = alternating_arrivals(tokens, n=N_ARRIVALS)
+    plans = (
+        CrashPlan("post_admission", after_trips=4),
+        CrashPlan("post_claim", after_trips=2),
+        CrashPlan("mid_batch", after_trips=1),
+    )
+    outcome = harness.run(arrivals, plans=plans)
+    assert [c.point for c in outcome.crashes] == [p.point for p in plans]
+    assert harness.incarnations == 4
+    assert outcome.exactly_once
+    assert len(outcome.settled) + len(outcome.denied) == N_ARRIVALS
+    assert len(outcome.recoveries) == 3
+
+
+def test_file_store_round_trips_the_same_run(chaos_zoo, tmp_path):
+    """The file-backed store recovers identically to the in-memory one."""
+    results = {}
+    for label, store in [
+        ("mem", InMemoryDurableStore()),
+        ("file", FileDurableStore(str(tmp_path / "wal"))),
+    ]:
+        harness, outcome = run_sweep_point(chaos_zoo, store, "mid_batch")
+        assert_invariants(harness, outcome, "mid_batch")
+        # Task uuids are process-global, so key on each request's args
+        # (the arrival index) rather than the uuid.
+        results[label] = {
+            r.request.args[0]: round(r.latency, 9)
+            for r in outcome.settled.values()
+        }
+    assert results["mem"] == results["file"]
+
+
+def test_unarmed_injector_is_a_pure_counter(chaos_zoo):
+    """With no crash plans the chaos run completes like a normal serve
+    (and the injection points count visits without firing)."""
+    harness, tokens = build_chaos_harness(chaos_zoo, InMemoryDurableStore())
+    outcome = harness.run(alternating_arrivals(tokens, n=10))
+    assert outcome.crashes == []
+    assert harness.incarnations == 1
+    assert outcome.exactly_once
+    assert harness.injector.trip_counts["post_admission"] >= 10
+    assert harness.injector.crashes_fired == 0

@@ -1,0 +1,179 @@
+"""Journal torture: feed recovery every corruption a crash (or a bad
+disk) can produce and assert it either recovers exactly or fails
+loudly — never silently serves from a wrong state.
+
+Tolerated (recover + flag): a torn final line, a byte-identical
+duplicate record, a snapshot/journal seam overlap. Fatal
+(:class:`JournalCorruption`): mid-journal garbage, a CRC/content
+mismatch, a sequence gap, two different records claiming one sequence,
+an unparseable snapshot document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.durability import (
+    CrashPlan,
+    FaultInjector,
+    FileDurableStore,
+    Journal,
+    JournalCorruption,
+    SimulatedCrash,
+    begin_recovery,
+    decode_body,
+    load_state,
+)
+from repro.durability.codec import decode_record, encode_record
+from repro.messaging.queue import TaskQueue
+from repro.sim.clock import VirtualClock
+
+
+def seeded_store(tmp_path, n_puts=8, snapshot_every=10**9):
+    """A file store holding real traffic: puts, one claim/ack, one nack."""
+    clock = VirtualClock()
+    store = FileDurableStore(str(tmp_path / "wal"))
+    journal = Journal(store, snapshot_every_records=snapshot_every)
+    queue = TaskQueue(clock, visibility_timeout_s=1e9, max_deliveries=3)
+    queue.attach_journal(journal)
+    for i in range(n_puts):
+        clock.advance(0.01)
+        queue.put(f"m{i}", topic="t")
+    queue.ack(queue.claim("t").delivery_tag)
+    queue.nack(queue.claim("t").delivery_tag, requeue=True)
+    return store, journal, queue
+
+
+def journal_path(store):
+    return os.path.join(store.directory, FileDurableStore.JOURNAL)
+
+
+def read_lines(store):
+    with open(journal_path(store), encoding="utf-8") as fh:
+        return fh.read().splitlines()
+
+
+def write_lines(store, lines, *, trailing_newline=True):
+    text = "\n".join(lines) + ("\n" if trailing_newline else "")
+    with open(journal_path(store), "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def test_torn_tail_is_tolerated_flagged_and_repaired(tmp_path):
+    store, journal, queue = seeded_store(tmp_path)
+    with open(journal_path(store), "a", encoding="utf-8") as fh:
+        fh.write('{"crc": 123, "rec": [99, "pu')  # torn mid-write, no newline
+
+    state, report = load_state(store)
+    assert report.truncated_tail
+    assert report.records_replayed == journal.last_seq
+    assert state.fingerprint(decode_body) == queue.dump_state()
+
+    # begin_recovery repairs the tear by snapshotting: the snapshot
+    # covers every applied record and truncation drops the garbage.
+    _, _, report2 = begin_recovery(store, max_deliveries=3)
+    state3, report3 = load_state(store)
+    assert report2.truncated_tail  # surfaced, not hidden
+    assert not report3.truncated_tail
+    assert report3.snapshot_used
+    assert state3.fingerprint(decode_body) == queue.dump_state()
+
+
+def test_mid_journal_garbage_fails_loud(tmp_path):
+    store, _, _ = seeded_store(tmp_path)
+    lines = read_lines(store)
+    lines[len(lines) // 2] = "not a journal record"
+    write_lines(store, lines)
+    with pytest.raises(JournalCorruption, match="unparseable journal line"):
+        load_state(store)
+
+
+def test_content_tamper_fails_crc(tmp_path):
+    store, _, _ = seeded_store(tmp_path)
+    lines = read_lines(store)
+    victim = json.loads(lines[2])
+    victim["rec"][2]["topic"] = "hijacked"  # re-point a put, keep old CRC
+    lines[2] = json.dumps(victim, sort_keys=True, separators=(",", ":"))
+    write_lines(store, lines)
+    with pytest.raises(JournalCorruption, match="crc mismatch"):
+        load_state(store)
+
+
+def test_identical_duplicate_is_skipped_and_counted(tmp_path):
+    store, _, queue = seeded_store(tmp_path)
+    lines = read_lines(store)
+    lines.insert(4, lines[3])  # a retried append: same bytes, same seq
+    write_lines(store, lines)
+    state, report = load_state(store)
+    assert report.duplicates_skipped == 1
+    assert state.fingerprint(decode_body) == queue.dump_state()
+
+
+def test_conflicting_duplicate_fails_loud(tmp_path):
+    store, _, _ = seeded_store(tmp_path)
+    lines = read_lines(store)
+    seq, _, _ = decode_record(lines[3])
+    # A *valid* record (correct CRC) that disagrees with seq's history.
+    lines.insert(4, encode_record(seq, "settle", {"task_uuid": "task-evil"}))
+    write_lines(store, lines)
+    with pytest.raises(JournalCorruption, match="conflicting duplicate"):
+        load_state(store)
+
+
+def test_sequence_gap_fails_loud(tmp_path):
+    store, _, _ = seeded_store(tmp_path)
+    lines = read_lines(store)
+    del lines[len(lines) // 2]
+    write_lines(store, lines)
+    with pytest.raises(JournalCorruption, match="journal gap"):
+        load_state(store)
+
+
+def test_unparseable_snapshot_fails_loud(tmp_path):
+    store, journal, _ = seeded_store(tmp_path)
+    journal.snapshot_now()
+    snap = os.path.join(store.directory, FileDurableStore.SNAPSHOT)
+    with open(snap, "w", encoding="utf-8") as fh:
+        fh.write('{"v": 1, "messages": [truncated')
+    with pytest.raises(JournalCorruption, match="unparseable snapshot"):
+        load_state(store)
+
+
+def test_seam_overlap_is_deduped_by_sequence(tmp_path):
+    """A crash between the snapshot write and the journal truncation
+    leaves every record both inside the snapshot and on the journal;
+    replay must skip the covered tail, not double-apply it."""
+    store, journal, queue = seeded_store(tmp_path)
+    injector = FaultInjector()
+    injector.plan(CrashPlan("mid_snapshot", after_trips=1))
+    injector.arm_next()
+    doc = json.dumps(
+        journal.state.to_doc(), sort_keys=True, separators=(",", ":")
+    )
+    with pytest.raises(SimulatedCrash):
+        store.write_snapshot(doc, journal.last_seq, chaos=injector)
+
+    n_lines = len(read_lines(store))
+    assert n_lines == journal.last_seq  # truncation never ran
+    state, report = load_state(store)
+    assert report.snapshot_used
+    assert report.seam_overlap == n_lines
+    assert report.records_replayed == 0
+    assert state.fingerprint(decode_body) == queue.dump_state()
+
+
+def test_lost_snapshot_after_truncation_fails_loud(tmp_path):
+    """Once a snapshot has truncated the journal, losing the snapshot
+    file leaves a tail that starts past seq 1 — recovery must refuse
+    it (as a sequence gap), never replay the tail against empty state."""
+    store, journal, _ = seeded_store(tmp_path, snapshot_every=5)
+    assert journal.snapshots_taken > 0
+    assert read_lines(store)  # some records survived the truncation
+    first_seq, _, _ = decode_record(read_lines(store)[0])
+    assert first_seq > 1  # the snapshot really truncated a prefix
+    os.remove(os.path.join(store.directory, FileDurableStore.SNAPSHOT))
+    with pytest.raises(JournalCorruption, match="journal gap"):
+        load_state(store)

@@ -1,0 +1,148 @@
+"""Replay-equivalence property: for ANY randomized interleaving of
+queue operations, crashing at ANY journal offset and folding the
+persisted prefix reconstructs exactly the state a never-crashed queue
+held at that offset.
+
+The probe is :meth:`SystemState.fingerprint` (the fold's view) against
+:meth:`TaskQueue.dump_state` (the live queue's view), captured after
+every operation. One journal record per public operation means offset
+``k`` *is* the state after operation ``k`` — no sub-operation crash
+window exists by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import (
+    InMemoryDurableStore,
+    Journal,
+    decode_body,
+    load_state,
+)
+from repro.messaging.queue import QueueEmpty, TaskQueue
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import generator_from_seed
+
+TOPICS = ("servable/requests/alpha", "servable/tenant-t1/alpha", "beta")
+
+
+def random_walk(seed: int, n_ops: int, journal: Journal, queue: TaskQueue, clock):
+    """Drive ``queue`` through ``n_ops`` random operations, returning
+    ``{journal_offset: dump_state}`` captured after each journaled op."""
+    rng = generator_from_seed(seed)
+    withdrawn_held = []
+    dumps = {journal.last_seq: queue.dump_state()}
+    body_i = 0
+    for _ in range(n_ops):
+        op = rng.choice(
+            ["put", "claim", "claim_many", "ack", "nack", "withdraw", "restore"],
+            p=[0.34, 0.14, 0.08, 0.16, 0.12, 0.08, 0.08],
+        )
+        if rng.random() < 0.3:
+            clock.advance(float(rng.integers(1, 50)) / 1000.0)
+        try:
+            if op == "put":
+                body_i += 1
+                queue.put(
+                    f"body-{seed}-{body_i}",
+                    topic=TOPICS[int(rng.integers(len(TOPICS)))],
+                )
+            elif op == "claim":
+                queue.claim(TOPICS[int(rng.integers(len(TOPICS)))])
+            elif op == "claim_many":
+                queue.claim_many(
+                    TOPICS[int(rng.integers(len(TOPICS)))],
+                    int(rng.integers(1, 5)),
+                )
+            elif op == "ack":
+                tags = sorted(queue._inflight)
+                if not tags:
+                    continue
+                queue.ack(tags[int(rng.integers(len(tags)))])
+            elif op == "nack":
+                tags = sorted(queue._inflight)
+                if not tags:
+                    continue
+                queue.nack(
+                    tags[int(rng.integers(len(tags)))],
+                    requeue=bool(rng.random() < 0.8),
+                )
+            elif op == "withdraw":
+                got = queue.withdraw_newest(
+                    TOPICS[int(rng.integers(len(TOPICS)))],
+                    int(rng.integers(1, 4)),
+                )
+                withdrawn_held.extend(got)
+                if not got:
+                    continue  # nothing journaled, no new offset
+            elif op == "restore":
+                if not withdrawn_held:
+                    continue
+                queue.restore(
+                    withdrawn_held.pop(int(rng.integers(len(withdrawn_held))))
+                )
+        except QueueEmpty:
+            continue
+        dumps[journal.last_seq] = queue.dump_state()
+    return dumps
+
+
+def build_walk(seed: int, n_ops: int = 120, snapshot_every: int = 10**9):
+    clock = VirtualClock()
+    store = InMemoryDurableStore()
+    journal = Journal(store, snapshot_every_records=snapshot_every)
+    queue = TaskQueue(clock, visibility_timeout_s=1e9, max_deliveries=3)
+    queue.attach_journal(journal)
+    dumps = random_walk(seed, n_ops, journal, queue, clock)
+    return store, journal, queue, dumps
+
+
+@pytest.mark.parametrize("seed", [7, 23, 1019])
+class TestReplayEquivalence:
+    def test_shadow_fold_tracks_live_queue_exactly(self, seed):
+        _, journal, queue, dumps = build_walk(seed)
+        assert journal.state.fingerprint(decode_body) == queue.dump_state()
+        assert journal.last_seq in dumps
+
+    def test_crash_at_every_journal_offset_replays_the_exact_state(self, seed):
+        store, journal, queue, dumps = build_walk(seed)
+        lines = store.read_journal()
+        assert len(lines) == journal.last_seq  # no snapshot: every record kept
+        for offset in range(len(lines) + 1):
+            truncated = InMemoryDurableStore()
+            for i, line in enumerate(lines[:offset]):
+                truncated.append(i + 1, line)
+            state, report = load_state(truncated)
+            assert not report.truncated_tail
+            assert report.records_replayed == offset
+            assert state.fingerprint(decode_body) == dumps[offset], (
+                f"seed={seed} offset={offset}"
+            )
+
+    def test_snapshot_cadence_changes_nothing(self, seed):
+        _, journal_a, queue_a, _ = build_walk(seed)
+        store_b, journal_b, queue_b, _ = build_walk(seed, snapshot_every=7)
+        assert journal_b.snapshots_taken > 0
+        assert queue_b.dump_state() == queue_a.dump_state()
+        state, report = load_state(store_b)
+        assert report.snapshot_used
+        assert state.fingerprint(decode_body) == queue_a.dump_state()
+
+    def test_settled_and_open_survive_replay(self, seed):
+        store, journal, _, _ = build_walk(seed, n_ops=40)
+        journal.append(
+            "admit",
+            {
+                "task_uuid": "task-x",
+                "tenant": "t1",
+                "servable": "alpha",
+                "arrived_at": 1.25,
+                "weight": 2.0,
+                "body": journal.encode_body("req-x"),
+            },
+        )
+        journal.append("settle", {"task_uuid": "task-x"})
+        state, _ = load_state(store)
+        assert state.settled == {"task-x": True}
+        assert state.open == {}

@@ -82,6 +82,29 @@ REGISTRY: dict[str, dict[str, dict]] = {
         "arms.observe.phase_p95_ms.light.recovery": {"max": 250.0, "rel_tol": 0.0},
         "arms.reactive.phase_p95_ms.light.recovery": {"max": 250.0, "rel_tol": 0.0},
     },
+    "BENCH_chaos_recovery.json": {
+        # Virtual-time simulation over the write-ahead journal: every
+        # number is deterministic, so fresh runs must reproduce the
+        # committed file exactly.
+        # 100% settlement, exactly once, in both arms.
+        "arms.steady.exactly_once": {"equals": True, "rel_tol": 0.0},
+        "arms.chaos.exactly_once": {"equals": True, "rel_tol": 0.0},
+        "arms.steady.settled": {"equals": 260, "rel_tol": 0.0},
+        "arms.chaos.settled": {"equals": 260, "rel_tol": 0.0},
+        "arms.chaos.duplicates": {"equals": 0, "rel_tol": 0.0},
+        "arms.chaos.denied": {"equals": 0, "rel_tol": 0.0},
+        # The crash fired once, at the armed boundary inside the spike
+        # window, and one recovery restored real open work.
+        "arms.steady.incarnations": {"equals": 1, "rel_tol": 0.0},
+        "arms.chaos.incarnations": {"equals": 2, "rel_tol": 0.0},
+        "arms.chaos.crashes[0].at_s": {"min": 0.5, "max": 1.0, "rel_tol": 0.0},
+        "arms.chaos.recoveries[0].restored_open": {"min": 1, "rel_tol": 0.0},
+        "arms.chaos.recoveries[0].released": {"min": 1, "rel_tol": 0.0},
+        # Bounded tail penalty: one restart downtime plus re-serve slack
+        # (the committed params carry the same bound the bench asserts).
+        "p99_penalty_s": {"min": 0.0, "max": 0.75, "rel_tol": 0.0},
+        "params.restart_cost_s": {"equals": 0.25, "rel_tol": 0.0},
+    },
 }
 
 _PATH_TOKEN = re.compile(r"\[(-?\d+)\]|([^.\[\]]+)")

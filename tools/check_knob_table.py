@@ -102,8 +102,21 @@ REGISTRY: dict[str, tuple[str, list[str]]] = {
         "repro.core.obsloop.AdaptiveSampler",
         ["escalation", "max_rate", "decay"],
     ),
+    "`snapshot_every_records`": (
+        "repro.durability.journal.Journal",
+        ["snapshot_every_records"],
+    ),
+    "`restart_cost_s`": (
+        "repro.durability.chaos.ChaosHarness",
+        ["restart_cost_s"],
+    ),
+    "`visibility_timeout_s` / `max_deliveries`": (
+        "repro.durability.chaos.ChaosHarness",
+        ["visibility_timeout_s", "max_deliveries"],
+    ),
     # `seasonal_autodetect` is a boolean opt-in — prose cell, no
-    # machine-checkable number, deliberately unregistered.
+    # machine-checkable number, deliberately unregistered. So is
+    # `durable_store` (unset/None default).
 }
 
 #: Numbers with an optional time unit, e.g. "0.25 s", "10 ms", "64".
